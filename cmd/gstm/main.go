@@ -1,0 +1,229 @@
+// Command gstm is the pipeline driver, mirroring the paper artifact's
+// exec.sh workflow: profile a benchmark to generate the state model
+// (the artifact's mcmc_data option), analyze it, then run guided
+// (model) or default executions and report timings, variance,
+// non-determinism and abort distributions.
+//
+// Usage:
+//
+//	gstm -bench kmeans -threads 8 -runs 20 -op mcmc_data -model state_data
+//	gstm -bench kmeans -threads 8 -op analyze -model state_data
+//	gstm -bench kmeans -threads 8 -runs 20 -op model   -model state_data
+//	gstm -bench kmeans -threads 8 -runs 20 -op default
+//	gstm -bench kmeans -threads 8 -runs 20 -op ND_mcmc -model state_data
+//	gstm -bench kmeans -threads 8 -runs 20 -op ND_only
+//
+// Options mirror the artifact: mcmc_data generates the model; model
+// runs guided STM; default runs unmodified STM; ND_mcmc / ND_only
+// report non-determinism data for guided / default runs. The -freq flag
+// is the paper's Tfactor (usually 4).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"text/tabwriter"
+
+	"gstm/internal/analyze"
+	"gstm/internal/guide"
+	"gstm/internal/harness"
+	"gstm/internal/model"
+	"gstm/internal/stamp"
+	"gstm/internal/tl2"
+	"gstm/internal/trace"
+	"gstm/internal/tts"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "kmeans", "benchmark: "+fmt.Sprint(harness.WorkloadNames))
+		threads   = flag.Int("threads", 8, "worker thread count")
+		runs      = flag.Int("runs", 20, "number of runs")
+		op        = flag.String("op", "default", "operation: mcmc_data|analyze|model|default|ND_mcmc|ND_only|inspect|dot|trace")
+		modelPath = flag.String("model", "state_data", "model file path")
+		freq      = flag.Float64("freq", 4, "Tfactor: guidance threshold divisor")
+		k         = flag.Int("k", 0, "guide progress-escape retries (0 = default)")
+		sizeFlag  = flag.String("size", "", "input size override (small|medium|large)")
+		seed      = flag.Int64("seed", 1, "workload content seed")
+		maxprocs  = flag.Int("gomaxprocs", 0, "override GOMAXPROCS (0 = leave as is)")
+	)
+	flag.Parse()
+
+	if *maxprocs > 0 {
+		runtime.GOMAXPROCS(*maxprocs)
+	}
+
+	e := harness.Experiment{
+		Workload:    *bench,
+		Threads:     *threads,
+		ProfileRuns: *runs,
+		MeasureRuns: *runs,
+		Tfactor:     *freq,
+		K:           *k,
+		Seed:        *seed,
+	}
+	if *sizeFlag != "" {
+		sz, err := stamp.ParseSize(*sizeFlag)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		e.ProfileSize, e.MeasureSize = sz, sz
+	}
+
+	switch *op {
+	case "mcmc_data", "profile":
+		m, err := e.Profile()
+		if err != nil {
+			fatalf("profiling: %v", err)
+		}
+		f, err := os.Create(*modelPath)
+		if err != nil {
+			fatalf("creating model file: %v", err)
+		}
+		if err := m.Encode(f); err != nil {
+			fatalf("writing model: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("closing model file: %v", err)
+		}
+		rep := analyze.Analyze(m, analyze.Options{Tfactor: *freq})
+		fmt.Printf("model written to %s: %d states, %d bytes\n", *modelPath,
+			m.NumStates(), m.EncodedSize())
+		fmt.Println(rep)
+
+	case "analyze":
+		m := loadModel(*modelPath)
+		fmt.Println(analyze.Analyze(m, analyze.Options{Tfactor: *freq}))
+		st := m.Structure()
+		fmt.Printf("structure: %d states (%d with aborts, max tuple %d), %d edges, "+
+			"%d terminal, out-degree avg %.1f max %d\n",
+			st.States, st.AbortStates, st.MaxAbortsInState, st.Edges,
+			st.TerminalStates, st.AvgOutDegree, st.MaxOutDegree)
+
+	case "inspect":
+		m := loadModel(*modelPath)
+		fmt.Print(m.Dump(20))
+
+	case "dot":
+		m := loadModel(*modelPath)
+		if err := m.WriteDOT(os.Stdout, model.DOTOptions{Tfactor: *freq, MaxStates: 40}); err != nil {
+			fatalf("writing DOT: %v", err)
+		}
+
+	case "trace":
+		// Record one run's transaction sequence to the -model path (the
+		// artifact's per-run sequence files).
+		seq, err := recordOneRun(e)
+		if err != nil {
+			fatalf("tracing: %v", err)
+		}
+		f, err := os.Create(*modelPath)
+		if err != nil {
+			fatalf("creating trace file: %v", err)
+		}
+		if err := trace.WriteSequence(f, seq); err != nil {
+			fatalf("writing trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("closing trace file: %v", err)
+		}
+		fmt.Printf("trace written to %s: %d states\n", *modelPath, len(seq))
+
+	case "model", "ND_mcmc":
+		m := loadModel(*modelPath)
+		rep := analyze.Analyze(m, analyze.Options{Tfactor: *freq})
+		if !rep.Fit {
+			fmt.Fprintf(os.Stderr, "warning: %v — guiding anyway\n", rep)
+		}
+		ctrl := guide.New(m.Prune(*freq), guide.Options{Tfactor: *freq, K: *k})
+		res, err := e.Measure(ctrl)
+		if err != nil {
+			fatalf("guided run: %v", err)
+		}
+		printSummary("guided", *bench, res, *op == "ND_mcmc")
+		gs := res.Guide
+		fmt.Printf("gate: %d admits, %d holds, %d escapes, %d unknown-state passes\n",
+			gs.Admits, gs.Holds, gs.Escapes, gs.UnknownPasses)
+
+	case "default", "orig", "ND_only":
+		res, err := e.Measure(nil)
+		if err != nil {
+			fatalf("default run: %v", err)
+		}
+		printSummary("default", *bench, res, *op == "ND_only")
+
+	default:
+		fatalf("unknown op %q", *op)
+	}
+}
+
+// recordOneRun executes a single run with a collector attached and
+// returns its transaction sequence.
+func recordOneRun(e harness.Experiment) ([]tts.State, error) {
+	w, err := harness.NewWorkload(e.Workload)
+	if err != nil {
+		return nil, err
+	}
+	s := tl2.New(tl2.Options{})
+	col := trace.NewCollector()
+	cfg := stamp.Config{Threads: e.Threads, Size: e.MeasureSize, Seed: e.Seed}
+	if cfg.Size == stamp.SizeUnset {
+		cfg.Size = stamp.Medium
+	}
+	if _, err := stamp.Run(s, w, cfg, func() { s.SetTracer(col) }); err != nil {
+		return nil, err
+	}
+	seq, _ := col.Sequence()
+	return seq, nil
+}
+
+func loadModel(path string) *model.TSA {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("opening model: %v (run -op mcmc_data first)", err)
+	}
+	defer f.Close()
+	m, err := model.Decode(f)
+	if err != nil {
+		fatalf("decoding model: %v", err)
+	}
+	return m
+}
+
+// printSummary mimics the artifact's AvgSummary files: per-thread mean
+// and standard deviation of execution time, plus (for the ND ops) the
+// state count and abort distribution.
+func printSummary(mode, bench string, res harness.ModeResult, nd bool) {
+	fmt.Printf("%s %s: %d commits, %d aborts, mean wall %.6fs\n",
+		bench, mode, res.Commits, res.Aborts, res.MeanWall)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "thread\tmean(s)\tstddev(s)")
+	sds := res.ThreadStdDevs()
+	for t, xs := range res.ThreadTimes {
+		var mean float64
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(len(xs))
+		fmt.Fprintf(tw, "%d\t%.6f\t%.6f\n", t, mean, sds[t])
+	}
+	tw.Flush()
+	if nd {
+		fmt.Printf("%s %d\n", bench, res.DistinctStates)
+		for t, h := range res.AbortHist {
+			fmt.Printf("abortsThread%d: ", t)
+			vs, fs := h.Series()
+			for i := range vs {
+				fmt.Printf("%d:%d ", vs[i], fs[i])
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gstm: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,88 @@
+// Command synquake regenerates the paper's SynQuake evaluation — Table
+// V and Figures 11/12: train the model on the 4worst_case and 4moving
+// quests, then compare guided and default execution on 4quadrants and
+// 4center_spread6, reporting frame-rate variance improvement,
+// abort-ratio reduction and slowdown.
+//
+// Usage:
+//
+//	synquake [flags]
+//	  -threads 8,16       thread counts to sweep
+//	  -players 1000       population (paper: 1000)
+//	  -map 1024           map side (paper: 1024)
+//	  -train-frames 1000  training frame budget (paper: 1000)
+//	  -test-frames 10000  test frame budget (paper: 10000)
+//	  -runs 3             repetitions per mode
+//	  -tfactor 4 -seed 1
+//
+// The defaults match the paper but take a while; scale down frames and
+// players for smoke runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"gstm/internal/synquake"
+)
+
+func main() {
+	var (
+		threadsFlag  = flag.String("threads", "8,16", "thread counts to sweep")
+		players      = flag.Int("players", 1000, "player population")
+		mapSize      = flag.Int("map", 1024, "map side length")
+		trainFrames  = flag.Int("train-frames", 1000, "training frames per quest")
+		testFrames   = flag.Int("test-frames", 10000, "test frames per run")
+		runs         = flag.Int("runs", 3, "measurement repetitions per mode")
+		tfactor      = flag.Float64("tfactor", 4, "guidance threshold divisor")
+		seed         = flag.Int64("seed", 1, "world seed")
+		maxprocsFlag = flag.Int("gomaxprocs", 0, "override GOMAXPROCS (0 = leave as is)")
+		quiet        = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	if *maxprocsFlag > 0 {
+		runtime.GOMAXPROCS(*maxprocsFlag)
+	}
+
+	var threads []int
+	for _, part := range strings.Split(*threadsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "synquake: bad -threads %q\n", part)
+			os.Exit(1)
+		}
+		threads = append(threads, n)
+	}
+
+	logf := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	res, err := synquake.RunSuite(synquake.Suite{
+		Threads:     threads,
+		Players:     *players,
+		MapSize:     *mapSize,
+		TrainFrames: *trainFrames,
+		TestFrames:  *testFrames,
+		Runs:        *runs,
+		Tfactor:     *tfactor,
+		Seed:        *seed,
+	}, logf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "synquake: %v\n", err)
+		os.Exit(1)
+	}
+
+	res.RenderTableV(os.Stdout)
+	fmt.Println()
+	res.RenderQuestFigure(os.Stdout, "4quadrants", "11")
+	fmt.Println()
+	res.RenderQuestFigure(os.Stdout, "4center_spread6", "12")
+}

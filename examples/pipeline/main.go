@@ -1,0 +1,167 @@
+// Pipeline: the paper's full methodology end to end on one workload —
+// profile a contended counter service, build the Thread State Automaton,
+// analyze its guidance metric, then run the same workload guided and
+// unguided and compare execution-time variance, non-determinism and
+// abort counts.
+//
+// This is the programmatic equivalent of:
+//
+//	gstm -op mcmc_data && gstm -op analyze && gstm -op model && gstm -op default
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gstm"
+	"gstm/internal/stats"
+)
+
+const (
+	threads     = 8
+	opsPerRun   = 400
+	profileRuns = 12
+	measureRuns = 12
+)
+
+// workload is a skewed counter service: most increments hit a hot pair
+// of counters (transactions 0 and 1), a few hit a cold spread
+// (transaction 2). The skew is what gives the model its bias.
+func workload(s *gstm.STM) ([]time.Duration, error) {
+	hot := []*gstm.Var{gstm.NewVar(0), gstm.NewVar(0)}
+	cold := gstm.NewArray(64, 0)
+	times := make([]time.Duration, threads)
+	var wg sync.WaitGroup
+	errs := make([]error, threads)
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			start := time.Now()
+			rng := uint64(worker)*2654435761 + 1
+			for i := 0; i < opsPerRun; i++ {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				var err error
+				switch {
+				case rng%10 < 6: // 60%: hot counter 0
+					err = s.Atomic(uint16(worker), 0, func(tx *gstm.Tx) error {
+						tx.Write(hot[0], tx.Read(hot[0])+1)
+						return nil
+					})
+				case rng%10 < 9: // 30%: hot counter 1
+					err = s.Atomic(uint16(worker), 1, func(tx *gstm.Tx) error {
+						tx.Write(hot[1], tx.Read(hot[1])+1)
+						return nil
+					})
+				default: // 10%: cold spread
+					slot := int(rng>>20) % 64
+					err = s.Atomic(uint16(worker), 2, func(tx *gstm.Tx) error {
+						cold.Set(tx, slot, cold.Get(tx, slot)+1)
+						return nil
+					})
+				}
+				if err != nil {
+					errs[worker] = err
+					return
+				}
+			}
+			times[worker] = time.Since(start)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return times, nil
+}
+
+// measure runs the workload measureRuns times against STMs prepared by
+// prep and reports per-thread time stddev (averaged), distinct states
+// and total aborts.
+func measure(prep func(*gstm.STM) *gstm.Collector) (avgSD float64, states int, aborts uint64, err error) {
+	perThread := make([][]float64, threads)
+	var keys []string
+	for run := 0; run < measureRuns; run++ {
+		s := gstm.New(gstm.Options{})
+		col := prep(s)
+		times, werr := workload(s)
+		if werr != nil {
+			return 0, 0, 0, werr
+		}
+		for t, d := range times {
+			perThread[t] = append(perThread[t], d.Seconds())
+		}
+		seq, _ := col.Sequence()
+		for _, st := range seq {
+			keys = append(keys, st.Key())
+		}
+		aborts += s.Aborts()
+	}
+	var sdSum float64
+	for _, xs := range perThread {
+		sdSum += stats.StdDev(xs)
+	}
+	return sdSum / threads, stats.DistinctStates(keys), aborts, nil
+}
+
+func main() {
+	fmt.Println("== phase 1: profile execution ==")
+	m, err := gstm.Profile(profileRuns, threads, func(s *gstm.STM) error {
+		_, werr := workload(s)
+		return werr
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("model: %d states, %d transitions, %d bytes encoded\n",
+		m.NumStates(), m.NumEdges(), m.EncodedSize())
+
+	fmt.Println("\n== phase 2: model analysis ==")
+	report := gstm.AnalyzeModel(m, 0)
+	fmt.Println(report)
+
+	fmt.Println("\n== phase 3: default execution ==")
+	defSD, defStates, defAborts, err := measure(func(s *gstm.STM) *gstm.Collector {
+		col := gstm.NewCollector()
+		s.SetTracer(col)
+		return col
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("avg thread-time stddev: %.6fs, states: %d, aborts: %d\n",
+		defSD, defStates, defAborts)
+
+	if !report.Fit {
+		fmt.Println("\nmodel rejected by the analyzer — guided execution would only add")
+		fmt.Println("overhead here (the paper's ssca2 case); stopping as the framework does.")
+		return
+	}
+
+	fmt.Println("\n== phase 4: guided execution ==")
+	ctrl := gstm.NewController(m, 0, 0)
+	guidSD, guidStates, guidAborts, err := measure(func(s *gstm.STM) *gstm.Collector {
+		col := gstm.NewCollector()
+		gstm.Guide(s, ctrl, col)
+		return col
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("avg thread-time stddev: %.6fs, states: %d, aborts: %d\n",
+		guidSD, guidStates, guidAborts)
+	gs := ctrl.Stats()
+	fmt.Printf("gate: %d admits, %d holds, %d escapes\n", gs.Admits, gs.Holds, gs.Escapes)
+
+	fmt.Println("\n== comparison (guided vs default) ==")
+	fmt.Printf("variance reduction:        %+.1f%%\n", stats.PercentImprovement(defSD, guidSD))
+	fmt.Printf("non-determinism reduction: %+.1f%% (%d → %d states)\n",
+		stats.PercentImprovement(float64(defStates), float64(guidStates)), defStates, guidStates)
+	fmt.Printf("abort reduction:           %+.1f%% (%d → %d)\n",
+		stats.PercentImprovement(float64(defAborts), float64(guidAborts)), defAborts, guidAborts)
+}

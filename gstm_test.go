@@ -1,0 +1,133 @@
+package gstm
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	s := New(Options{})
+	v := NewVar(0)
+	const workers = 4
+	const per = 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := s.Atomic(uint16(w), 0, func(tx *Tx) error {
+					tx.Write(v, tx.Read(v)+1)
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if v.Value() != workers*per {
+		t.Fatalf("counter = %d", v.Value())
+	}
+}
+
+// contendedWorkload increments a hot counter from several goroutines.
+func contendedWorkload(s *STM, threads, per int) error {
+	v := NewVar(0)
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				_ = s.Atomic(uint16(w), uint16(i%3), func(tx *Tx) error {
+					tx.Write(v, tx.Read(v)+1)
+					return nil
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	return nil
+}
+
+func TestFacadeFullPipeline(t *testing.T) {
+	const threads = 4
+	m, err := Profile(5, threads, func(s *STM) error {
+		return contendedWorkload(s, threads, 80)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumStates() == 0 {
+		t.Fatal("empty model")
+	}
+	rep := AnalyzeModel(m, 0)
+	if rep.NumStates != m.NumStates() {
+		t.Error("report/model mismatch")
+	}
+	ctrl := NewController(m, 0, 8)
+	s := New(Options{})
+	col := NewCollector()
+	Guide(s, ctrl, col)
+	if err := contendedWorkload(s, threads, 40); err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.Stats().Admits == 0 {
+		t.Error("controller never consulted")
+	}
+	if c, _ := col.Counts(); c == 0 {
+		t.Error("collector saw no commits during guided run")
+	}
+	Unguide(s)
+	if err := contendedWorkload(s, threads, 10); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctrl.Stats().Admits; got == 0 {
+		t.Error("stats lost")
+	}
+}
+
+func TestFacadeCollections(t *testing.T) {
+	s := New(Options{})
+	a := NewArray(4, 1)
+	m := NewMap(8)
+	q := NewQueue(4)
+	f := NewFloatVar(2.5)
+	err := s.Atomic(0, 0, func(tx *Tx) error {
+		a.Set(tx, 0, 5)
+		m.Put(tx, 1, 10)
+		q.Push(tx, 42)
+		tx.WriteFloat(f, tx.ReadFloat(f)*2)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0).Value() != 5 || f.FloatValue() != 5.0 {
+		t.Error("facade collection writes lost")
+	}
+}
+
+func TestFacadeModelRoundtrip(t *testing.T) {
+	m, err := Profile(3, 2, func(s *STM) error {
+		return contendedWorkload(s, 2, 50)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Encode → Decode through the facade alias.
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := DecodeModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NumStates() != m.NumStates() {
+		t.Error("roundtrip state count mismatch")
+	}
+}

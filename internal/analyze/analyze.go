@@ -1,0 +1,112 @@
+// Package analyze implements the paper's model analysis phase
+// (Section IV): before a model is used for guided execution, check that
+// it actually contains the bias guidance needs. For every state the
+// analyzer compares the full destination set S against the
+// high-probability subset S′ selected by the Tfactor threshold; the
+// guidance metric is the percentage ratio Σ|S′| / Σ|S|. When the metric
+// is at or above 50, most destinations are already high-probability —
+// there is no low-probability tail to cut, so guiding can only add
+// overhead (the ssca2 case). Models with too few states are likewise
+// rejected.
+package analyze
+
+import (
+	"fmt"
+
+	"gstm/internal/model"
+)
+
+// UnfitMetricThreshold is the paper's cutoff: a guidance metric of 50
+// or more means the model cannot bias execution usefully.
+const UnfitMetricThreshold = 50.0
+
+// DefaultMinStates rejects trivially small models ("if the model
+// contains too few states ... the model is unfit", Section II-C). The
+// paper gives no number; 16 comfortably accepts every STAMP model it
+// accepts (the smallest, labyrinth, has 445 states) while rejecting
+// degenerate traces such as ssca2's near-conflict-free automaton, which
+// collapses to one singleton state per thread.
+const DefaultMinStates = 16
+
+// Options tunes the analyzer.
+type Options struct {
+	// Tfactor is the threshold divisor for the high-probability set.
+	// ≤ 0 means model.DefaultTfactor.
+	Tfactor float64
+	// MinStates rejects models with fewer states. ≤ 0 means
+	// DefaultMinStates.
+	MinStates int
+}
+
+// Report is the analyzer's verdict on one model.
+type Report struct {
+	// Metric is the guidance metric in percent (Table I / Table V);
+	// lower is better.
+	Metric float64
+	// Fit is true when the model passed and may drive guided execution.
+	Fit bool
+	// Reason explains a negative verdict.
+	Reason string
+	// NumStates and NumEdges describe the model.
+	NumStates int
+	NumEdges  int
+	// GuidedEdges is Σ|S′|, the number of edges that survive the
+	// threshold.
+	GuidedEdges int
+	// Tfactor is the threshold divisor that was applied.
+	Tfactor float64
+}
+
+// String renders the verdict compactly.
+func (r Report) String() string {
+	verdict := "FIT"
+	if !r.Fit {
+		verdict = "UNFIT (" + r.Reason + ")"
+	}
+	return fmt.Sprintf("guidance metric %.0f%% — %s (states=%d edges=%d guided-edges=%d tfactor=%.1f)",
+		r.Metric, verdict, r.NumStates, r.NumEdges, r.GuidedEdges, r.Tfactor)
+}
+
+// Analyze computes the guidance metric and the fit verdict for m.
+func Analyze(m *model.TSA, opts Options) Report {
+	tf := opts.Tfactor
+	if tf <= 0 {
+		tf = model.DefaultTfactor
+	}
+	minStates := opts.MinStates
+	if minStates <= 0 {
+		minStates = DefaultMinStates
+	}
+
+	totalEdges, guidedEdges := 0, 0
+	for _, n := range m.Nodes {
+		if n.Total == 0 {
+			continue
+		}
+		totalEdges += len(n.Out)
+		guidedEdges += len(n.HighProbDests(tf))
+	}
+
+	r := Report{
+		NumStates:   m.NumStates(),
+		NumEdges:    totalEdges,
+		GuidedEdges: guidedEdges,
+		Tfactor:     tf,
+	}
+	if totalEdges > 0 {
+		r.Metric = 100 * float64(guidedEdges) / float64(totalEdges)
+	} else {
+		r.Metric = 100 // no transitions at all: nothing to guide
+	}
+
+	switch {
+	case m.NumStates() < minStates:
+		r.Reason = fmt.Sprintf("too few states (%d < %d)", m.NumStates(), minStates)
+	case r.Metric >= UnfitMetricThreshold:
+		r.Reason = fmt.Sprintf("metric %.0f%% ≥ %.0f%%: transitions are near-uniform, no bias to exploit",
+			r.Metric, UnfitMetricThreshold)
+	default:
+		r.Fit = true
+	}
+	return r
+}

@@ -1,0 +1,140 @@
+package analyze
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gstm/internal/model"
+	"gstm/internal/tts"
+)
+
+func seqOf(rng *rand.Rand, n, txs, threads int, skew bool) []tts.State {
+	out := make([]tts.State, n)
+	for i := range out {
+		var tx int
+		if skew {
+			// Zipf-ish: heavily favour low transaction IDs, producing
+			// strongly biased transitions.
+			tx = 0
+			if rng.Intn(10) == 0 {
+				tx = 1 + rng.Intn(txs-1)
+			}
+		} else {
+			tx = rng.Intn(txs)
+		}
+		out[i] = tts.State{Commit: tts.Pair{Tx: uint16(tx), Thread: uint16(rng.Intn(threads))}}
+	}
+	return out
+}
+
+func TestBiasedModelIsFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := model.Build(4, seqOf(rng, 4000, 6, 4, true))
+	r := Analyze(m, Options{})
+	if !r.Fit {
+		t.Fatalf("biased model rejected: %v", r)
+	}
+	if r.Metric >= UnfitMetricThreshold {
+		t.Errorf("metric = %v, expected below threshold", r.Metric)
+	}
+	if r.NumStates != m.NumStates() {
+		t.Error("report state count mismatch")
+	}
+	if r.GuidedEdges > r.NumEdges {
+		t.Error("guided edges exceed total edges")
+	}
+}
+
+func TestUniformModelIsUnfit(t *testing.T) {
+	// Uniform random transitions over few states: every edge is close
+	// to Pmax, so with Tfactor 4 almost all edges survive → metric high.
+	rng := rand.New(rand.NewSource(2))
+	m := model.Build(4, seqOf(rng, 20000, 4, 4, false))
+	r := Analyze(m, Options{})
+	if r.Fit {
+		t.Fatalf("uniform model accepted: %v", r)
+	}
+	if !strings.Contains(r.Reason, "near-uniform") {
+		t.Errorf("reason = %q", r.Reason)
+	}
+}
+
+func TestTinyModelIsUnfit(t *testing.T) {
+	m := model.Build(1, []tts.State{
+		{Commit: tts.Pair{Tx: 0, Thread: 0}},
+		{Commit: tts.Pair{Tx: 1, Thread: 0}},
+	})
+	r := Analyze(m, Options{})
+	if r.Fit {
+		t.Fatal("2-state model must be unfit")
+	}
+	if !strings.Contains(r.Reason, "too few states") {
+		t.Errorf("reason = %q", r.Reason)
+	}
+}
+
+func TestEmptyModel(t *testing.T) {
+	m := model.New(4)
+	r := Analyze(m, Options{})
+	if r.Fit {
+		t.Fatal("empty model must be unfit")
+	}
+	if r.Metric != 100 {
+		t.Errorf("metric = %v, want 100 for edgeless model", r.Metric)
+	}
+}
+
+func TestMetricBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		m := model.Build(4, seqOf(rng, 200+rng.Intn(800), 2+rng.Intn(5), 4, trial%2 == 0))
+		r := Analyze(m, Options{Tfactor: 1 + float64(rng.Intn(8))})
+		if r.Metric < 0 || r.Metric > 100+1e-9 {
+			t.Fatalf("metric out of range: %v", r.Metric)
+		}
+	}
+}
+
+func TestMetricMonotoneInTfactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := model.Build(4, seqOf(rng, 3000, 5, 4, true))
+	prev := -1.0
+	for _, tf := range []float64{1, 2, 4, 8, 32} {
+		r := Analyze(m, Options{Tfactor: tf})
+		if r.Metric < prev {
+			t.Fatalf("metric decreased as tfactor grew: %v then %v", prev, r.Metric)
+		}
+		prev = r.Metric
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := model.Build(4, seqOf(rng, 1000, 5, 4, true))
+	r := Analyze(m, Options{})
+	if r.Tfactor != model.DefaultTfactor {
+		t.Errorf("tfactor = %v", r.Tfactor)
+	}
+	r2 := Analyze(m, Options{Tfactor: -3, MinStates: -1})
+	if r2.Tfactor != model.DefaultTfactor {
+		t.Errorf("negative tfactor not defaulted")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := model.Build(4, seqOf(rng, 1000, 5, 4, true))
+	r := Analyze(m, Options{})
+	s := r.String()
+	if !strings.Contains(s, "guidance metric") {
+		t.Errorf("String = %q", s)
+	}
+	if r.Fit && !strings.Contains(s, "FIT") {
+		t.Errorf("String = %q", s)
+	}
+	unfit := Analyze(model.New(4), Options{})
+	if !strings.Contains(unfit.String(), "UNFIT") {
+		t.Errorf("String = %q", unfit.String())
+	}
+}

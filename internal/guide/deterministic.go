@@ -1,0 +1,131 @@
+package guide
+
+import (
+	"sync"
+	"time"
+
+	"gstm/internal/tts"
+)
+
+// DetGate is a deterministic transaction scheduler in the same Gate
+// framework as the Controller: it admits transactions in strict
+// round-robin thread order and only one at a time, making the commit
+// order — and therefore the whole thread-transactional-state sequence —
+// fully deterministic. This is the execution model of DeSTM
+// (Ravichandran, Gavrilovska, Pande — PACT'14), which the paper's
+// related work contrasts with guided execution: determinism buys
+// perfect repeatability (non-determinism |S| collapses to the set of
+// singleton states) at the cost of serializing the STM.
+//
+// Threads that finish their work must call Leave so the rotation skips
+// them; a stalled rotation also self-heals via a timeout, which trades
+// determinism for liveness and is counted in Steals.
+type DetGate struct {
+	threads int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	turn   int
+	active bool
+	left   []bool
+	steals uint64
+	// stallTimeout bounds how long the rotation waits for a silent
+	// thread before stealing its turn.
+	stallTimeout time.Duration
+}
+
+// NewDetGate returns a deterministic gate for the given thread count.
+// stallTimeout ≤ 0 defaults to 10ms.
+func NewDetGate(threads int, stallTimeout time.Duration) *DetGate {
+	if stallTimeout <= 0 {
+		stallTimeout = 10 * time.Millisecond
+	}
+	g := &DetGate{
+		threads:      threads,
+		left:         make([]bool, threads),
+		stallTimeout: stallTimeout,
+	}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Admit blocks until it is the calling thread's turn and no other
+// transaction is in flight.
+func (g *DetGate) Admit(p tts.Pair) {
+	th := int(p.Thread) % g.threads
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for g.turn != th || g.active {
+		// A sibling wait with timeout: sync.Cond has no timed wait, so
+		// a helper goroutine pokes the condition if the rotation stalls
+		// (its thread left without Leave, or is blocked outside the
+		// STM).
+		done := make(chan struct{})
+		t := time.AfterFunc(g.stallTimeout, func() {
+			g.mu.Lock()
+			select {
+			case <-done:
+			default:
+				if g.turn != th && !g.active && g.left != nil {
+					g.steals++
+					g.turn = th // steal the stalled turn
+				}
+			}
+			g.cond.Broadcast()
+			g.mu.Unlock()
+		})
+		g.cond.Wait()
+		close(done)
+		t.Stop()
+	}
+	g.active = true
+}
+
+// OnCommit implements trace.Tracer: the in-flight transaction finished,
+// so pass the turn to the next live thread.
+func (g *DetGate) OnCommit(uint64, tts.Pair) {
+	g.mu.Lock()
+	g.active = false
+	g.advanceLocked()
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// OnAbort implements trace.Tracer: the transaction will retry, so the
+// token frees but the turn stays with the same thread.
+func (g *DetGate) OnAbort(tts.Pair, uint64) {
+	g.mu.Lock()
+	g.active = false
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// Leave removes a finished thread from the rotation.
+func (g *DetGate) Leave(thread int) {
+	g.mu.Lock()
+	g.left[thread%g.threads] = true
+	if g.turn == thread%g.threads && !g.active {
+		g.advanceLocked()
+	}
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// Steals reports how many turns the liveness fallback stole (0 means
+// the run was fully deterministic).
+func (g *DetGate) Steals() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.steals
+}
+
+// advanceLocked moves the turn to the next thread still in the
+// rotation. Caller holds g.mu.
+func (g *DetGate) advanceLocked() {
+	for i := 0; i < g.threads; i++ {
+		g.turn = (g.turn + 1) % g.threads
+		if !g.left[g.turn] {
+			return
+		}
+	}
+}

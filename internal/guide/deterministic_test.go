@@ -1,0 +1,145 @@
+package guide
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"gstm/internal/tl2"
+	"gstm/internal/trace"
+	"gstm/internal/tts"
+)
+
+// runDet executes a fixed counter workload under a DetGate and returns
+// the recorded commit sequence keys and abort count.
+func runDet(t *testing.T, threads, per int) ([]string, uint64, uint64) {
+	t.Helper()
+	s := tl2.New(tl2.Options{})
+	g := NewDetGate(threads, 50*time.Millisecond)
+	col := trace.NewCollector()
+	s.SetGate(g)
+	s.SetTracer(trace.Multi(g, col))
+	v := tl2.NewVar(0)
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := s.Atomic(uint16(w), uint16(i%2), func(tx *tl2.Tx) error {
+					tx.Write(v, tx.Read(v)+1)
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			g.Leave(w)
+		}(w)
+	}
+	wg.Wait()
+	if v.Value() != int64(threads*per) {
+		t.Fatalf("counter = %d, want %d", v.Value(), threads*per)
+	}
+	seq, _ := col.Sequence()
+	return trace.Keys(seq), s.Aborts(), g.Steals()
+}
+
+func TestDetGateSerializesWithoutAborts(t *testing.T) {
+	_, aborts, _ := runDet(t, 4, 20)
+	if aborts != 0 {
+		t.Errorf("deterministic schedule aborted %d times", aborts)
+	}
+}
+
+func TestDetGateRepeatableSequences(t *testing.T) {
+	a, _, stealsA := runDet(t, 3, 15)
+	b, _, stealsB := runDet(t, 3, 15)
+	if stealsA > 0 || stealsB > 0 {
+		t.Skipf("rotation stalls stole turns (%d, %d); determinism not expected", stealsA, stealsB)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("sequence lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sequences diverge at %d — not deterministic", i)
+		}
+	}
+}
+
+func TestDetGateRoundRobinOrder(t *testing.T) {
+	keys, _, steals := runDet(t, 3, 10)
+	if steals > 0 {
+		t.Skipf("%d turns stolen; order not expected to be exact", steals)
+	}
+	// Commits must rotate 0,1,2,0,1,2,... while all threads are live.
+	for i := 0; i < 9; i++ {
+		st, err := tts.ParseKey(keys[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(st.Commit.Thread) != i%3 {
+			t.Fatalf("commit %d by thread %d, want %d", i, st.Commit.Thread, i%3)
+		}
+	}
+}
+
+func TestDetGateLeaveUnblocksRotation(t *testing.T) {
+	// Thread 0 does one transaction and leaves; thread 1 must still
+	// complete many without waiting for 0's dead turn.
+	s := tl2.New(tl2.Options{})
+	g := NewDetGate(2, time.Second)
+	s.SetGate(g)
+	s.SetTracer(g)
+	v := tl2.NewVar(0)
+	done := make(chan struct{})
+	go func() {
+		_ = s.Atomic(0, 0, func(tx *tl2.Tx) error {
+			tx.Write(v, tx.Read(v)+1)
+			return nil
+		})
+		g.Leave(0)
+		close(done)
+	}()
+	<-done
+	start := time.Now()
+	for i := 0; i < 10; i++ {
+		_ = s.Atomic(1, 0, func(tx *tl2.Tx) error {
+			tx.Write(v, tx.Read(v)+1)
+			return nil
+		})
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Error("rotation kept waiting for a departed thread")
+	}
+	if g.Steals() != 0 {
+		t.Errorf("steals = %d; Leave should have freed the rotation", g.Steals())
+	}
+}
+
+func TestDetGateStallSteal(t *testing.T) {
+	// Thread 0 never shows up and never calls Leave: the liveness
+	// fallback must eventually steal its turn so thread 1 progresses.
+	s := tl2.New(tl2.Options{})
+	g := NewDetGate(2, 5*time.Millisecond)
+	s.SetGate(g)
+	s.SetTracer(g)
+	v := tl2.NewVar(0)
+	doneCh := make(chan struct{})
+	go func() {
+		_ = s.Atomic(1, 0, func(tx *tl2.Tx) error {
+			tx.Write(v, 1)
+			return nil
+		})
+		close(doneCh)
+	}()
+	select {
+	case <-doneCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stalled rotation never stolen")
+	}
+	if g.Steals() == 0 {
+		t.Error("expected at least one steal")
+	}
+}

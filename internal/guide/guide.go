@@ -1,0 +1,276 @@
+// Package guide implements the paper's guided execution (Section V): a
+// runtime controller that tracks the current thread transactional state
+// and withholds transactions whose (transaction, thread) pair does not
+// appear in any high-probability destination state of the TSA. A held
+// transaction re-checks as the current state changes and, after k
+// unsuccessful retries, is released anyway to guarantee progress
+// (deadlock avoidance). Executions that reach states absent from the
+// trained model pass through unguided so the system can fall back into
+// known territory.
+//
+// The Controller plugs into an STM twice: as the Gate consulted at
+// every transaction start, and as a Tracer fed commit/abort events so
+// it can follow the state automaton. Use trace.Multi to feed events to
+// both the controller and a measurement collector.
+package guide
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gstm/internal/model"
+	"gstm/internal/trace"
+	"gstm/internal/tts"
+)
+
+// DefaultK is the default number of re-checks against an *unchanged*
+// current state before a held transaction is released (the paper's k:
+// "if the current state does not change after k such retries, allowed
+// to proceed"). Re-checks triggered by actual state changes do not
+// count toward k.
+const DefaultK = 8
+
+// DefaultHoldDelay is zero: held transactions wait with scheduler
+// yields only, so a hold costs on the order of a transaction rather
+// than an OS timer tick. Set Options.HoldDelay to add one politeness
+// sleep per hold on systems where spinning waiters are a concern.
+const DefaultHoldDelay = 0
+
+// maxHoldFactor bounds total re-checks at maxHoldFactor×k, so a storm
+// of state changes cannot hold a transaction indefinitely.
+const maxHoldFactor = 64
+
+// Options configures a Controller.
+type Options struct {
+	// Tfactor selects the high-probability destination sets
+	// (P ≥ Pmax/Tfactor). ≤ 0 means model.DefaultTfactor.
+	Tfactor float64
+	// K is the number of re-checks before the deadlock-avoidance
+	// escape admits a held transaction. ≤ 0 means DefaultK.
+	K int
+	// HoldDelay, when positive, inserts a single sleep of this length
+	// per hold once half the stale budget is burned — a politeness
+	// valve for spinning waiters. 0 (the default) holds with scheduler
+	// yields only.
+	HoldDelay time.Duration
+}
+
+// Stats counts controller decisions, for reporting and tests.
+type Stats struct {
+	// Admits is the total number of Admit calls.
+	Admits uint64
+	// ImmediateAdmits passed on the first check.
+	ImmediateAdmits uint64
+	// Holds waited at least one re-check before passing.
+	Holds uint64
+	// Escapes exhausted k re-checks and were released for progress.
+	Escapes uint64
+	// UnknownPasses were admitted because the current state was not in
+	// the model (or had no outbound guidance).
+	UnknownPasses uint64
+}
+
+// snapshot is the controller's view of the current state; replaced
+// wholesale on every update so Admit can read without locking.
+type snapshot struct {
+	instance uint64 // instance of the commit anchoring the state
+	state    tts.State
+	// allowed is the union of pairs in all high-probability destination
+	// states; nil means "unknown state or no guidance: admit everyone".
+	allowed map[uint32]struct{}
+	gen     uint64
+}
+
+// Controller guides an STM using a trained, analyzed model.
+type Controller struct {
+	allowedByState map[string]map[uint32]struct{}
+	k              int
+	holdDelay      time.Duration
+
+	mu  sync.Mutex // serializes state updates
+	cur atomic.Pointer[snapshot]
+	gen atomic.Uint64
+
+	admits          atomic.Uint64
+	immediateAdmits atomic.Uint64
+	holds           atomic.Uint64
+	escapes         atomic.Uint64
+	unknownPasses   atomic.Uint64
+}
+
+var _ trace.Tracer = (*Controller)(nil)
+
+// New builds a Controller from a model, precomputing for every state
+// the admissible pair set (the union of the tuples of its
+// high-probability destination states). The model should have passed
+// analyze.Analyze first; New does not re-check.
+func New(m *model.TSA, opts Options) *Controller {
+	tf := opts.Tfactor
+	if tf <= 0 {
+		tf = model.DefaultTfactor
+	}
+	k := opts.K
+	if k <= 0 {
+		k = DefaultK
+	}
+	hd := opts.HoldDelay
+	if hd < 0 {
+		hd = DefaultHoldDelay
+	}
+	c := &Controller{
+		allowedByState: make(map[string]map[uint32]struct{}, m.NumStates()),
+		k:              k,
+		holdDelay:      hd,
+	}
+	for key, node := range m.Nodes {
+		dests := node.HighProbDests(tf)
+		if len(dests) == 0 {
+			continue // terminal in the model: treated as unknown
+		}
+		set := make(map[uint32]struct{})
+		for _, d := range dests {
+			dn := m.Node(d)
+			if dn == nil {
+				continue
+			}
+			for _, p := range dn.State.Pairs() {
+				set[p.Key()] = struct{}{}
+			}
+		}
+		if len(set) > 0 {
+			c.allowedByState[key] = set
+		}
+	}
+	return c
+}
+
+// Stats returns a snapshot of the decision counters.
+func (c *Controller) Stats() Stats {
+	return Stats{
+		Admits:          c.admits.Load(),
+		ImmediateAdmits: c.immediateAdmits.Load(),
+		Holds:           c.holds.Load(),
+		Escapes:         c.escapes.Load(),
+		UnknownPasses:   c.unknownPasses.Load(),
+	}
+}
+
+// replaceLocked installs a new snapshot. Caller holds c.mu; held
+// transactions observe the swap on their next polled re-check.
+func (c *Controller) replaceLocked(next *snapshot) {
+	c.cur.Store(next)
+}
+
+// Reset clears the dynamic state (between runs); the trained model and
+// options are kept.
+func (c *Controller) Reset() {
+	c.mu.Lock()
+	c.replaceLocked(nil)
+	c.mu.Unlock()
+}
+
+// OnCommit implements trace.Tracer: a commit moves the automaton to a
+// fresh state anchored by this commit (aborts it causes will accrete
+// via OnAbort).
+func (c *Controller) OnCommit(instance uint64, p tts.Pair) {
+	st := tts.State{Commit: p}
+	key := st.Key()
+	c.mu.Lock()
+	c.replaceLocked(&snapshot{
+		instance: instance,
+		state:    st,
+		allowed:  c.allowedByState[key],
+		gen:      c.gen.Add(1),
+	})
+	c.mu.Unlock()
+}
+
+// OnAbort implements trace.Tracer: an abort attributed to the current
+// state's commit extends that state's tuple, possibly changing the
+// admissible set.
+func (c *Controller) OnAbort(p tts.Pair, killer uint64) {
+	if killer == 0 {
+		return
+	}
+	c.mu.Lock()
+	snap := c.cur.Load()
+	if snap == nil || snap.instance != killer {
+		c.mu.Unlock()
+		return
+	}
+	st := tts.State{
+		Commit: snap.state.Commit,
+		Aborts: append(append([]tts.Pair(nil), snap.state.Aborts...), p),
+	}
+	st.Canonicalize()
+	key := st.Key()
+	c.replaceLocked(&snapshot{
+		instance: snap.instance,
+		state:    st,
+		allowed:  c.allowedByState[key],
+		gen:      c.gen.Add(1),
+	})
+	c.mu.Unlock()
+}
+
+// Admit implements the gate (paper Figure 2). It returns when pair p
+// may start: immediately if the pair appears in a high-probability
+// destination of the current state (or the state is unknown), otherwise
+// after holding through up to k re-checks.
+func (c *Controller) Admit(p tts.Pair) {
+	c.admits.Add(1)
+	pk := p.Key()
+
+	snap := c.cur.Load()
+	if ok, unknown := admissible(snap, pk); ok {
+		if unknown {
+			c.unknownPasses.Add(1)
+		}
+		c.immediateAdmits.Add(1)
+		return
+	}
+
+	stale := 0 // re-checks that saw no state change (count toward k)
+	for total := 0; stale < c.k && total < maxHoldFactor*c.k; total++ {
+		// Yield so committers make progress, then re-check against the
+		// (possibly changed) current state. A scheduler yield, not a
+		// sleep: the hold must cost on the order of a transaction, not
+		// of a timer tick, or holding dwarfs the variance it removes.
+		// Once the yields stop producing state changes the system is
+		// quiet (e.g. everyone is at a barrier) and the stale counter
+		// runs up to k, releasing us — the paper's progress escape.
+		runtime.Gosched()
+		if c.holdDelay > 0 && stale == c.k/2 {
+			// Politeness valve: one sleep per hold so configured
+			// deployments can cap spin pressure.
+			time.Sleep(c.holdDelay)
+		}
+		next := c.cur.Load()
+		changed := next != snap
+		snap = next
+		if ok, unknown := admissible(snap, pk); ok {
+			if unknown {
+				c.unknownPasses.Add(1)
+			}
+			c.holds.Add(1)
+			return
+		}
+		if !changed {
+			stale++
+		}
+	}
+	c.holds.Add(1)
+	c.escapes.Add(1)
+}
+
+// admissible reports whether the pair may proceed under snapshot s, and
+// whether that is because the current state is unknown to the model.
+func admissible(s *snapshot, pairKey uint32) (ok, unknown bool) {
+	if s == nil || s.allowed == nil {
+		return true, true
+	}
+	_, ok = s.allowed[pairKey]
+	return ok, false
+}

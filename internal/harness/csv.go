@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteCSV emits the mode's raw per-thread, per-run execution times —
+// the artifact's timing files, ready for external analysis.
+func (m ModeResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"thread", "run", "seconds", "aborts_in_run"}); err != nil {
+		return err
+	}
+	for t, xs := range m.ThreadTimes {
+		for run, x := range xs {
+			// Abort counts are histogrammed, not kept per run; emit -1
+			// when the exact per-run value is unavailable (it is
+			// recoverable only in aggregate).
+			rec := []string{
+				strconv.Itoa(t),
+				strconv.Itoa(run),
+				strconv.FormatFloat(x, 'g', -1, 64),
+				"-1",
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSummaryCSV emits one row per (workload, threads) cell with every
+// headline quantity of the paper's tables and figures — the machine-
+// readable companion to the rendered artifacts.
+func (r SuiteResult) WriteSummaryCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"workload", "threads", "guidance_metric_pct", "fit",
+		"model_states", "model_bytes",
+		"avg_variance_improvement_pct", "avg_tail_improvement_pct",
+		"nondeterminism_reduction_pct", "slowdown_x", "abort_reduction_pct",
+		"fairness_jain",
+		"default_states", "guided_states",
+		"default_aborts", "guided_aborts",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	names := append([]string(nil), r.Names...)
+	sort.Strings(names)
+	for _, name := range names {
+		threads := make([]int, 0, len(r.Outcomes[name]))
+		for th := range r.Outcomes[name] {
+			threads = append(threads, th)
+		}
+		sort.Ints(threads)
+		for _, th := range threads {
+			o := r.Outcomes[name][th]
+			rec := []string{
+				name,
+				strconv.Itoa(th),
+				fmt.Sprintf("%.2f", o.Analysis.Metric),
+				strconv.FormatBool(o.Analysis.Fit),
+				strconv.Itoa(o.Model.NumStates()),
+				strconv.Itoa(o.ModelBytes),
+			}
+			if c := o.Compared; c != nil {
+				rec = append(rec,
+					fmt.Sprintf("%.2f", c.AvgVarianceImprovement()),
+					fmt.Sprintf("%.2f", c.AvgTailImprovement()),
+					fmt.Sprintf("%.2f", c.NonDetReduction),
+					fmt.Sprintf("%.3f", c.Slowdown),
+					fmt.Sprintf("%.2f", c.AbortReduction),
+					fmt.Sprintf("%.3f", c.Fairness),
+					strconv.Itoa(o.Default.DistinctStates),
+					strconv.Itoa(o.Guided.DistinctStates),
+					strconv.FormatUint(o.Default.Aborts, 10),
+					strconv.FormatUint(o.Guided.Aborts, 10),
+				)
+			} else {
+				rec = append(rec, "", "", "", "", "", "",
+					strconv.Itoa(o.Default.DistinctStates), "",
+					strconv.FormatUint(o.Default.Aborts, 10), "")
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"gstm/internal/stamp"
+	"gstm/internal/stats"
+)
+
+func TestModeResultWriteCSV(t *testing.T) {
+	m := ModeResult{
+		ThreadTimes: [][]float64{{0.1, 0.2}, {0.3, 0.4}},
+		AbortHist:   []*stats.Histogram{stats.NewHistogram(), stats.NewHistogram()},
+	}
+	var b strings.Builder
+	if err := m.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 { // header + 4 rows
+		t.Fatalf("rows = %d", len(recs))
+	}
+	if recs[0][0] != "thread" {
+		t.Errorf("header = %v", recs[0])
+	}
+	if recs[1][2] != "0.1" {
+		t.Errorf("first value = %v", recs[1])
+	}
+}
+
+func TestSuiteWriteSummaryCSV(t *testing.T) {
+	res, err := RunSuite(SuiteConfig{
+		Threads:     []int{2},
+		Workloads:   []string{"ssca2", "kmeans"},
+		ProfileRuns: 2, MeasureRuns: 2,
+		ProfileSize: stamp.Small, MeasureSize: stamp.Small,
+		Seed: 3, ForceAll: true,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := res.WriteSummaryCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 { // header + 2 cells
+		t.Fatalf("rows = %d:\n%s", len(recs), b.String())
+	}
+	// Every row has the full column count (csv enforces consistency,
+	// but assert the header shape too).
+	if len(recs[0]) != 16 {
+		t.Errorf("header has %d columns", len(recs[0]))
+	}
+	if recs[1][0] != "kmeans" || recs[2][0] != "ssca2" {
+		t.Errorf("workload order: %v / %v", recs[1][0], recs[2][0])
+	}
+}
+
+func TestSuiteWriteSummaryCSVUnfitCells(t *testing.T) {
+	// Without Force, unfit cells must emit empty comparison columns,
+	// not garbage.
+	res, err := RunSuite(SuiteConfig{
+		Threads:     []int{2},
+		Workloads:   []string{"ssca2"},
+		ProfileRuns: 2, MeasureRuns: 2,
+		ProfileSize: stamp.Small, MeasureSize: stamp.Small,
+		Seed: 3,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := res.WriteSummaryCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := recs[1]
+	if row[3] != "false" {
+		t.Errorf("fit column = %q", row[3])
+	}
+	if row[6] != "" || row[9] != "" {
+		t.Errorf("unfit row should have empty comparison columns: %v", row)
+	}
+}

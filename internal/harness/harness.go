@@ -1,0 +1,322 @@
+// Package harness orchestrates the paper's four-phase framework
+// (Figure 1): profile execution on the training input, model
+// generation, model analysis, and guided (vs default) measurement runs.
+// It produces the quantities every table and figure reports: per-thread
+// execution-time standard deviation, abort-count distributions and
+// their tail metric, non-determinism (distinct thread transactional
+// states), and slowdown.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"gstm/internal/analyze"
+	"gstm/internal/guide"
+	"gstm/internal/model"
+	"gstm/internal/stamp"
+	"gstm/internal/stamp/genome"
+	"gstm/internal/stamp/intruder"
+	"gstm/internal/stamp/kmeans"
+	"gstm/internal/stamp/labyrinth"
+	"gstm/internal/stamp/ssca2"
+	"gstm/internal/stamp/vacation"
+	"gstm/internal/stamp/yada"
+	"gstm/internal/stats"
+	"gstm/internal/tl2"
+	"gstm/internal/trace"
+)
+
+// WorkloadNames lists the STAMP kernels in the paper's table order
+// (bayes is excluded: it seg-faulted in the paper's experiments too).
+var WorkloadNames = []string{
+	"genome", "intruder", "kmeans", "labyrinth", "ssca2", "vacation", "yada",
+}
+
+// NewWorkload returns a fresh workload by kernel name.
+func NewWorkload(name string) (stamp.Workload, error) {
+	switch name {
+	case "genome":
+		return genome.New(), nil
+	case "intruder":
+		return intruder.New(), nil
+	case "kmeans":
+		return kmeans.New(), nil
+	case "labyrinth":
+		return labyrinth.New(), nil
+	case "ssca2":
+		return ssca2.New(), nil
+	case "vacation":
+		return vacation.New(), nil
+	case "yada":
+		return yada.New(), nil
+	}
+	return nil, fmt.Errorf("harness: unknown workload %q", name)
+}
+
+// Experiment describes one paper experiment: a kernel at a thread count
+// with profile/measure run counts and inputs.
+type Experiment struct {
+	// Workload is the kernel name (see WorkloadNames).
+	Workload string
+	// Threads is the worker count (the paper uses 8 and 16).
+	Threads int
+	// ProfileRuns is how many training runs build the model (paper: 20).
+	ProfileRuns int
+	// MeasureRuns is how many runs each of default/guided measurement
+	// performs (paper: 20).
+	MeasureRuns int
+	// ProfileSize is the training input (paper: medium).
+	ProfileSize stamp.Size
+	// MeasureSize is the testing input (artifact default: small).
+	MeasureSize stamp.Size
+	// Tfactor is the guidance threshold divisor (paper: 4).
+	Tfactor float64
+	// K is the guide's progress-escape retry count.
+	K int
+	// Seed randomizes workload content; runs derive per-run seeds.
+	Seed int64
+	// Force runs guided measurement even when the analyzer rejects the
+	// model (used to reproduce Figure 8's ssca2 degradation).
+	Force bool
+	// CM optionally installs a contention manager on the measured STM
+	// (both modes), for the contention-manager-vs-guidance ablation.
+	CM tl2.ContentionManager
+}
+
+func (e *Experiment) fill() {
+	if e.ProfileRuns <= 0 {
+		e.ProfileRuns = 20
+	}
+	if e.MeasureRuns <= 0 {
+		e.MeasureRuns = 20
+	}
+	if e.Threads <= 0 {
+		e.Threads = 8
+	}
+	if e.Tfactor <= 0 {
+		e.Tfactor = model.DefaultTfactor
+	}
+	if e.ProfileSize == stamp.SizeUnset {
+		e.ProfileSize = stamp.Medium
+	}
+	if e.MeasureSize == stamp.SizeUnset {
+		e.MeasureSize = stamp.Small
+	}
+}
+
+// ModeResult aggregates the measurement runs of one execution mode
+// (default or guided).
+type ModeResult struct {
+	// ThreadTimes[t] holds thread t's execution time (seconds) in each
+	// run.
+	ThreadTimes [][]float64
+	// AbortHist[t] is the distribution of per-run abort counts of
+	// thread t (the figures' abort distributions).
+	AbortHist []*stats.Histogram
+	// DistinctStates is |S| across all runs — the non-determinism
+	// measure.
+	DistinctStates int
+	// Commits and Aborts are event totals over all runs.
+	Commits, Aborts uint64
+	// MeanWall is the mean parallel-section wall time in seconds.
+	MeanWall float64
+	// Guide holds controller decision counters (guided mode only).
+	Guide guide.Stats
+}
+
+// ThreadStdDevs returns the per-thread execution-time standard
+// deviations (the paper's primary variance quantity).
+func (m ModeResult) ThreadStdDevs() []float64 {
+	out := make([]float64, len(m.ThreadTimes))
+	for t, xs := range m.ThreadTimes {
+		out[t] = stats.StdDev(xs)
+	}
+	return out
+}
+
+// Profile runs the training phase and builds the TSA.
+func (e Experiment) Profile() (*model.TSA, error) {
+	e.fill()
+	w, err := NewWorkload(e.Workload)
+	if err != nil {
+		return nil, err
+	}
+	m := model.New(e.Threads)
+	for run := 0; run < e.ProfileRuns; run++ {
+		s := tl2.New(tl2.Options{})
+		col := trace.NewCollector()
+		cfg := stamp.Config{Threads: e.Threads, Size: e.ProfileSize, Seed: e.Seed + int64(run)}
+		if _, err := stamp.Run(s, w, cfg, func() { s.SetTracer(col) }); err != nil {
+			return nil, fmt.Errorf("harness: profile run %d: %w", run, err)
+		}
+		seq, _ := col.Sequence()
+		m.AddRun(seq)
+	}
+	return m, nil
+}
+
+// Measure runs the measurement phase in default mode (ctrl nil) or
+// guided mode (ctrl non-nil).
+func (e Experiment) Measure(ctrl *guide.Controller) (ModeResult, error) {
+	e.fill()
+	w, err := NewWorkload(e.Workload)
+	if err != nil {
+		return ModeResult{}, err
+	}
+	res := ModeResult{
+		ThreadTimes: make([][]float64, e.Threads),
+		AbortHist:   make([]*stats.Histogram, e.Threads),
+	}
+	for t := 0; t < e.Threads; t++ {
+		res.AbortHist[t] = stats.NewHistogram()
+	}
+	var allKeys []string
+	var wallSum float64
+
+	for run := 0; run < e.MeasureRuns; run++ {
+		s := tl2.New(tl2.Options{})
+		col := trace.NewCollector()
+		cfg := stamp.Config{Threads: e.Threads, Size: e.MeasureSize, Seed: e.Seed + 1000 + int64(run)}
+		after := func() {
+			if e.CM != nil {
+				s.SetContentionManager(e.CM)
+			}
+			if ctrl != nil {
+				ctrl.Reset()
+				s.SetTracer(trace.Multi(ctrl, col))
+				s.SetGate(ctrl)
+			} else {
+				s.SetTracer(col)
+			}
+		}
+		r, err := stamp.Run(s, w, cfg, after)
+		if err != nil {
+			return res, fmt.Errorf("harness: measure run %d: %w", run, err)
+		}
+		for t := 0; t < e.Threads; t++ {
+			res.ThreadTimes[t] = append(res.ThreadTimes[t], r.ThreadTimes[t].Seconds())
+		}
+		byThread := col.AbortCountByThread()
+		for t := 0; t < e.Threads; t++ {
+			if err := res.AbortHist[t].Add(byThread[uint16(t)]); err != nil {
+				return res, err
+			}
+		}
+		seq, _ := col.Sequence()
+		allKeys = append(allKeys, trace.Keys(seq)...)
+		res.Commits += s.Commits()
+		res.Aborts += s.Aborts()
+		wallSum += r.Wall.Seconds()
+	}
+	res.DistinctStates = stats.DistinctStates(allKeys)
+	res.MeanWall = wallSum / float64(e.MeasureRuns)
+	if ctrl != nil {
+		res.Guide = ctrl.Stats()
+	}
+	return res, nil
+}
+
+// Comparison contrasts guided against default execution, yielding the
+// exact quantities of the paper's figures.
+type Comparison struct {
+	// VarianceImprovement[t] is the % reduction in thread t's
+	// execution-time standard deviation (Figures 4 and 6; negative
+	// means degradation, as in Figure 8).
+	VarianceImprovement []float64
+	// TailImprovement[t] is the % reduction of thread t's abort tail
+	// metric (Table IV averages these).
+	TailImprovement []float64
+	// NonDetReduction is the % reduction in distinct states (Figure 9).
+	NonDetReduction float64
+	// Slowdown is guided wall time / default wall time (Figure 10).
+	Slowdown float64
+	// AbortReduction is the % reduction in total aborts.
+	AbortReduction float64
+	// Fairness is Jain's fairness index over the guided per-thread
+	// standard deviations: near 1 means every thread kept a similar
+	// variance, the paper's empirical fairness evidence ("all the
+	// threads ... experienced similar reduction in variance").
+	Fairness float64
+}
+
+// AvgVarianceImprovement averages the per-thread variance improvements.
+func (c Comparison) AvgVarianceImprovement() float64 {
+	return stats.Mean(c.VarianceImprovement)
+}
+
+// AvgTailImprovement averages the per-thread tail improvements
+// (Table IV's quantity).
+func (c Comparison) AvgTailImprovement() float64 {
+	return stats.Mean(c.TailImprovement)
+}
+
+// Compare computes the guided-vs-default comparison.
+func Compare(def, guided ModeResult) Comparison {
+	n := len(def.ThreadTimes)
+	c := Comparison{
+		VarianceImprovement: make([]float64, n),
+		TailImprovement:     make([]float64, n),
+	}
+	defSD, guidSD := def.ThreadStdDevs(), guided.ThreadStdDevs()
+	for t := 0; t < n; t++ {
+		c.VarianceImprovement[t] = stats.PercentImprovement(defSD[t], guidSD[t])
+		c.TailImprovement[t] = stats.PercentImprovement(
+			def.AbortHist[t].TailMetric(), guided.AbortHist[t].TailMetric())
+	}
+	c.NonDetReduction = stats.PercentImprovement(
+		float64(def.DistinctStates), float64(guided.DistinctStates))
+	c.Slowdown = stats.Slowdown(def.MeanWall, guided.MeanWall)
+	c.AbortReduction = stats.PercentImprovement(float64(def.Aborts), float64(guided.Aborts))
+	c.Fairness = stats.JainFairness(guidSD)
+	return c
+}
+
+// Outcome is the full pipeline result for one experiment.
+type Outcome struct {
+	// Model is the trained TSA.
+	Model *model.TSA
+	// Analysis is the analyzer verdict (guidance metric).
+	Analysis analyze.Report
+	// ModelBytes is the encoded model size.
+	ModelBytes int
+	// Default and Guided hold the measurement results; Guided is zero
+	// when the analyzer rejected the model and Force was false.
+	Default, Guided ModeResult
+	// Compared is non-nil when both modes ran.
+	Compared *Comparison
+	// Elapsed is the total pipeline wall time.
+	Elapsed time.Duration
+}
+
+// Run executes the full pipeline: profile → model → analyze →
+// default + guided measurement → comparison.
+func (e Experiment) Run() (Outcome, error) {
+	e.fill()
+	t0 := time.Now()
+	m, err := e.Profile()
+	if err != nil {
+		return Outcome{}, err
+	}
+	out := Outcome{
+		Model:      m,
+		Analysis:   analyze.Analyze(m, analyze.Options{Tfactor: e.Tfactor}),
+		ModelBytes: m.EncodedSize(),
+	}
+	out.Default, err = e.Measure(nil)
+	if err != nil {
+		return out, err
+	}
+	if out.Analysis.Fit || e.Force {
+		pruned := m.Prune(e.Tfactor)
+		ctrl := guide.New(pruned, guide.Options{Tfactor: e.Tfactor, K: e.K})
+		out.Guided, err = e.Measure(ctrl)
+		if err != nil {
+			return out, err
+		}
+		cmp := Compare(out.Default, out.Guided)
+		out.Compared = &cmp
+	}
+	out.Elapsed = time.Since(t0)
+	return out, nil
+}

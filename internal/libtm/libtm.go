@@ -1,0 +1,549 @@
+// Package libtm re-implements the LibTM software transactional memory
+// of Lupei et al. (PPoPP'10) that SynQuake is built on (paper
+// Section VIII): an object-based STM with selectable conflict
+// *detection* — from fully pessimistic (visible readers and
+// encounter-time write locks) to fully optimistic (invisible reads
+// validated at commit, commit-time write locks) — and selectable
+// conflict *resolution* between writers and visible readers:
+// abort-readers or wait-for-readers.
+//
+// The paper's SynQuake experiments use fully-optimistic detection with
+// abort-readers resolution; the other modes exist because LibTM offers
+// them and the mode choice materially changes the abort/variance
+// profile (they are exercised by the mode-equivalence tests and the
+// ablation benchmarks).
+//
+// As in package tl2, every transaction attempt has a unique instance ID
+// and aborts carry their killer's instance, so the same trace/model/
+// guide pipeline plugs in unchanged.
+package libtm
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gstm/internal/trace"
+	"gstm/internal/tts"
+)
+
+// ReadDetection selects how reads are detected.
+type ReadDetection int
+
+// Read detection modes.
+const (
+	// VisibleReads registers the reader on the object so writers see it
+	// (pessimistic reads).
+	VisibleReads ReadDetection = iota
+	// InvisibleReads records a version and validates at commit
+	// (optimistic reads).
+	InvisibleReads
+)
+
+// WriteDetection selects when write locks are acquired.
+type WriteDetection int
+
+// Write detection modes.
+const (
+	// EncounterWrites acquires the object's write lock at Write() time.
+	EncounterWrites WriteDetection = iota
+	// CommitWrites buffers writes and locks at commit (lazy).
+	CommitWrites
+)
+
+// Resolution selects how a writer treats visible readers it conflicts
+// with.
+type Resolution int
+
+// Conflict resolution policies.
+const (
+	// AbortReaders kills conflicting visible readers.
+	AbortReaders Resolution = iota
+	// WaitForReaders spins (bounded) until readers drain, then aborts
+	// itself if they do not.
+	WaitForReaders
+)
+
+// Mode is a full LibTM configuration.
+type Mode struct {
+	Reads      ReadDetection
+	Writes     WriteDetection
+	Resolution Resolution
+}
+
+// FullyOptimistic is the configuration the paper's SynQuake experiments
+// use: invisible reads, commit-time write locks, abort-readers.
+var FullyOptimistic = Mode{Reads: InvisibleReads, Writes: CommitWrites, Resolution: AbortReaders}
+
+// FullyPessimistic acquires read and write locks at encounter time.
+var FullyPessimistic = Mode{Reads: VisibleReads, Writes: EncounterWrites, Resolution: WaitForReaders}
+
+// String renders the mode compactly.
+func (m Mode) String() string {
+	r, w, c := "vis", "enc", "abort-readers"
+	if m.Reads == InvisibleReads {
+		r = "invis"
+	}
+	if m.Writes == CommitWrites {
+		w = "commit"
+	}
+	if m.Resolution == WaitForReaders {
+		c = "wait-for-readers"
+	}
+	return fmt.Sprintf("libtm(%s-reads/%s-writes/%s)", r, w, c)
+}
+
+// Gate is the guided-execution admission hook (same contract as
+// tl2.Gate).
+type Gate interface {
+	Admit(p tts.Pair)
+}
+
+// Options configures an STM instance.
+type Options struct {
+	// Mode selects detection and resolution. The zero value is
+	// fully pessimistic with abort-readers; most callers pass
+	// FullyOptimistic or FullyPessimistic.
+	Mode Mode
+	// MaxRetries bounds conflict retries per Atomic call (0 = unbounded).
+	MaxRetries int
+	// WaitSpin bounds how long WaitForReaders spins before self-abort.
+	// Defaults to 64 yields.
+	WaitSpin int
+	// YieldEvery inserts a scheduler yield every N transactional
+	// accesses, emulating multicore interleaving of critical sections
+	// on hosts with fewer cores than threads (see tl2.Options). 0 means
+	// the default (4); negative disables.
+	YieldEvery int
+}
+
+// defaultYieldEvery matches tl2's access interval between yields.
+const defaultYieldEvery = 4
+
+// STM is a LibTM transactional memory domain.
+type STM struct {
+	opts      Options
+	instances atomic.Uint64
+	commits   atomic.Uint64
+	aborts    atomic.Uint64
+	tracer    atomic.Pointer[tracerBox]
+	gate      atomic.Pointer[gateBox]
+}
+
+type tracerBox struct{ t trace.Tracer }
+type gateBox struct{ g Gate }
+
+// New returns an STM with the given options.
+func New(opts Options) *STM {
+	if opts.WaitSpin <= 0 {
+		opts.WaitSpin = 64
+	}
+	if opts.YieldEvery == 0 {
+		opts.YieldEvery = defaultYieldEvery
+	}
+	s := &STM{opts: opts}
+	s.SetTracer(trace.Nop{})
+	return s
+}
+
+// Mode returns the configured mode.
+func (s *STM) Mode() Mode { return s.opts.Mode }
+
+// SetTracer installs the event sink (nil restores the no-op tracer).
+func (s *STM) SetTracer(t trace.Tracer) {
+	if t == nil {
+		t = trace.Nop{}
+	}
+	s.tracer.Store(&tracerBox{t})
+}
+
+// SetGate installs (or removes, with nil) the guided-execution gate.
+func (s *STM) SetGate(g Gate) {
+	if g == nil {
+		s.gate.Store(nil)
+		return
+	}
+	s.gate.Store(&gateBox{g})
+}
+
+// Commits returns the number of committed transactions.
+func (s *STM) Commits() uint64 { return s.commits.Load() }
+
+// Aborts returns the number of aborted attempts.
+func (s *STM) Aborts() uint64 { return s.aborts.Load() }
+
+// ResetCounters zeroes the commit/abort counters.
+func (s *STM) ResetCounters() {
+	s.commits.Store(0)
+	s.aborts.Store(0)
+}
+
+// Obj is one transactional object holding an int64. Create with NewObj.
+type Obj struct {
+	mu         sync.Mutex
+	version    uint64
+	writerInst uint64         // instance holding the write lock (0 = none)
+	writerTx   *Tx            // the locking transaction
+	lastWriter uint64         // instance of the last committed writer
+	readers    map[*Tx]uint64 // visible readers → their instance
+	val        int64
+}
+
+// NewObj returns an Obj initialized to x.
+func NewObj(x int64) *Obj {
+	return &Obj{val: x, readers: make(map[*Tx]uint64)}
+}
+
+// NewFloatObj returns an Obj initialized to the bit pattern of f.
+func NewFloatObj(f float64) *Obj {
+	return NewObj(int64(math.Float64bits(f)))
+}
+
+// Value loads the committed value non-transactionally (for setup and
+// post-run verification).
+func (o *Obj) Value() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.val
+}
+
+// FloatValue loads the committed value as a float64.
+func (o *Obj) FloatValue() float64 {
+	return math.Float64frombits(uint64(o.Value()))
+}
+
+// Store sets the value non-transactionally (setup only).
+func (o *Obj) Store(x int64) {
+	o.mu.Lock()
+	o.val = x
+	o.mu.Unlock()
+}
+
+// StoreFloat sets a float64 non-transactionally (setup only).
+func (o *Obj) StoreFloat(f float64) {
+	o.Store(int64(math.Float64bits(f)))
+}
+
+// abortSignal is the internal conflict-abort control signal.
+type abortSignal struct{ killer uint64 }
+
+// ErrRetryLimit is returned when Options.MaxRetries is exceeded.
+var ErrRetryLimit = fmt.Errorf("libtm: transaction exceeded retry limit")
+
+type readEntry struct {
+	o   *Obj
+	ver uint64
+}
+
+type writeEntry struct {
+	o   *Obj
+	val int64
+}
+
+// Tx is one transaction attempt.
+type Tx struct {
+	stm      *STM
+	pair     tts.Pair
+	instance uint64
+
+	invReads []readEntry // invisible-read validation set
+	visReads []*Obj      // objects we registered on as visible readers
+	writes   []writeEntry
+	locked   []*Obj // objects whose write lock we hold (encounter mode)
+
+	// doomed is set by a writer that abort-readers'ed us; killer is its
+	// instance.
+	doomed atomic.Bool
+	killer atomic.Uint64
+
+	// ops counts transactional accesses for YieldEvery interleaving.
+	ops int
+}
+
+// maybeYield emulates multicore interleaving of transactional code on
+// under-provisioned hosts (see Options.YieldEvery).
+func (tx *Tx) maybeYield() {
+	ye := tx.stm.opts.YieldEvery
+	if ye <= 0 {
+		return
+	}
+	tx.ops++
+	if tx.ops%ye == 0 {
+		runtime.Gosched()
+	}
+}
+
+// Pair returns the (transaction, thread) identity of the attempt.
+func (tx *Tx) Pair() tts.Pair { return tx.pair }
+
+func (tx *Tx) abort(killer uint64) {
+	panic(abortSignal{killer})
+}
+
+// checkDoomed aborts the transaction if a writer killed it.
+func (tx *Tx) checkDoomed() {
+	if tx.doomed.Load() {
+		tx.abort(tx.killer.Load())
+	}
+}
+
+func (tx *Tx) lookupWrite(o *Obj) (int64, bool) {
+	for i := len(tx.writes) - 1; i >= 0; i-- {
+		if tx.writes[i].o == o {
+			return tx.writes[i].val, true
+		}
+	}
+	return 0, false
+}
+
+// Read returns the transactional value of o.
+func (tx *Tx) Read(o *Obj) int64 {
+	tx.maybeYield()
+	tx.checkDoomed()
+	if v, ok := tx.lookupWrite(o); ok {
+		return v
+	}
+	o.mu.Lock()
+	if o.writerInst != 0 && o.writerTx != tx {
+		k := o.writerInst
+		o.mu.Unlock()
+		tx.abort(k)
+	}
+	v := o.val
+	if tx.stm.opts.Mode.Reads == VisibleReads {
+		if _, already := o.readers[tx]; !already {
+			o.readers[tx] = tx.instance
+			tx.visReads = append(tx.visReads, o)
+		}
+	} else {
+		tx.invReads = append(tx.invReads, readEntry{o, o.version})
+	}
+	o.mu.Unlock()
+	return v
+}
+
+// Write transactionally stores x into o. In encounter mode the write
+// lock is taken now; in commit mode the write is buffered.
+func (tx *Tx) Write(o *Obj, x int64) {
+	tx.maybeYield()
+	tx.checkDoomed()
+	if tx.stm.opts.Mode.Writes == EncounterWrites {
+		tx.lockForWrite(o)
+	}
+	for i := len(tx.writes) - 1; i >= 0; i-- {
+		if tx.writes[i].o == o {
+			tx.writes[i].val = x
+			return
+		}
+	}
+	tx.writes = append(tx.writes, writeEntry{o, x})
+}
+
+// ReadFloat reads o as a float64.
+func (tx *Tx) ReadFloat(o *Obj) float64 {
+	return math.Float64frombits(uint64(tx.Read(o)))
+}
+
+// WriteFloat writes f into o.
+func (tx *Tx) WriteFloat(o *Obj, f float64) {
+	tx.Write(o, int64(math.Float64bits(f)))
+}
+
+// lockForWrite acquires o's write lock, resolving conflicts with
+// visible readers per the configured policy. Aborts self on
+// writer-writer conflict.
+func (tx *Tx) lockForWrite(o *Obj) {
+	for spin := 0; ; spin++ {
+		o.mu.Lock()
+		if o.writerTx == tx {
+			o.mu.Unlock()
+			return // already ours
+		}
+		if o.writerInst != 0 {
+			k := o.writerInst
+			o.mu.Unlock()
+			tx.abort(k) // writer-writer: newcomer yields
+		}
+		// Resolve visible readers (other than ourselves).
+		others := 0
+		for r := range o.readers {
+			if r != tx {
+				others++
+			}
+		}
+		if others == 0 {
+			o.writerInst = tx.instance
+			o.writerTx = tx
+			tx.locked = append(tx.locked, o)
+			o.mu.Unlock()
+			return
+		}
+		switch tx.stm.opts.Mode.Resolution {
+		case AbortReaders:
+			for r := range o.readers {
+				if r == tx {
+					continue
+				}
+				r.killer.Store(tx.instance)
+				r.doomed.Store(true)
+				delete(o.readers, r)
+			}
+			o.writerInst = tx.instance
+			o.writerTx = tx
+			tx.locked = append(tx.locked, o)
+			o.mu.Unlock()
+			return
+		case WaitForReaders:
+			o.mu.Unlock()
+			if spin >= tx.stm.opts.WaitSpin {
+				tx.abort(0) // readers did not drain: self-abort, unknown killer
+			}
+			runtime.Gosched()
+		}
+	}
+}
+
+// commit finishes the attempt: acquire commit-time locks, validate
+// invisible reads, publish writes, release everything.
+func (tx *Tx) commit() {
+	// Suspension point between body and commit protocol (see
+	// Options.YieldEvery): guarantees overlap windows for short
+	// transactions on under-provisioned hosts.
+	if tx.stm.opts.YieldEvery > 0 {
+		runtime.Gosched()
+	}
+	if tx.stm.opts.Mode.Writes == CommitWrites {
+		for _, w := range tx.writes {
+			tx.lockForWrite(w.o)
+		}
+	}
+	tx.checkDoomed()
+	// Validate invisible reads: version unchanged and no foreign writer.
+	for _, r := range tx.invReads {
+		r.o.mu.Lock()
+		bad := r.o.version != r.ver || (r.o.writerInst != 0 && r.o.writerTx != tx)
+		var k uint64
+		if bad {
+			if r.o.writerInst != 0 && r.o.writerTx != tx {
+				k = r.o.writerInst // a foreign writer holds the lock
+			} else {
+				// The version moved (possibly while we hold our own
+				// commit-time lock): the culprit is the committer that
+				// bumped it, never ourselves.
+				k = r.o.lastWriter
+			}
+		}
+		r.o.mu.Unlock()
+		if bad {
+			tx.abort(k)
+		}
+	}
+	// Publish writes and release write locks.
+	for _, w := range tx.writes {
+		w.o.mu.Lock()
+		w.o.val = w.val
+		w.o.version++
+		w.o.lastWriter = tx.instance
+		w.o.writerInst = 0
+		w.o.writerTx = nil
+		w.o.mu.Unlock()
+	}
+	tx.locked = nil
+	tx.releaseVisibleReads()
+}
+
+// cleanupAfterAbort releases everything the failed attempt held.
+func (tx *Tx) cleanupAfterAbort() {
+	for _, o := range tx.locked {
+		o.mu.Lock()
+		if o.writerTx == tx {
+			o.writerInst = 0
+			o.writerTx = nil
+		}
+		o.mu.Unlock()
+	}
+	tx.locked = nil
+	tx.releaseVisibleReads()
+}
+
+func (tx *Tx) releaseVisibleReads() {
+	for _, o := range tx.visReads {
+		o.mu.Lock()
+		delete(o.readers, tx)
+		o.mu.Unlock()
+	}
+	tx.visReads = nil
+}
+
+// Atomic executes fn transactionally as static transaction txID on the
+// given thread, retrying on conflicts. A non-nil error from fn rolls
+// back and returns without retry.
+func (s *STM) Atomic(thread, txID uint16, fn func(*Tx) error) error {
+	tx := &Tx{stm: s, pair: tts.Pair{Tx: txID, Thread: thread}}
+	attempts := 0
+	for {
+		if gb := s.gate.Load(); gb != nil {
+			gb.g.Admit(tx.pair)
+		}
+		tx.instance = s.instances.Add(1)
+		tx.invReads = tx.invReads[:0]
+		tx.writes = tx.writes[:0]
+		tx.ops = 0
+		tx.doomed.Store(false)
+		tx.killer.Store(0)
+
+		killer, userErr, committed := s.runAttempt(tx, fn)
+		if committed {
+			s.commits.Add(1)
+			s.tracer.Load().t.OnCommit(tx.instance, tx.pair)
+			return nil
+		}
+		if userErr != nil {
+			return userErr
+		}
+		s.aborts.Add(1)
+		s.tracer.Load().t.OnAbort(tx.pair, killer)
+		attempts++
+		if s.opts.MaxRetries > 0 && attempts > s.opts.MaxRetries {
+			return ErrRetryLimit
+		}
+		backoff(attempts)
+	}
+}
+
+func (s *STM) runAttempt(tx *Tx, fn func(*Tx) error) (killer uint64, userErr error, committed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if sig, ok := r.(abortSignal); ok {
+				tx.cleanupAfterAbort()
+				killer = sig.killer
+				return
+			}
+			panic(r)
+		}
+	}()
+	if err := fn(tx); err != nil {
+		tx.cleanupAfterAbort()
+		return 0, err, false
+	}
+	tx.commit()
+	return 0, nil, true
+}
+
+// backoff damps retry livelock.
+func backoff(attempts int) {
+	if attempts < 4 {
+		for i := 0; i < attempts; i++ {
+			runtime.Gosched()
+		}
+		return
+	}
+	d := time.Duration(attempts)
+	if d > 32 {
+		d = 32
+	}
+	time.Sleep(d * time.Microsecond)
+}

@@ -1,0 +1,102 @@
+package libtm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: for any single-threaded program of reads/writes over a
+// small object set, every detection/resolution mode produces the same
+// final state — mode choice affects conflict handling, never
+// sequential semantics.
+func TestModeEquivalenceProperty(t *testing.T) {
+	type op struct {
+		Idx   uint8
+		Delta int8
+		Read  bool
+	}
+	f := func(ops []op) bool {
+		const n = 8
+		var finals [][]int64
+		for _, m := range allModes() {
+			s := New(Options{Mode: m})
+			objs := make([]*Obj, n)
+			for i := range objs {
+				objs[i] = NewObj(int64(i))
+			}
+			err := s.Atomic(0, 0, func(tx *Tx) error {
+				for _, o := range ops {
+					i := int(o.Idx) % n
+					if o.Read {
+						_ = tx.Read(objs[i])
+					} else {
+						tx.Write(objs[i], tx.Read(objs[i])+int64(o.Delta))
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return false
+			}
+			fin := make([]int64, n)
+			for i := range objs {
+				fin[i] = objs[i].Value()
+			}
+			finals = append(finals, fin)
+		}
+		for _, fin := range finals[1:] {
+			for i := range fin {
+				if fin[i] != finals[0][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: aborting via user error leaves all objects untouched in
+// every mode, for arbitrary op sequences.
+func TestUserAbortLeavesNoTraceProperty(t *testing.T) {
+	type op struct {
+		Idx   uint8
+		Delta int8
+	}
+	sentinel := errSentinel{}
+	f := func(ops []op) bool {
+		const n = 8
+		for _, m := range allModes() {
+			s := New(Options{Mode: m})
+			objs := make([]*Obj, n)
+			for i := range objs {
+				objs[i] = NewObj(100 + int64(i))
+			}
+			err := s.Atomic(0, 0, func(tx *Tx) error {
+				for _, o := range ops {
+					i := int(o.Idx) % n
+					tx.Write(objs[i], tx.Read(objs[i])+int64(o.Delta))
+				}
+				return sentinel
+			})
+			if err != sentinel {
+				return false
+			}
+			for i := range objs {
+				if objs[i].Value() != 100+int64(i) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+type errSentinel struct{}
+
+func (errSentinel) Error() string { return "user abort" }

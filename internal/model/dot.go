@@ -1,0 +1,174 @@
+package model
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// DOTOptions configures WriteDOT.
+type DOTOptions struct {
+	// Tfactor highlights the high-probability destination edges (solid)
+	// against the tail (dashed). ≤0 means DefaultTfactor.
+	Tfactor float64
+	// MaxStates limits the rendered subgraph to the most-visited states
+	// (by outbound transition mass). ≤0 renders everything.
+	MaxStates int
+	// MinProb drops edges below this probability entirely.
+	MinProb float64
+}
+
+// WriteDOT renders the automaton in Graphviz DOT for visual inspection
+// of the commit-path structure the guide exploits (the paper's Figure 3
+// is exactly such an excerpt). States are labelled in the paper's
+// notation; edges carry probabilities.
+func (m *TSA) WriteDOT(w io.Writer, opts DOTOptions) error {
+	tf := opts.Tfactor
+	if tf <= 0 {
+		tf = DefaultTfactor
+	}
+
+	keys := make([]string, 0, len(m.Nodes))
+	for k := range m.Nodes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := m.Nodes[keys[i]], m.Nodes[keys[j]]
+		if a.Total != b.Total {
+			return a.Total > b.Total
+		}
+		return keys[i] < keys[j]
+	})
+	if opts.MaxStates > 0 && len(keys) > opts.MaxStates {
+		keys = keys[:opts.MaxStates]
+	}
+	keep := make(map[string]int, len(keys))
+	for i, k := range keys {
+		keep[k] = i
+	}
+
+	var b strings.Builder
+	b.WriteString("digraph tsa {\n")
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontsize=10];\n")
+	for i, k := range keys {
+		n := m.Nodes[k]
+		label := strings.ReplaceAll(n.State.String(), `"`, `\"`)
+		fmt.Fprintf(&b, "  s%d [label=\"%s\\nout=%d\"];\n", i, label, n.Total)
+	}
+	for i, k := range keys {
+		n := m.Nodes[k]
+		if n.Total == 0 {
+			continue
+		}
+		high := make(map[string]bool)
+		for _, d := range n.HighProbDests(tf) {
+			high[d] = true
+		}
+		dests := make([]string, 0, len(n.Out))
+		for d := range n.Out {
+			dests = append(dests, d)
+		}
+		sort.Strings(dests)
+		for _, d := range dests {
+			j, ok := keep[d]
+			if !ok {
+				continue
+			}
+			p := n.Prob(d)
+			if p < opts.MinProb {
+				continue
+			}
+			style := "dashed"
+			if high[d] {
+				style = "solid"
+			}
+			fmt.Fprintf(&b, "  s%d -> s%d [label=\"%.3f\", style=%s];\n", i, j, p, style)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Structure summarizes the automaton's shape: the quantities the
+// analyzer's verdict rests on, exposed for inspection and testing.
+type Structure struct {
+	// States and Edges are the node/edge counts.
+	States, Edges int
+	// TerminalStates have no outbound transitions.
+	TerminalStates int
+	// MaxOutDegree is the largest |S| of any state.
+	MaxOutDegree int
+	// AvgOutDegree is the mean |S| over non-terminal states.
+	AvgOutDegree float64
+	// SingletonStates are conflict-free commits (no aborts in the
+	// tuple); AbortStates carry at least one abort.
+	SingletonStates, AbortStates int
+	// MaxAbortsInState is the largest abort tuple observed.
+	MaxAbortsInState int
+	// TotalTransitions is the number of observed transitions (Σ counts).
+	TotalTransitions int
+}
+
+// Structure computes the summary.
+func (m *TSA) Structure() Structure {
+	var st Structure
+	st.States = len(m.Nodes)
+	nonTerminal := 0
+	for _, n := range m.Nodes {
+		st.Edges += len(n.Out)
+		st.TotalTransitions += n.Total
+		if len(n.Out) == 0 {
+			st.TerminalStates++
+		} else {
+			nonTerminal++
+			if len(n.Out) > st.MaxOutDegree {
+				st.MaxOutDegree = len(n.Out)
+			}
+		}
+		if len(n.State.Aborts) == 0 {
+			st.SingletonStates++
+		} else {
+			st.AbortStates++
+			if len(n.State.Aborts) > st.MaxAbortsInState {
+				st.MaxAbortsInState = len(n.State.Aborts)
+			}
+		}
+	}
+	if nonTerminal > 0 {
+		st.AvgOutDegree = float64(st.Edges) / float64(nonTerminal)
+	}
+	return st
+}
+
+// HotPath follows the maximum-probability transition from the given
+// state for up to n steps (stopping on terminal states or cycles back
+// to a visited state), returning the state keys along the way — the
+// "most common commit path" guided execution biases toward.
+func (m *TSA) HotPath(fromKey string, n int) []string {
+	var path []string
+	seen := make(map[string]bool)
+	cur := fromKey
+	for len(path) < n {
+		node := m.Node(cur)
+		if node == nil || node.Total == 0 || seen[cur] {
+			break
+		}
+		seen[cur] = true
+		path = append(path, cur)
+		best, bestCnt := "", -1
+		dests := make([]string, 0, len(node.Out))
+		for d := range node.Out {
+			dests = append(dests, d)
+		}
+		sort.Strings(dests) // deterministic tie-break
+		for _, d := range dests {
+			if c := node.Out[d]; c > bestCnt {
+				best, bestCnt = d, c
+			}
+		}
+		cur = best
+	}
+	return path
+}

@@ -1,0 +1,117 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"gstm/internal/tts"
+)
+
+func TestWriteDOTBasics(t *testing.T) {
+	m := Build(2, mkSeq(0, 1, 0, 1, 0, 2))
+	var b strings.Builder
+	if err := m.WriteDOT(&b, DOTOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "digraph tsa {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Errorf("not a DOT digraph: %q", out)
+	}
+	if !strings.Contains(out, "{<a0>}") {
+		t.Errorf("missing state label: %q", out)
+	}
+	if !strings.Contains(out, "->") {
+		t.Errorf("no edges rendered: %q", out)
+	}
+	if !strings.Contains(out, "style=solid") {
+		t.Errorf("no high-probability edge marked: %q", out)
+	}
+}
+
+func TestWriteDOTMaxStates(t *testing.T) {
+	m := Build(2, mkSeq(0, 1, 2, 3, 0, 1, 2, 3))
+	var b strings.Builder
+	if err := m.WriteDOT(&b, DOTOptions{MaxStates: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(b.String(), "label=\"{"); got != 2 {
+		t.Errorf("rendered %d states, want 2", got)
+	}
+}
+
+func TestWriteDOTMinProb(t *testing.T) {
+	m := Build(2, mkSeq(0, 1, 0, 1, 0, 1, 0, 2))
+	var all, filtered strings.Builder
+	if err := m.WriteDOT(&all, DOTOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteDOT(&filtered, DOTOptions{MinProb: 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(filtered.String(), "->") >= strings.Count(all.String(), "->") {
+		t.Error("MinProb did not drop any edge")
+	}
+}
+
+func TestStructureSummary(t *testing.T) {
+	withAbort := tts.State{
+		Commit: tts.Pair{Tx: 1, Thread: 1},
+		Aborts: []tts.Pair{{Tx: 0, Thread: 0}, {Tx: 2, Thread: 2}},
+	}
+	plain := tts.State{Commit: tts.Pair{Tx: 0, Thread: 0}}
+	m := Build(4, []tts.State{plain, withAbort, plain})
+	st := m.Structure()
+	if st.States != 2 {
+		t.Errorf("States = %d", st.States)
+	}
+	if st.SingletonStates != 1 || st.AbortStates != 1 {
+		t.Errorf("singleton/abort = %d/%d", st.SingletonStates, st.AbortStates)
+	}
+	if st.MaxAbortsInState != 2 {
+		t.Errorf("MaxAbortsInState = %d", st.MaxAbortsInState)
+	}
+	if st.TotalTransitions != 2 {
+		t.Errorf("TotalTransitions = %d", st.TotalTransitions)
+	}
+	if st.TerminalStates != 0 {
+		t.Errorf("TerminalStates = %d (plain loops back)", st.TerminalStates)
+	}
+	if st.AvgOutDegree <= 0 || st.MaxOutDegree <= 0 {
+		t.Error("degree stats missing")
+	}
+}
+
+func TestStructureEmptyModel(t *testing.T) {
+	st := New(4).Structure()
+	if st.States != 0 || st.Edges != 0 || st.AvgOutDegree != 0 {
+		t.Errorf("empty structure = %+v", st)
+	}
+}
+
+func TestHotPathFollowsMaxProbability(t *testing.T) {
+	// a→b (3x), a→c (1x), b→a (3x): hot path from a is a,b then stops
+	// at the a-cycle.
+	m := Build(1, mkSeq(0, 1, 0, 1, 0, 1, 0, 2))
+	path := m.HotPath(key(0), 10)
+	if len(path) < 2 || path[0] != key(0) || path[1] != key(1) {
+		t.Errorf("hot path = %d nodes", len(path))
+	}
+	// Cycle detection: must terminate well under the cap.
+	if len(path) > 4 {
+		t.Errorf("hot path did not stop on cycle: %d nodes", len(path))
+	}
+}
+
+func TestHotPathUnknownStart(t *testing.T) {
+	m := Build(1, mkSeq(0, 1))
+	if got := m.HotPath("nonsense", 5); len(got) != 0 {
+		t.Errorf("path from unknown state = %v", got)
+	}
+}
+
+func TestHotPathRespectsLimit(t *testing.T) {
+	m := Build(1, mkSeq(0, 1, 2, 3, 4, 5, 0, 1, 2, 3, 4, 5))
+	if got := m.HotPath(key(0), 3); len(got) != 3 {
+		t.Errorf("limited path length = %d, want 3", len(got))
+	}
+}

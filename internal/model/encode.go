@@ -1,0 +1,168 @@
+package model
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"gstm/internal/tts"
+)
+
+// magic identifies the binary TSA format (the paper stores the guided
+// model "in an efficient bitwise structure", Section VI; this is ours).
+var magic = [8]byte{'G', 'S', 'T', 'M', 'T', 'S', 'A', '1'}
+
+// Encode writes the model in the compact binary format. Encoding is
+// deterministic: states and edges are emitted in sorted key order.
+func (m *TSA) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var scratch [4]byte
+	writeU32 := func(x uint32) error {
+		binary.BigEndian.PutUint32(scratch[:], x)
+		_, err := bw.Write(scratch[:])
+		return err
+	}
+	writeKey := func(k string) error {
+		if len(k) > 0xffff {
+			return fmt.Errorf("model: state key too long (%d bytes)", len(k))
+		}
+		binary.BigEndian.PutUint16(scratch[:2], uint16(len(k)))
+		if _, err := bw.Write(scratch[:2]); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(k)
+		return err
+	}
+
+	if err := writeU32(uint32(m.Threads)); err != nil {
+		return err
+	}
+	if err := writeU32(uint32(len(m.Nodes))); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(m.Nodes))
+	for k := range m.Nodes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		n := m.Nodes[k]
+		if err := writeKey(k); err != nil {
+			return err
+		}
+		if err := writeU32(uint32(len(n.Out))); err != nil {
+			return err
+		}
+		dests := make([]string, 0, len(n.Out))
+		for d := range n.Out {
+			dests = append(dests, d)
+		}
+		sort.Strings(dests)
+		for _, d := range dests {
+			if err := writeKey(d); err != nil {
+				return err
+			}
+			if err := writeU32(uint32(n.Out[d])); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a model previously written by Encode.
+func Decode(r io.Reader) (*TSA, error) {
+	br := bufio.NewReader(r)
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("model: reading magic: %w", err)
+	}
+	if got != magic {
+		return nil, fmt.Errorf("model: bad magic %q", got[:])
+	}
+	var scratch [4]byte
+	readU32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, scratch[:]); err != nil {
+			return 0, err
+		}
+		return binary.BigEndian.Uint32(scratch[:]), nil
+	}
+	readKey := func() (string, error) {
+		if _, err := io.ReadFull(br, scratch[:2]); err != nil {
+			return "", err
+		}
+		n := binary.BigEndian.Uint16(scratch[:2])
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+
+	threads, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("model: reading thread count: %w", err)
+	}
+	numNodes, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("model: reading node count: %w", err)
+	}
+	m := New(int(threads))
+	for i := uint32(0); i < numNodes; i++ {
+		key, err := readKey()
+		if err != nil {
+			return nil, fmt.Errorf("model: reading state %d key: %w", i, err)
+		}
+		st, err := tts.ParseKey(key)
+		if err != nil {
+			return nil, fmt.Errorf("model: state %d: %w", i, err)
+		}
+		node := m.ensure(key, st)
+		numEdges, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("model: reading state %d edge count: %w", i, err)
+		}
+		for e := uint32(0); e < numEdges; e++ {
+			dest, err := readKey()
+			if err != nil {
+				return nil, fmt.Errorf("model: reading edge %d of state %d: %w", e, i, err)
+			}
+			cnt, err := readU32()
+			if err != nil {
+				return nil, fmt.Errorf("model: reading edge %d count of state %d: %w", e, i, err)
+			}
+			node.Out[dest] += int(cnt)
+			node.Total += int(cnt)
+		}
+	}
+	// Destination-only states may not have their own entry if the model
+	// was pruned oddly; materialize them so Node() lookups succeed.
+	for _, n := range m.Nodes {
+		for d := range n.Out {
+			if m.Nodes[d] == nil {
+				st, err := tts.ParseKey(d)
+				if err != nil {
+					return nil, fmt.Errorf("model: destination key: %w", err)
+				}
+				m.ensure(d, st)
+			}
+		}
+	}
+	return m, nil
+}
+
+// EncodedSize returns the size in bytes of the binary encoding — the
+// paper reports model sizes (avg 118 KB at 8 threads, 1.3 MB at 16).
+func (m *TSA) EncodedSize() int {
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		return -1
+	}
+	return buf.Len()
+}

@@ -1,0 +1,235 @@
+// Package genome ports STAMP's genome: gene sequencing from redundant
+// nucleotide segments. Phase 1 deduplicates the segment stream into a
+// shared hash set keyed by Rabin-Karp hashes of the real ACGT strings;
+// phase 2 reassembles the gene by matching each unique segment's prefix
+// against already-placed segments' suffixes through a shared overlap
+// index. The hash set gives moderate spread-out contention; the overlap
+// index and assembly cursor are hot, mirroring the original's matching
+// bottleneck.
+//
+// Static transaction IDs:
+//
+//	0 — deduplicate one segment into the shared set (and enqueue if new)
+//	1 — match a unique segment's overlap and link it into the assembly
+package genome
+
+import (
+	"fmt"
+	"runtime"
+
+	"gstm/internal/stamp"
+	"gstm/internal/tl2"
+)
+
+type params struct {
+	geneLen int // nucleotides in the underlying gene
+	segLen  int // nucleotides per segment
+	factor  int // oversampling: segments generated = factor * coverage
+}
+
+func sizeParams(s stamp.Size) params {
+	switch s {
+	case stamp.Small:
+		return params{geneLen: 256, segLen: 16, factor: 3}
+	case stamp.Large:
+		return params{geneLen: 8192, segLen: 64, factor: 4}
+	default:
+		return params{geneLen: 2048, segLen: 32, factor: 4}
+	}
+}
+
+// nucleotides is the DNA alphabet.
+var nucleotides = []byte{'A', 'C', 'G', 'T'}
+
+// rkBase is the Rabin-Karp polynomial base (a largish odd multiplier).
+const rkBase = 1000000007
+
+// rkHash computes the Rabin-Karp polynomial hash of s.
+func rkHash(s []byte) int64 {
+	var h uint64
+	for _, c := range s {
+		h = h*rkBase + uint64(c)
+	}
+	// Fold into the Map's key space, avoiding its two reserved
+	// sentinels near -2^62 (the top bits are cleared so the result is
+	// always non-negative).
+	return int64(h &^ (3 << 62))
+}
+
+// Workload is one genome run. Create with New.
+type Workload struct {
+	cfg stamp.Config
+	p   params
+
+	gene     []byte
+	segments [][]byte // insert stream: unique ∪ duplicates, shuffled
+	unique   int      // distinct segment count in the stream
+
+	set     *tl2.Map   // segment hash → index into segs catalogue
+	pending *tl2.Queue // catalogue indices awaiting assembly
+	byStart *tl2.Map   // gene start position → 1 once assembled
+	placed  *tl2.Var   // number of assembled segments
+
+	// catalogue maps a gene start position → segment bytes, so
+	// transactions exchange small int64s, not strings.
+	catalogue [][]byte
+}
+
+// New returns an unconfigured genome workload.
+func New() *Workload { return &Workload{} }
+
+// Name implements stamp.Workload.
+func (w *Workload) Name() string { return "genome" }
+
+// Setup implements stamp.Workload: synthesizes a gene, cuts overlapping
+// segments at every position (full coverage), oversamples duplicates,
+// and shuffles the stream.
+func (w *Workload) Setup(_ *tl2.STM, cfg stamp.Config) error {
+	w.cfg = cfg
+	w.p = sizeParams(cfg.Size)
+	rng := stamp.NewRand(cfg.Seed)
+
+	w.gene = make([]byte, w.p.geneLen)
+	for i := range w.gene {
+		w.gene[i] = nucleotides[rng.Intn(4)]
+	}
+
+	starts := w.p.geneLen - w.p.segLen + 1
+	w.unique = starts
+	w.catalogue = make([][]byte, starts)
+	for at := 0; at < starts; at++ {
+		w.catalogue[at] = w.gene[at : at+w.p.segLen]
+	}
+
+	// The stream: every unique segment once, plus (factor-1)x random
+	// duplicates, shuffled.
+	w.segments = make([][]byte, 0, starts*w.p.factor)
+	idxStream := make([]int, 0, starts*w.p.factor)
+	for at := 0; at < starts; at++ {
+		idxStream = append(idxStream, at)
+	}
+	for d := 0; d < starts*(w.p.factor-1); d++ {
+		idxStream = append(idxStream, rng.Intn(starts))
+	}
+	for i := len(idxStream) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		idxStream[i], idxStream[j] = idxStream[j], idxStream[i]
+	}
+	for _, at := range idxStream {
+		w.segments = append(w.segments, w.catalogue[at])
+	}
+
+	w.set = tl2.NewMap(starts * 2)
+	w.pending = tl2.NewQueue(starts + 1)
+	w.byStart = tl2.NewMap(starts * 2)
+	w.placed = tl2.NewVar(0)
+	return nil
+}
+
+// Thread implements stamp.Workload.
+func (w *Workload) Thread(s *tl2.STM, thread int) {
+	n := len(w.segments)
+	lo := thread * n / w.cfg.Threads
+	hi := (thread + 1) * n / w.cfg.Threads
+
+	// Phase 1: deduplicate this thread's slice of the stream. The
+	// Rabin-Karp hash is computed inside the transaction — aborted
+	// attempts waste it, as in the original.
+	for i := lo; i < hi; i++ {
+		seg := w.segments[i]
+		_ = s.Atomic(uint16(thread), 0, func(tx *tl2.Tx) error {
+			h := rkHash(seg)
+			if !w.set.Contains(tx, h) {
+				at := int64(w.findStart(seg))
+				w.set.Put(tx, h, at)
+				w.pending.Push(tx, at)
+			}
+			return nil
+		})
+	}
+
+	// Phase 2 starts as soon as this thread runs dry; others may still
+	// be feeding the pending queue, so drain until the assembly is
+	// complete.
+	for {
+		var at int64
+		var ok bool
+		var done bool
+		_ = s.Atomic(uint16(thread), 1, func(tx *tl2.Tx) error {
+			at, ok = w.pending.Pop(tx)
+			if !ok {
+				done = tx.Read(w.placed) == int64(w.unique)
+				return nil
+			}
+			// Overlap check against the already-assembled neighbour:
+			// the segment starting at `at` overlaps the one at `at-1`
+			// by segLen-1 nucleotides. Verify the overlap with the real
+			// bytes (hash then compare, as Rabin-Karp does on a
+			// candidate match).
+			if at > 0 {
+				left := w.catalogue[at-1]
+				right := w.catalogue[at]
+				lh := rkHash(left[1:])
+				rh := rkHash(right[:len(right)-1])
+				if lh == rh && !bytesEqual(left[1:], right[:len(right)-1]) {
+					return fmt.Errorf("genome: hash collision without overlap at %d", at)
+				}
+			}
+			w.byStart.Put(tx, at, 1)
+			tx.Write(w.placed, tx.Read(w.placed)+1)
+			return nil
+		})
+		if done {
+			return
+		}
+		if !ok {
+			runtime.Gosched() // another thread may still enqueue uniques
+		}
+	}
+}
+
+// findStart recovers a segment's gene position (setup data is immutable
+// during the run, so this read is transaction-free). Segments alias the
+// gene slice, so pointer arithmetic via capacity identifies the start.
+func (w *Workload) findStart(seg []byte) int {
+	return len(w.gene) - cap(seg)
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate implements stamp.Workload: the set holds every unique
+// segment, the assembly placed each exactly once, and the placed
+// positions reconstruct the full gene coverage.
+func (w *Workload) Validate() error {
+	if got := len(w.set.SnapshotKeys()); got != w.unique {
+		return fmt.Errorf("genome: set holds %d segments, want %d", got, w.unique)
+	}
+	if got := w.placed.Value(); got != int64(w.unique) {
+		return fmt.Errorf("genome: placed %d segments, want %d", got, w.unique)
+	}
+	starts := w.byStart.SnapshotKeys()
+	if len(starts) != w.unique {
+		return fmt.Errorf("genome: assembly has %d positions, want %d", len(starts), w.unique)
+	}
+	seen := make(map[int64]bool, len(starts))
+	for _, at := range starts {
+		if at < 0 || at >= int64(w.unique) {
+			return fmt.Errorf("genome: assembled position %d out of range", at)
+		}
+		if seen[at] {
+			return fmt.Errorf("genome: position %d assembled twice", at)
+		}
+		seen[at] = true
+	}
+	return nil
+}

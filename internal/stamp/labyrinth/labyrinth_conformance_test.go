@@ -1,0 +1,12 @@
+package labyrinth
+
+import (
+	"testing"
+
+	"gstm/internal/stamp"
+	"gstm/internal/stamp/stamptest"
+)
+
+func TestConformance(t *testing.T) {
+	stamptest.Conformance(t, func() stamp.Workload { return New() })
+}

@@ -1,0 +1,169 @@
+package stamp
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gstm/internal/tl2"
+)
+
+func TestSizeString(t *testing.T) {
+	if Small.String() != "small" || Medium.String() != "medium" || Large.String() != "large" {
+		t.Error("size names wrong")
+	}
+	if Size(99).String() == "" {
+		t.Error("unknown size should still print")
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	for _, s := range []Size{Small, Medium, Large} {
+		got, err := ParseSize(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseSize(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseSize("huge"); err == nil {
+		t.Error("expected error for unknown size")
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := NewRand(8)
+	same := true
+	a2 := NewRand(7)
+	for i := 0; i < 10; i++ {
+		if a2.Next() != c.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical streams")
+	}
+}
+
+func TestRandRanges(t *testing.T) {
+	r := NewRand(3)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) must panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+// fakeWorkload counts thread invocations.
+type fakeWorkload struct {
+	setups    atomic.Int64
+	threads   atomic.Int64
+	validated atomic.Int64
+	failSetup bool
+	failCheck bool
+}
+
+func (f *fakeWorkload) Name() string { return "fake" }
+func (f *fakeWorkload) Setup(*tl2.STM, Config) error {
+	f.setups.Add(1)
+	if f.failSetup {
+		return errors.New("nope")
+	}
+	return nil
+}
+func (f *fakeWorkload) Thread(*tl2.STM, int) {
+	f.threads.Add(1)
+	time.Sleep(time.Millisecond)
+}
+func (f *fakeWorkload) Validate() error {
+	f.validated.Add(1)
+	if f.failCheck {
+		return errors.New("invariant broken")
+	}
+	return nil
+}
+
+func TestRunHappyPath(t *testing.T) {
+	s := tl2.New(tl2.Options{})
+	w := &fakeWorkload{}
+	res, err := Run(s, w, Config{Threads: 4, Size: Small, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.setups.Load() != 1 || w.threads.Load() != 4 || w.validated.Load() != 1 {
+		t.Errorf("lifecycle counts: %d %d %d", w.setups.Load(), w.threads.Load(), w.validated.Load())
+	}
+	if len(res.ThreadTimes) != 4 {
+		t.Fatalf("ThreadTimes = %v", res.ThreadTimes)
+	}
+	for i, d := range res.ThreadTimes {
+		if d <= 0 {
+			t.Errorf("thread %d time = %v", i, d)
+		}
+	}
+	if res.Wall <= 0 {
+		t.Error("wall time missing")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	s := tl2.New(tl2.Options{})
+	if _, err := Run(s, &fakeWorkload{}, Config{Threads: 0}); err == nil {
+		t.Error("zero threads must fail")
+	}
+	if _, err := Run(s, &fakeWorkload{failSetup: true}, Config{Threads: 1}); err == nil {
+		t.Error("setup failure must propagate")
+	}
+	if _, err := Run(s, &fakeWorkload{failCheck: true}, Config{Threads: 1}); err == nil {
+		t.Error("validation failure must propagate")
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	const n = 4
+	const rounds = 10
+	b := NewBarrier(n)
+	var phase [n]int
+	var wg sync.WaitGroup
+	var maxSkew atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				phase[id] = r
+				b.Wait()
+				// After the barrier, everyone must be at round r.
+				for j := 0; j < n; j++ {
+					skew := int64(phase[id] - phase[j])
+					if skew < 0 {
+						skew = -skew
+					}
+					if skew > maxSkew.Load() {
+						maxSkew.Store(skew)
+					}
+				}
+				b.Wait()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if maxSkew.Load() != 0 {
+		t.Errorf("barrier let phases diverge by %d", maxSkew.Load())
+	}
+}

@@ -1,0 +1,12 @@
+package yada
+
+import (
+	"testing"
+
+	"gstm/internal/stamp"
+	"gstm/internal/stamp/stamptest"
+)
+
+func TestConformance(t *testing.T) {
+	stamptest.Conformance(t, func() stamp.Workload { return New() })
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. Returns 0 for empty input and an
+// error for out-of-range p.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("stats: percentile %v out of [0,100]", p)
+	}
+	if len(xs) == 0 {
+		return 0, nil
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// JainFairness computes Jain's fairness index over non-negative shares:
+//
+//	J = (Σx)² / (n · Σx²)
+//
+// J = 1 means perfectly uniform; J = 1/n means one share dominates. The
+// paper argues guided execution preserves fairness because every thread
+// sees a similar variance reduction; this index quantifies that claim
+// over the per-thread improvements (shifted to be non-negative first by
+// the caller if needed).
+func JainFairness(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1 // all zero: degenerate but uniform
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// CoefficientOfVariation returns stddev/mean, the scale-free dispersion
+// used when comparing variance across workloads with different
+// runtimes. Returns 0 when the mean is 0.
+func CoefficientOfVariation(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / m
+}
+
+// Summary bundles the descriptive statistics the experiment reports
+// print.
+type Summary struct {
+	N              int
+	Mean, StdDev   float64
+	Min, Max       float64
+	P50, P95, P99  float64
+	CoeffVariation float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	s.Mean = Mean(xs)
+	s.StdDev = StdDev(xs)
+	s.Min, s.Max = xs[0], xs[0]
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.P50, _ = Percentile(xs, 50)
+	s.P95, _ = Percentile(xs, 95)
+	s.P99, _ = Percentile(xs, 99)
+	s.CoeffVariation = CoefficientOfVariation(xs)
+	return s
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g sd=%.3g min=%.6g p50=%.6g p95=%.6g p99=%.6g max=%.6g cv=%.3f",
+		s.N, s.Mean, s.StdDev, s.Min, s.P50, s.P95, s.P99, s.Max, s.CoeffVariation)
+}

@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentileKnownValues(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {75, 4}, {10, 1.4},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	if _, err := Percentile([]float64{1}, -1); err == nil {
+		t.Error("negative percentile must fail")
+	}
+	if _, err := Percentile([]float64{1}, 101); err == nil {
+		t.Error("percentile > 100 must fail")
+	}
+	if got, _ := Percentile(nil, 50); got != 0 {
+		t.Error("empty input must yield 0")
+	}
+	if got, _ := Percentile([]float64{7}, 99); got != 7 {
+		t.Error("singleton must yield its value")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	_, _ = Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Percentile sorted the caller's slice")
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			v, err := Percentile(xs, p)
+			if err != nil || v < prev {
+				return false
+			}
+			prev = v
+		}
+		lo, _ := Percentile(xs, 0)
+		hi, _ := Percentile(xs, 100)
+		mn, mx := xs[0], xs[0]
+		for _, x := range xs {
+			mn = math.Min(mn, x)
+			mx = math.Max(mx, x)
+		}
+		return lo == mn && hi == mx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJainFairness(t *testing.T) {
+	if got := JainFairness([]float64{5, 5, 5, 5}); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("uniform fairness = %v", got)
+	}
+	// One dominant share of n: J = 1/n.
+	if got := JainFairness([]float64{10, 0, 0, 0}); !almostEqual(got, 0.25, 1e-12) {
+		t.Errorf("dominant fairness = %v", got)
+	}
+	if got := JainFairness(nil); got != 1 {
+		t.Errorf("empty fairness = %v", got)
+	}
+	if got := JainFairness([]float64{0, 0}); got != 1 {
+		t.Errorf("all-zero fairness = %v", got)
+	}
+}
+
+// Property: Jain's index lies in [1/n, 1] for non-negative inputs.
+func TestJainFairnessBoundsProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		allZero := true
+		for i, r := range raw {
+			xs[i] = float64(r)
+			if r != 0 {
+				allZero = false
+			}
+		}
+		j := JainFairness(xs)
+		if allZero {
+			return j == 1
+		}
+		n := float64(len(xs))
+		return j >= 1/n-1e-9 && j <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoefficientOfVariation(t *testing.T) {
+	if got := CoefficientOfVariation([]float64{2, 2, 2}); got != 0 {
+		t.Errorf("constant cv = %v", got)
+	}
+	if got := CoefficientOfVariation(nil); got != 0 {
+		t.Errorf("empty cv = %v", got)
+	}
+	xs := []float64{1, 3}
+	want := StdDev(xs) / 2
+	if got := CoefficientOfVariation(xs); !almostEqual(got, want, 1e-12) {
+		t.Errorf("cv = %v, want %v", got, want)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.P50 != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if !strings.Contains(s.String(), "n=5") {
+		t.Errorf("String = %q", s.String())
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Mean != 0 {
+		t.Errorf("empty summary = %+v", empty)
+	}
+}

@@ -1,0 +1,198 @@
+// Package stats provides the statistical primitives the paper's
+// evaluation is phrased in: sample standard deviation of execution
+// times, abort-count histograms and their tail metric, non-determinism
+// counting over thread transactional states, and percentage-change
+// helpers used when comparing guided against default executions.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs
+// (the N-1 denominator form used by the paper), or 0 when fewer than
+// two samples are available.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation
+//
+//	s = sqrt( 1/(N-1) * Σ (xᵢ - x̄)² )
+//
+// which is exactly the paper's definition of execution-time variance
+// (Section II-B).
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Welford accumulates mean and variance incrementally in a numerically
+// stable way. The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations added.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Histogram counts occurrences of non-negative integer observations,
+// e.g. "number of aborts a thread saw during one run".
+type Histogram struct {
+	counts map[int]int
+	total  int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int]int)}
+}
+
+// Add records one observation of value v. Negative values are rejected
+// with an error since abort counts cannot be negative.
+func (h *Histogram) Add(v int) error {
+	if v < 0 {
+		return fmt.Errorf("stats: negative histogram value %d", v)
+	}
+	h.counts[v]++
+	h.total++
+	return nil
+}
+
+// Count returns how many times value v was observed.
+func (h *Histogram) Count(v int) int { return h.counts[v] }
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Values returns the distinct observed values in ascending order.
+func (h *Histogram) Values() []int {
+	vs := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		vs = append(vs, v)
+	}
+	sort.Ints(vs)
+	return vs
+}
+
+// Max returns the largest observed value, or 0 for an empty histogram.
+func (h *Histogram) Max() int {
+	max := 0
+	for v := range h.counts {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// TailMetric computes the paper's per-thread abort tail weight
+//
+//	tailᵢ = Σⱼ j²
+//
+// where j ranges over the distinct abort counts observed with non-zero
+// frequency (Section VII). Squaring weights the long tail: a thread that
+// ever saw 40 aborts contributes 1600 regardless of how often, so
+// cutting rare-but-extreme abort runs moves the metric sharply.
+func (h *Histogram) TailMetric() float64 {
+	t := 0.0
+	for v, c := range h.counts {
+		if c > 0 {
+			t += float64(v) * float64(v)
+		}
+	}
+	return t
+}
+
+// Series returns parallel slices (value, frequency) sorted by value,
+// which is the form Figures 5, 7 and 8 plot.
+func (h *Histogram) Series() (values []int, freqs []int) {
+	values = h.Values()
+	freqs = make([]int, len(values))
+	for i, v := range values {
+		freqs[i] = h.counts[v]
+	}
+	return values, freqs
+}
+
+// PercentImprovement returns how much better (smaller) "after" is than
+// "before", in percent: 100·(before-after)/before. A negative result
+// means degradation. When before is 0 it returns 0 if after is also 0
+// and -100 otherwise, matching how the artifact scripts report the
+// ssca2 "0 improvement / pure overhead" case.
+func PercentImprovement(before, after float64) float64 {
+	if before == 0 {
+		if after == 0 {
+			return 0
+		}
+		return -100
+	}
+	return 100 * (before - after) / before
+}
+
+// Slowdown returns after/before, the multiplicative slowdown the paper
+// reports in Figure 10 (1.0 = no change, 1.5 = fifty percent slower).
+// A zero baseline yields 1 to keep degenerate measurements harmless.
+func Slowdown(before, after float64) float64 {
+	if before == 0 {
+		return 1
+	}
+	return after / before
+}
+
+// DistinctStates counts the number of distinct strings in seq; with TTS
+// keys as input this is the paper's non-determinism measure |S|.
+func DistinctStates(seq []string) int {
+	set := make(map[string]struct{}, len(seq))
+	for _, s := range seq {
+		set[s] = struct{}{}
+	}
+	return len(set)
+}

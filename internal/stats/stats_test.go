@@ -1,0 +1,231 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{}, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.xs); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestVarianceKnownValues(t *testing.T) {
+	// Hand-computed: xs = {2,4,4,4,5,5,7,9}, mean 5, sum sq dev 32,
+	// sample variance 32/7.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got, want := Variance(xs), 32.0/7.0; !almostEqual(got, want, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+	if got, want := StdDev(xs), math.Sqrt(32.0/7.0); !almostEqual(got, want, 1e-12) {
+		t.Errorf("StdDev = %v, want %v", got, want)
+	}
+}
+
+func TestVarianceDegenerate(t *testing.T) {
+	if Variance(nil) != 0 {
+		t.Error("variance of empty must be 0")
+	}
+	if Variance([]float64{3}) != 0 {
+		t.Error("variance of singleton must be 0")
+	}
+	if StdDev([]float64{7, 7, 7, 7}) != 0 {
+		t.Error("stddev of constants must be 0")
+	}
+}
+
+func TestWelfordMatchesTwoPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(100)
+		xs := make([]float64, n)
+		var w Welford
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*100 + 50
+			w.Add(xs[i])
+		}
+		if !almostEqual(w.Mean(), Mean(xs), 1e-9) {
+			t.Fatalf("welford mean %v != %v", w.Mean(), Mean(xs))
+		}
+		if !almostEqual(w.Variance(), Variance(xs), 1e-9) {
+			t.Fatalf("welford var %v != %v", w.Variance(), Variance(xs))
+		}
+		if w.N() != n {
+			t.Fatalf("welford N %d != %d", w.N(), n)
+		}
+	}
+}
+
+func TestWelfordDegenerate(t *testing.T) {
+	var w Welford
+	if w.Variance() != 0 || w.StdDev() != 0 || w.Mean() != 0 {
+		t.Error("zero-value Welford must report zeros")
+	}
+	w.Add(3)
+	if w.Variance() != 0 {
+		t.Error("single-sample variance must be 0")
+	}
+}
+
+// Property: Welford agrees with the two-pass formulas on arbitrary input.
+func TestWelfordProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		var w Welford
+		for i, r := range raw {
+			xs[i] = float64(r)
+			w.Add(xs[i])
+		}
+		return almostEqual(w.Variance(), Variance(xs), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int{0, 0, 1, 3, 3, 3} {
+		if err := h.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Total() != 6 {
+		t.Errorf("Total = %d, want 6", h.Total())
+	}
+	if h.Count(3) != 3 || h.Count(0) != 2 || h.Count(2) != 0 {
+		t.Error("wrong counts")
+	}
+	if got := h.Values(); len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 3 {
+		t.Errorf("Values = %v", got)
+	}
+	if h.Max() != 3 {
+		t.Errorf("Max = %d", h.Max())
+	}
+	vs, fs := h.Series()
+	if len(vs) != len(fs) || fs[2] != 3 {
+		t.Errorf("Series = %v %v", vs, fs)
+	}
+}
+
+func TestHistogramRejectsNegative(t *testing.T) {
+	h := NewHistogram()
+	if err := h.Add(-1); err == nil {
+		t.Error("expected error for negative value")
+	}
+	if h.Total() != 0 {
+		t.Error("failed Add must not count")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Max() != 0 || h.Total() != 0 || h.TailMetric() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	if vs := h.Values(); len(vs) != 0 {
+		t.Errorf("Values = %v", vs)
+	}
+}
+
+func TestTailMetric(t *testing.T) {
+	h := NewHistogram()
+	// Distinct abort counts seen: 0, 2, 5 → tail = 0 + 4 + 25 = 29.
+	for _, v := range []int{0, 0, 0, 2, 5, 5} {
+		_ = h.Add(v)
+	}
+	if got := h.TailMetric(); got != 29 {
+		t.Errorf("TailMetric = %v, want 29", got)
+	}
+}
+
+// Property: the tail metric only depends on the support, not frequencies.
+func TestTailMetricSupportOnly(t *testing.T) {
+	f := func(vals []uint8, reps uint8) bool {
+		h1, h2 := NewHistogram(), NewHistogram()
+		r := int(reps%5) + 1
+		for _, v := range vals {
+			_ = h1.Add(int(v))
+			for i := 0; i < r; i++ {
+				_ = h2.Add(int(v))
+			}
+		}
+		return h1.TailMetric() == h2.TailMetric()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentImprovement(t *testing.T) {
+	cases := []struct {
+		before, after, want float64
+	}{
+		{100, 50, 50},
+		{100, 100, 0},
+		{100, 150, -50},
+		{0, 0, 0},
+		{0, 5, -100},
+		{8, 2, 75},
+	}
+	for _, c := range cases {
+		if got := PercentImprovement(c.before, c.after); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("PercentImprovement(%v,%v) = %v, want %v", c.before, c.after, got, c.want)
+		}
+	}
+}
+
+func TestSlowdown(t *testing.T) {
+	if got := Slowdown(2, 3); !almostEqual(got, 1.5, 1e-12) {
+		t.Errorf("Slowdown = %v", got)
+	}
+	if got := Slowdown(0, 3); got != 1 {
+		t.Errorf("Slowdown with zero baseline = %v, want 1", got)
+	}
+}
+
+func TestDistinctStates(t *testing.T) {
+	if got := DistinctStates(nil); got != 0 {
+		t.Errorf("DistinctStates(nil) = %d", got)
+	}
+	if got := DistinctStates([]string{"a", "b", "a", "c", "b"}); got != 3 {
+		t.Errorf("DistinctStates = %d, want 3", got)
+	}
+}
+
+// Property: |S| never exceeds sequence length and is positive for
+// non-empty sequences.
+func TestDistinctStatesBounds(t *testing.T) {
+	f := func(seq []string) bool {
+		d := DistinctStates(seq)
+		if len(seq) == 0 {
+			return d == 0
+		}
+		return d >= 1 && d <= len(seq)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

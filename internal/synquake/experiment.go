@@ -1,0 +1,203 @@
+package synquake
+
+import (
+	"fmt"
+
+	"gstm/internal/analyze"
+	"gstm/internal/guide"
+	"gstm/internal/model"
+	"gstm/internal/stats"
+	"gstm/internal/trace"
+)
+
+// Experiment reproduces the paper's SynQuake methodology
+// (Section VIII): train the TSA on the 4worst_case and 4moving quests,
+// validate it with the analyzer (Table V), then compare guided against
+// default execution on a test quest, reporting frame-time variance
+// improvement, abort-ratio reduction, and slowdown (Figures 11/12).
+type Experiment struct {
+	// TrainScenarios are the profiling quest layouts (paper:
+	// 4worst_case and 4moving).
+	TrainScenarios []string
+	// TestScenario is the measured quest layout (paper: 4quadrants or
+	// 4center_spread6).
+	TestScenario string
+	// Players, MapSize, Threads size the world (paper: 1000 players on
+	// a 1024×1024 map).
+	Players, MapSize, Threads int
+	// TrainFrames and TestFrames are the frame budgets (paper: 1000 and
+	// 10000).
+	TrainFrames, TestFrames int
+	// Runs is how many independent train/test repetitions feed the
+	// statistics.
+	Runs int
+	// Tfactor and K configure guidance.
+	Tfactor float64
+	K       int
+	// Seed drives all world randomness.
+	Seed int64
+}
+
+func (e *Experiment) fill() {
+	if len(e.TrainScenarios) == 0 {
+		e.TrainScenarios = []string{"4worst_case", "4moving"}
+	}
+	if e.TestScenario == "" {
+		e.TestScenario = "4quadrants"
+	}
+	if e.Players <= 0 {
+		e.Players = 1000
+	}
+	if e.MapSize <= 0 {
+		e.MapSize = 1024
+	}
+	if e.Threads <= 0 {
+		e.Threads = 8
+	}
+	if e.TrainFrames <= 0 {
+		e.TrainFrames = 1000
+	}
+	if e.TestFrames <= 0 {
+		e.TestFrames = 10000
+	}
+	if e.Runs <= 0 {
+		e.Runs = 3
+	}
+	if e.Tfactor <= 0 {
+		e.Tfactor = model.DefaultTfactor
+	}
+}
+
+func (e Experiment) game(scenario string, seed int64) (*Game, error) {
+	return New(Config{
+		Players:  e.Players,
+		MapSize:  e.MapSize,
+		Threads:  e.Threads,
+		Scenario: scenario,
+		Seed:     seed,
+	})
+}
+
+// Train profiles the training scenarios and builds the TSA.
+func (e Experiment) Train() (*model.TSA, error) {
+	e.fill()
+	m := model.New(e.Threads)
+	for i, sc := range e.TrainScenarios {
+		g, err := e.game(sc, e.Seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		col := trace.NewCollector()
+		g.STM().SetTracer(col)
+		if _, err := g.RunFrames(e.TrainFrames); err != nil {
+			return nil, fmt.Errorf("synquake: training on %s: %w", sc, err)
+		}
+		seq, _ := col.Sequence()
+		m.AddRun(seq)
+	}
+	return m, nil
+}
+
+// ModeResult aggregates one execution mode's measurement runs.
+type ModeResult struct {
+	// FrameTimes holds every frame's processing time (seconds) across
+	// all runs.
+	FrameTimes []float64
+	// Commits and Aborts are totals over all runs.
+	Commits, Aborts uint64
+	// Guide holds controller counters (guided mode only).
+	Guide guide.Stats
+}
+
+// FrameStdDev is the frame-time standard deviation — the paper's
+// frame-rate variance.
+func (m ModeResult) FrameStdDev() float64 { return stats.StdDev(m.FrameTimes) }
+
+// MeanFrame is the mean frame processing time.
+func (m ModeResult) MeanFrame() float64 { return stats.Mean(m.FrameTimes) }
+
+// AbortRatio is aborts per commit.
+func (m ModeResult) AbortRatio() float64 {
+	if m.Commits == 0 {
+		return 0
+	}
+	return float64(m.Aborts) / float64(m.Commits)
+}
+
+// Measure runs the test scenario in default (ctrl nil) or guided mode.
+func (e Experiment) Measure(ctrl *guide.Controller) (ModeResult, error) {
+	e.fill()
+	var res ModeResult
+	for run := 0; run < e.Runs; run++ {
+		g, err := e.game(e.TestScenario, e.Seed+100+int64(run))
+		if err != nil {
+			return res, err
+		}
+		if ctrl != nil {
+			ctrl.Reset()
+			g.STM().SetTracer(ctrl)
+			g.STM().SetGate(ctrl)
+		}
+		fr, err := g.RunFrames(e.TestFrames)
+		if err != nil {
+			return res, fmt.Errorf("synquake: measuring %s run %d: %w", e.TestScenario, run, err)
+		}
+		for _, d := range fr.FrameTimes {
+			res.FrameTimes = append(res.FrameTimes, d.Seconds())
+		}
+		res.Commits += fr.Commits
+		res.Aborts += fr.Aborts
+	}
+	if ctrl != nil {
+		res.Guide = ctrl.Stats()
+	}
+	return res, nil
+}
+
+// Outcome is the full SynQuake pipeline result.
+type Outcome struct {
+	// Model is the trained TSA; Analysis its verdict (Table V's
+	// guidance metric).
+	Model    *model.TSA
+	Analysis analyze.Report
+	// Default and Guided are the two measurement modes.
+	Default, Guided ModeResult
+	// FrameVarianceImprovement is the % reduction in frame-time
+	// standard deviation (Figures 11a/12a).
+	FrameVarianceImprovement float64
+	// AbortRatioReduction is the % reduction in aborts per commit
+	// (Figures 11b/12b).
+	AbortRatioReduction float64
+	// Slowdown is guided mean frame time / default mean frame time
+	// (Figures 11c/12c; below 1.0 is a speedup).
+	Slowdown float64
+}
+
+// Run executes the full pipeline: train → analyze → default + guided
+// measurement → comparison. Unlike the STAMP harness, guidance always
+// runs (the paper's SynQuake models always pass analysis; the verdict
+// is still reported).
+func (e Experiment) Run() (Outcome, error) {
+	e.fill()
+	m, err := e.Train()
+	if err != nil {
+		return Outcome{}, err
+	}
+	out := Outcome{
+		Model:    m,
+		Analysis: analyze.Analyze(m, analyze.Options{Tfactor: e.Tfactor}),
+	}
+	if out.Default, err = e.Measure(nil); err != nil {
+		return out, err
+	}
+	ctrl := guide.New(m.Prune(e.Tfactor), guide.Options{Tfactor: e.Tfactor, K: e.K})
+	if out.Guided, err = e.Measure(ctrl); err != nil {
+		return out, err
+	}
+	out.FrameVarianceImprovement = stats.PercentImprovement(
+		out.Default.FrameStdDev(), out.Guided.FrameStdDev())
+	out.AbortRatioReduction = stats.PercentImprovement(
+		out.Default.AbortRatio(), out.Guided.AbortRatio())
+	out.Slowdown = stats.Slowdown(out.Default.MeanFrame(), out.Guided.MeanFrame())
+	return out, nil
+}

@@ -1,0 +1,150 @@
+package synquake
+
+import (
+	"fmt"
+
+	"gstm/internal/libtm"
+)
+
+// QuadTree is the spatial index of the game world — the analogue of
+// SynQuake's area-node tree (Lupei et al.): a fixed-depth region
+// quadtree whose nodes carry transactional occupant counters. Player
+// movement updates the counters along the paths to the old and new
+// leaves (skipping their common prefix, so a move inside one region
+// touches nothing and a move between sibling regions touches only the
+// deepest level). Interest queries read a node counter at a chosen
+// granularity. Counters near quests are the game's contention hotspot,
+// exactly as object-level consistency concentrates conflicts in the
+// original.
+type QuadTree struct {
+	mapSize float64
+	depth   int // number of subdivided levels (root excluded)
+	// counts holds the per-node occupant counters for levels 1..depth,
+	// concatenated level by level. The root (level 0) is implicit: its
+	// count is always the full population and is never written.
+	counts []*libtm.Obj
+	// offsets[l] is the index of level l's first node in counts, for
+	// l in 1..depth.
+	offsets []int
+}
+
+// NewQuadTree builds a tree over a mapSize×mapSize world with the given
+// number of subdivided levels (depth ≥ 1; leaves are a 2^depth ×
+// 2^depth grid).
+func NewQuadTree(mapSize int, depth int) (*QuadTree, error) {
+	if depth < 1 || depth > 8 {
+		return nil, fmt.Errorf("synquake: quadtree depth %d out of range [1,8]", depth)
+	}
+	if mapSize <= 0 {
+		return nil, fmt.Errorf("synquake: non-positive map size %d", mapSize)
+	}
+	q := &QuadTree{
+		mapSize: float64(mapSize),
+		depth:   depth,
+		offsets: make([]int, depth+1),
+	}
+	total := 0
+	for l := 1; l <= depth; l++ {
+		q.offsets[l] = total
+		total += 1 << (2 * l) // 4^l nodes at level l
+	}
+	q.counts = make([]*libtm.Obj, total)
+	for i := range q.counts {
+		q.counts[i] = libtm.NewObj(0)
+	}
+	return q, nil
+}
+
+// Depth returns the number of subdivided levels.
+func (q *QuadTree) Depth() int { return q.depth }
+
+// LeavesPerSide returns the leaf-grid resolution.
+func (q *QuadTree) LeavesPerSide() int { return 1 << q.depth }
+
+// nodeAt returns the index into counts of the level-l node containing
+// (x, y). Level must be in 1..depth.
+func (q *QuadTree) nodeAt(level int, x, y float64) int {
+	side := 1 << level
+	cx := int(x / q.mapSize * float64(side))
+	cy := int(y / q.mapSize * float64(side))
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= side {
+		cx = side - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= side {
+		cy = side - 1
+	}
+	return q.offsets[level] + cy*side + cx
+}
+
+// Insert transactionally adds one occupant at (x, y): every level's
+// enclosing node counter is incremented.
+func (q *QuadTree) Insert(tx *libtm.Tx, x, y float64) {
+	for l := 1; l <= q.depth; l++ {
+		o := q.counts[q.nodeAt(l, x, y)]
+		tx.Write(o, tx.Read(o)+1)
+	}
+}
+
+// InsertRaw adds an occupant non-transactionally (world setup only).
+func (q *QuadTree) InsertRaw(x, y float64) {
+	for l := 1; l <= q.depth; l++ {
+		o := q.counts[q.nodeAt(l, x, y)]
+		o.Store(o.Value() + 1)
+	}
+}
+
+// Move transactionally relocates one occupant from (fx, fy) to
+// (tx_, ty): counters are updated only on the levels where the
+// enclosing node actually changes (common-prefix skip).
+func (q *QuadTree) Move(tx *libtm.Tx, fx, fy, tx_, ty float64) {
+	for l := 1; l <= q.depth; l++ {
+		from := q.nodeAt(l, fx, fy)
+		to := q.nodeAt(l, tx_, ty)
+		if from == to {
+			continue
+		}
+		of := q.counts[from]
+		ot := q.counts[to]
+		tx.Write(of, tx.Read(of)-1)
+		tx.Write(ot, tx.Read(ot)+1)
+	}
+}
+
+// CountAround transactionally reads the occupant count of the level-l
+// region containing (x, y) — the interest-management query. Level is
+// clamped to [1, depth].
+func (q *QuadTree) CountAround(tx *libtm.Tx, x, y float64, level int) int64 {
+	if level < 1 {
+		level = 1
+	}
+	if level > q.depth {
+		level = q.depth
+	}
+	return tx.Read(q.counts[q.nodeAt(level, x, y)])
+}
+
+// Validate checks the tree invariants non-transactionally: every level
+// sums to the expected population and no counter is negative.
+func (q *QuadTree) Validate(population int64) error {
+	for l := 1; l <= q.depth; l++ {
+		side := 1 << l
+		var sum int64
+		for i := 0; i < side*side; i++ {
+			v := q.counts[q.offsets[l]+i].Value()
+			if v < 0 {
+				return fmt.Errorf("synquake: quadtree level %d node %d negative (%d)", l, i, v)
+			}
+			sum += v
+		}
+		if sum != population {
+			return fmt.Errorf("synquake: quadtree level %d sums to %d, want %d", l, sum, population)
+		}
+	}
+	return nil
+}

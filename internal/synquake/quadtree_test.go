@@ -1,0 +1,185 @@
+package synquake
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"gstm/internal/libtm"
+	"gstm/internal/stamp"
+)
+
+func TestNewQuadTreeValidation(t *testing.T) {
+	if _, err := NewQuadTree(128, 0); err == nil {
+		t.Error("depth 0 must fail")
+	}
+	if _, err := NewQuadTree(128, 9); err == nil {
+		t.Error("depth 9 must fail")
+	}
+	if _, err := NewQuadTree(0, 2); err == nil {
+		t.Error("zero map must fail")
+	}
+	q, err := NewQuadTree(128, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Depth() != 3 || q.LeavesPerSide() != 8 {
+		t.Errorf("shape: depth=%d leaves=%d", q.Depth(), q.LeavesPerSide())
+	}
+	if err := q.Validate(0); err != nil {
+		t.Errorf("empty tree invalid: %v", err)
+	}
+}
+
+func TestQuadTreeInsertAndMove(t *testing.T) {
+	q, _ := NewQuadTree(100, 2)
+	s := libtm.New(libtm.Options{})
+	_ = s.Atomic(0, 0, func(tx *libtm.Tx) error {
+		q.Insert(tx, 10, 10)
+		q.Insert(tx, 90, 90)
+		return nil
+	})
+	if err := q.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	// Move across the whole map: every level changes.
+	_ = s.Atomic(0, 0, func(tx *libtm.Tx) error {
+		q.Move(tx, 10, 10, 95, 5)
+		return nil
+	})
+	if err := q.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	// Counter at the destination quadrant should now be 1.
+	var n int64
+	_ = s.Atomic(0, 0, func(tx *libtm.Tx) error {
+		n = q.CountAround(tx, 95, 5, 1)
+		return nil
+	})
+	if n != 1 {
+		t.Errorf("CountAround = %d, want 1", n)
+	}
+}
+
+func TestQuadTreeMoveWithinLeafTouchesNothing(t *testing.T) {
+	q, _ := NewQuadTree(100, 2)
+	q.InsertRaw(10, 10)
+	s := libtm.New(libtm.Options{})
+	before := s.Commits()
+	// A move within the same deepest region must not write any counter;
+	// probe by checking every counter is unchanged.
+	snap := make([]int64, len(q.counts))
+	for i, o := range q.counts {
+		snap[i] = o.Value()
+	}
+	_ = s.Atomic(0, 0, func(tx *libtm.Tx) error {
+		q.Move(tx, 10, 10, 11, 11) // same 25x25 leaf
+		return nil
+	})
+	_ = before
+	for i, o := range q.counts {
+		if o.Value() != snap[i] {
+			t.Fatalf("counter %d changed on intra-leaf move", i)
+		}
+	}
+}
+
+func TestQuadTreeCountAroundClampsLevel(t *testing.T) {
+	q, _ := NewQuadTree(100, 2)
+	q.InsertRaw(50, 50)
+	s := libtm.New(libtm.Options{})
+	_ = s.Atomic(0, 0, func(tx *libtm.Tx) error {
+		if got := q.CountAround(tx, 50, 50, 0); got != 1 {
+			t.Errorf("level 0 clamp: %d", got)
+		}
+		if got := q.CountAround(tx, 50, 50, 99); got != 1 {
+			t.Errorf("level 99 clamp: %d", got)
+		}
+		return nil
+	})
+}
+
+func TestQuadTreeOutOfBoundsClamped(t *testing.T) {
+	q, _ := NewQuadTree(100, 2)
+	s := libtm.New(libtm.Options{})
+	_ = s.Atomic(0, 0, func(tx *libtm.Tx) error {
+		q.Insert(tx, -5, 500) // clamps to corners rather than panicking
+		return nil
+	})
+	if err := q.Validate(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any sequence of inserts and internal moves preserves the
+// per-level population invariant.
+func TestQuadTreePopulationInvariantProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		q, err := NewQuadTree(256, 3)
+		if err != nil {
+			return false
+		}
+		s := libtm.New(libtm.Options{})
+		type pos struct{ x, y float64 }
+		var occupants []pos
+		err = s.Atomic(0, 0, func(tx *libtm.Tx) error {
+			for _, r := range raw {
+				x := float64(r % 256)
+				y := float64((r >> 8) % 256)
+				if len(occupants) > 0 && r%3 == 0 {
+					i := int(r) % len(occupants)
+					q.Move(tx, occupants[i].x, occupants[i].y, x, y)
+					occupants[i] = pos{x, y}
+				} else {
+					q.Insert(tx, x, y)
+					occupants = append(occupants, pos{x, y})
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return false
+		}
+		return q.Validate(int64(len(occupants))) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuadTreeConcurrentMoves(t *testing.T) {
+	q, _ := NewQuadTree(256, 3)
+	s := libtm.New(libtm.Options{})
+	const players = 32
+	positions := make([][2]float64, players)
+	for p := range positions {
+		positions[p] = [2]float64{float64(p * 7 % 256), float64(p * 13 % 256)}
+		q.InsertRaw(positions[p][0], positions[p][1])
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := stamp.NewRand(int64(w))
+			for i := 0; i < 100; i++ {
+				p := w*players/4 + i%(players/4)
+				nx := float64(rng.Intn(256))
+				ny := float64(rng.Intn(256))
+				ox, oy := positions[p][0], positions[p][1]
+				if err := s.Atomic(uint16(w), 0, func(tx *libtm.Tx) error {
+					q.Move(tx, ox, oy, nx, ny)
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+				positions[p] = [2]float64{nx, ny}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := q.Validate(players); err != nil {
+		t.Fatal(err)
+	}
+}

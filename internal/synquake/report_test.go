@@ -1,0 +1,77 @@
+package synquake
+
+import (
+	"strings"
+	"testing"
+)
+
+func tinyQuakeSuite(t *testing.T) SuiteResult {
+	t.Helper()
+	res, err := RunSuite(Suite{
+		Threads:       []int{2, 3},
+		TestScenarios: []string{"4quadrants", "4center_spread6"},
+		Players:       24,
+		MapSize:       128,
+		TrainFrames:   4,
+		TestFrames:    4,
+		Runs:          1,
+		Seed:          3,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSynQuakeSuiteShape(t *testing.T) {
+	res := tinyQuakeSuite(t)
+	for _, sc := range []string{"4quadrants", "4center_spread6"} {
+		for _, th := range []int{2, 3} {
+			o, ok := res.ByScenario[sc][th]
+			if !ok {
+				t.Fatalf("missing %s@%d", sc, th)
+			}
+			if o.Model == nil || o.Model.NumStates() == 0 {
+				t.Errorf("%s@%d: no model", sc, th)
+			}
+			if o.Slowdown <= 0 {
+				t.Errorf("%s@%d: slowdown %v", sc, th, o.Slowdown)
+			}
+		}
+	}
+}
+
+func TestSynQuakeRenders(t *testing.T) {
+	res := tinyQuakeSuite(t)
+	var b strings.Builder
+	res.RenderTableV(&b)
+	if !strings.Contains(b.String(), "TABLE V") || !strings.Contains(b.String(), "SynQuake") {
+		t.Errorf("Table V: %q", b.String())
+	}
+	b.Reset()
+	res.RenderQuestFigure(&b, "4quadrants", "11")
+	if !strings.Contains(b.String(), "FIGURE 11") || !strings.Contains(b.String(), "slowdown") {
+		t.Errorf("Figure 11: %q", b.String())
+	}
+	b.Reset()
+	res.RenderQuestFigure(&b, "4center_spread6", "12")
+	if !strings.Contains(b.String(), "4center_spread6") {
+		t.Errorf("Figure 12: %q", b.String())
+	}
+}
+
+func TestSuiteLogs(t *testing.T) {
+	n := 0
+	_, err := RunSuite(Suite{
+		Threads:       []int{2},
+		TestScenarios: []string{"4quadrants"},
+		Players:       16, MapSize: 128,
+		TrainFrames: 2, TestFrames: 2, Runs: 1,
+	}, func(string, ...any) { n++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Error("no progress logged")
+	}
+}

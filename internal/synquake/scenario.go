@@ -1,0 +1,106 @@
+// Package synquake implements the 2D Quake3-derived multiplayer game
+// server of Lupei et al. used in the paper's second evaluation
+// (Section VIII): a shared world map with a spatial occupancy grid,
+// 1000 players driven toward quest areas, and server threads that
+// process each player's actions transactionally on LibTM with
+// fully-optimistic detection and abort-readers resolution. Quests
+// concentrate players — and hence transactional conflicts — in small
+// regions, and the quest layout controls the contention profile.
+//
+// The four quest layouts match the paper: 4worst_case and 4moving are
+// the training inputs, 4quadrants and 4center_spread6 the test inputs.
+package synquake
+
+import (
+	"fmt"
+	"math"
+)
+
+// Quest is one attraction point: players assigned to it steer toward
+// (X, Y) and mill around within Spread.
+type Quest struct {
+	X, Y   float64
+	Spread float64
+	// Orbit, when non-zero, makes the quest revolve around its initial
+	// position by this radius (the 4moving layout).
+	Orbit float64
+}
+
+// Scenario is a named quest layout on a square map.
+type Scenario struct {
+	Name   string
+	Quests []Quest
+}
+
+// ScenarioNames lists the four layouts in the paper's order: the two
+// training quests, then the two test quests.
+var ScenarioNames = []string{"4worst_case", "4moving", "4quadrants", "4center_spread6"}
+
+// NewScenario builds a named layout for a mapSize×mapSize map.
+func NewScenario(name string, mapSize int) (Scenario, error) {
+	s := float64(mapSize)
+	c := s / 2
+	switch name {
+	case "4worst_case":
+		// All four quests collapsed onto the map center with minimal
+		// spread: every player converges on the same few cells.
+		q := make([]Quest, 4)
+		for i := range q {
+			q[i] = Quest{X: c, Y: c, Spread: s / 64}
+		}
+		return Scenario{Name: name, Quests: q}, nil
+	case "4moving":
+		// Four tight quests orbiting the center: the hot region drifts
+		// every frame.
+		q := make([]Quest, 4)
+		for i := range q {
+			ang := float64(i) * math.Pi / 2
+			q[i] = Quest{
+				X: c + math.Cos(ang)*s/8, Y: c + math.Sin(ang)*s/8,
+				Spread: s / 32, Orbit: s / 8,
+			}
+		}
+		return Scenario{Name: name, Quests: q}, nil
+	case "4quadrants":
+		// One quest per map quadrant: four separate medium-contention
+		// regions.
+		return Scenario{Name: name, Quests: []Quest{
+			{X: s / 4, Y: s / 4, Spread: s / 16},
+			{X: 3 * s / 4, Y: s / 4, Spread: s / 16},
+			{X: s / 4, Y: 3 * s / 4, Spread: s / 16},
+			{X: 3 * s / 4, Y: 3 * s / 4, Spread: s / 16},
+		}}, nil
+	case "4center_spread6":
+		// Four quests around the center with spread 6 (map units):
+		// a single high-interest area, looser than worst_case.
+		q := make([]Quest, 4)
+		for i := range q {
+			ang := float64(i)*math.Pi/2 + math.Pi/4
+			q[i] = Quest{X: c + math.Cos(ang)*6, Y: c + math.Sin(ang)*6, Spread: 6}
+		}
+		return Scenario{Name: name, Quests: q}, nil
+	}
+	return Scenario{}, fmt.Errorf("synquake: unknown scenario %q", name)
+}
+
+// Target returns quest q's attraction point at the given frame,
+// accounting for orbiting quests.
+func (q Quest) Target(frame int) (x, y float64) {
+	if q.Orbit == 0 {
+		return q.X, q.Y
+	}
+	ang := float64(frame) * 0.15
+	// Orbit around the layout's center: reconstruct it from the quest's
+	// initial offset (the quest was placed at center + orbit*dir).
+	cx := q.X - math.Cos(angle0(q))*q.Orbit
+	cy := q.Y - math.Sin(angle0(q))*q.Orbit
+	return cx + math.Cos(angle0(q)+ang)*q.Orbit, cy + math.Sin(angle0(q)+ang)*q.Orbit
+}
+
+// angle0 recovers the quest's initial angular position on its orbit.
+func angle0(q Quest) float64 {
+	// Only used for orbiting quests created by NewScenario, which
+	// places them at multiples of π/2 around the center; the exact
+	// value just needs to be stable per quest.
+	return math.Atan2(q.Y, q.X)
+}

@@ -1,0 +1,259 @@
+package synquake
+
+import (
+	"strings"
+	"testing"
+
+	"gstm/internal/guide"
+	"gstm/internal/libtm"
+	"gstm/internal/trace"
+)
+
+func smallConfig(scenario string) Config {
+	return Config{
+		Players:  32,
+		MapSize:  128,
+		CellSize: 16,
+		Threads:  4,
+		Scenario: scenario,
+		Seed:     9,
+	}
+}
+
+func TestNewScenarioAllNames(t *testing.T) {
+	for _, name := range ScenarioNames {
+		sc, err := NewScenario(name, 1024)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(sc.Quests) != 4 {
+			t.Errorf("%s: %d quests, want 4", name, len(sc.Quests))
+		}
+		for i, q := range sc.Quests {
+			if q.X < 0 || q.X > 1024 || q.Y < 0 || q.Y > 1024 {
+				t.Errorf("%s quest %d off-map: (%v, %v)", name, i, q.X, q.Y)
+			}
+		}
+	}
+	if _, err := NewScenario("bogus", 1024); err == nil {
+		t.Error("unknown scenario must fail")
+	}
+}
+
+func TestWorstCaseIsTightest(t *testing.T) {
+	wc, _ := NewScenario("4worst_case", 1024)
+	qd, _ := NewScenario("4quadrants", 1024)
+	// Worst case: all quests at the same point.
+	for _, q := range wc.Quests {
+		if q.X != wc.Quests[0].X || q.Y != wc.Quests[0].Y {
+			t.Error("4worst_case quests are not collapsed")
+		}
+	}
+	// Quadrants: all distinct.
+	seen := map[[2]float64]bool{}
+	for _, q := range qd.Quests {
+		seen[[2]float64{q.X, q.Y}] = true
+	}
+	if len(seen) != 4 {
+		t.Error("4quadrants quests are not distinct")
+	}
+}
+
+func TestOrbitingQuestMoves(t *testing.T) {
+	sc, _ := NewScenario("4moving", 1024)
+	q := sc.Quests[0]
+	x0, y0 := q.Target(0)
+	x1, y1 := q.Target(10)
+	if x0 == x1 && y0 == y1 {
+		t.Error("orbiting quest did not move")
+	}
+	static, _ := NewScenario("4quadrants", 1024)
+	sx0, sy0 := static.Quests[0].Target(0)
+	sx1, sy1 := static.Quests[0].Target(10)
+	if sx0 != sx1 || sy0 != sy1 {
+		t.Error("static quest moved")
+	}
+}
+
+func TestNewGameValidatesInitially(t *testing.T) {
+	g, err := New(smallConfig("4quadrants"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.STM().Mode() != libtm.FullyOptimistic {
+		t.Error("default mode must be fully optimistic")
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	cfg := smallConfig("4quadrants")
+	cfg.MapSize = 100
+	cfg.CellSize = 33
+	if _, err := New(cfg); err == nil {
+		t.Error("indivisible map/cell must fail")
+	}
+	cfg = smallConfig("nope")
+	if _, err := New(cfg); err == nil {
+		t.Error("unknown scenario must fail")
+	}
+}
+
+func TestRunFramesInvariants(t *testing.T) {
+	for _, name := range ScenarioNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			g, err := New(smallConfig(name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := g.RunFrames(6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.FrameTimes) != 6 {
+				t.Fatalf("frame times = %d", len(res.FrameTimes))
+			}
+			for i, d := range res.FrameTimes {
+				if d <= 0 {
+					t.Errorf("frame %d time %v", i, d)
+				}
+			}
+			if res.Commits == 0 {
+				t.Error("no commits")
+			}
+		})
+	}
+}
+
+func TestRunFramesErrors(t *testing.T) {
+	g, _ := New(smallConfig("4quadrants"))
+	if _, err := g.RunFrames(0); err == nil {
+		t.Error("zero frames must fail")
+	}
+}
+
+func TestAbortRatio(t *testing.T) {
+	r := FrameResult{Commits: 100, Aborts: 25}
+	if r.AbortRatio() != 0.25 {
+		t.Errorf("AbortRatio = %v", r.AbortRatio())
+	}
+	if (FrameResult{}).AbortRatio() != 0 {
+		t.Error("empty result ratio must be 0")
+	}
+}
+
+func TestGameEmitsTraceEvents(t *testing.T) {
+	g, err := New(smallConfig("4worst_case"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := trace.NewCollector()
+	g.STM().SetTracer(col)
+	if _, err := g.RunFrames(4); err != nil {
+		t.Fatal(err)
+	}
+	commits, _ := col.Counts()
+	if commits == 0 {
+		t.Fatal("no trace events from game")
+	}
+	seq, _ := col.Sequence()
+	if len(seq) == 0 {
+		t.Fatal("empty sequence")
+	}
+}
+
+func smallExperiment() Experiment {
+	return Experiment{
+		Players:     32,
+		MapSize:     128,
+		Threads:     4,
+		TrainFrames: 6,
+		TestFrames:  6,
+		Runs:        2,
+		Seed:        77,
+	}
+}
+
+func TestTrainBuildsModel(t *testing.T) {
+	m, err := smallExperiment().Train()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumStates() == 0 {
+		t.Fatal("empty model")
+	}
+}
+
+func TestExperimentDefaults(t *testing.T) {
+	e := Experiment{}
+	e.fill()
+	if e.TestScenario != "4quadrants" || len(e.TrainScenarios) != 2 {
+		t.Errorf("defaults: %+v", e)
+	}
+	if e.TrainScenarios[0] != "4worst_case" || e.TrainScenarios[1] != "4moving" {
+		t.Errorf("training scenarios: %v", e.TrainScenarios)
+	}
+	if e.Players != 1000 || e.MapSize != 1024 {
+		t.Errorf("world defaults: %+v", e)
+	}
+}
+
+func TestExperimentMeasureDefault(t *testing.T) {
+	e := smallExperiment()
+	res, err := e.Measure(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FrameTimes) != e.TestFrames*e.Runs {
+		t.Errorf("frame samples = %d", len(res.FrameTimes))
+	}
+	if res.MeanFrame() <= 0 {
+		t.Error("mean frame time missing")
+	}
+}
+
+func TestFullExperimentBothTestScenarios(t *testing.T) {
+	for _, sc := range []string{"4quadrants", "4center_spread6"} {
+		sc := sc
+		t.Run(sc, func(t *testing.T) {
+			e := smallExperiment()
+			e.TestScenario = sc
+			out, err := e.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Model.NumStates() == 0 {
+				t.Error("no model")
+			}
+			if out.Slowdown <= 0 {
+				t.Errorf("slowdown = %v", out.Slowdown)
+			}
+			if out.Guided.Guide.Admits == 0 {
+				t.Error("gate never consulted in guided mode")
+			}
+			if !strings.Contains(out.Analysis.String(), "guidance metric") {
+				t.Error("analysis report missing")
+			}
+		})
+	}
+}
+
+func TestGuidedMeasureUsesController(t *testing.T) {
+	e := smallExperiment()
+	m, err := e.Train()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := guide.New(m, guide.Options{K: 4})
+	res, err := e.Measure(ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Guide.Admits == 0 {
+		t.Error("controller unused")
+	}
+}

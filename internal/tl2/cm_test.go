@@ -1,0 +1,237 @@
+package tl2
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"gstm/internal/tts"
+)
+
+// cmNames enumerates the managers for table-driven tests.
+func cmList() map[string]ContentionManager {
+	return map[string]ContentionManager{
+		"polite": &Polite{},
+		"karma":  &Karma{},
+		"greedy": &Greedy{},
+	}
+}
+
+func TestCMCorrectnessUnderContention(t *testing.T) {
+	for name, cm := range cmList() {
+		t.Run(name, func(t *testing.T) {
+			s := New(Options{})
+			s.SetContentionManager(cm)
+			v := NewVar(0)
+			const workers = 6
+			const per = 200
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						if err := s.Atomic(uint16(w), 0, func(tx *Tx) error {
+							tx.Write(v, tx.Read(v)+1)
+							return nil
+						}); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if v.Value() != workers*per {
+				t.Errorf("counter = %d, want %d", v.Value(), workers*per)
+			}
+		})
+	}
+}
+
+func TestCMBankInvariant(t *testing.T) {
+	for name, cm := range cmList() {
+		t.Run(name, func(t *testing.T) {
+			s := New(Options{})
+			s.SetContentionManager(cm)
+			const accounts = 8
+			acc := NewArray(accounts, 100)
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := uint64(w + 1)
+					for i := 0; i < 150; i++ {
+						rng ^= rng << 13
+						rng ^= rng >> 7
+						from, to := int(rng%accounts), int((rng>>8)%accounts)
+						_ = s.Atomic(uint16(w), 0, func(tx *Tx) error {
+							f := acc.Get(tx, from)
+							if f < 5 {
+								return nil
+							}
+							acc.Set(tx, from, f-5)
+							acc.Set(tx, to, acc.Get(tx, to)+5)
+							return nil
+						})
+					}
+				}(w)
+			}
+			wg.Wait()
+			var total int64
+			for _, x := range acc.Snapshot() {
+				total += x
+			}
+			if total != accounts*100 {
+				t.Errorf("money not conserved under %s: %d", name, total)
+			}
+		})
+	}
+}
+
+// TestCMReducesAbortsOnLockConflicts pins the mechanism: with a manager
+// that waits out lock holders, lock-conflict aborts drop relative to
+// stock immediate-abort TL2 under identical load.
+func TestCMReducesAbortsOnLockConflicts(t *testing.T) {
+	run := func(cm ContentionManager) (aborts uint64) {
+		s := New(Options{})
+		s.SetContentionManager(cm)
+		v := NewVar(0)
+		const workers = 8
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 150; i++ {
+					_ = s.Atomic(uint16(w), 0, func(tx *Tx) error {
+						x := tx.Read(v)
+						Spin := 0
+						for k := 0; k < 200; k++ {
+							Spin += k
+						}
+						_ = Spin
+						tx.Write(v, x+1)
+						return nil
+					})
+				}
+			}(w)
+		}
+		wg.Wait()
+		return s.Aborts()
+	}
+	stock := run(nil)
+	polite := run(&Polite{})
+	t.Logf("aborts: stock=%d polite=%d", stock, polite)
+	// The managers cannot eliminate validation aborts, but they must
+	// not blow up the abort count; typically they reduce it. Allow
+	// generous slack for scheduling noise.
+	if polite > stock*3+50 {
+		t.Errorf("polite manager increased aborts: %d vs %d", polite, stock)
+	}
+}
+
+func TestSetContentionManagerNilRestoresStock(t *testing.T) {
+	s := New(Options{})
+	s.SetContentionManager(&Polite{})
+	s.SetContentionManager(nil)
+	v := NewVar(0)
+	v.lock.Store(lockedBit) // permanently held
+	v.who.Store(42)
+	s2 := New(Options{MaxRetries: 1})
+	s2.SetContentionManager(nil)
+	err := s2.Atomic(0, 0, func(tx *Tx) error {
+		_ = tx.Read(v)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected retry-limit error with stock behaviour")
+	}
+}
+
+func TestPoliteGivesUpEventually(t *testing.T) {
+	p := &Polite{MaxAttempts: 3}
+	tx := &Tx{stm: New(Options{})}
+	for a := 0; a < 3; a++ {
+		if !p.OnConflict(tx, nil, a) {
+			t.Fatalf("polite gave up too early at attempt %d", a)
+		}
+	}
+	if p.OnConflict(tx, nil, 3) {
+		t.Error("polite must give up after MaxAttempts")
+	}
+}
+
+func TestKarmaAccrualAndSpend(t *testing.T) {
+	k := &Karma{}
+	s := New(Options{})
+	tx := &Tx{stm: s, pair: pairOf(0, 3)}
+	tx.reads = make([]*Var, 5)
+	k.OnAbort(tx)
+	if got := k.slot(tx).Load(); got != 6 {
+		t.Errorf("karma after abort = %d, want 6 (work 5 + 1)", got)
+	}
+	k.OnAbort(tx)
+	if got := k.slot(tx).Load(); got != 12 {
+		t.Errorf("karma accrual = %d, want 12", got)
+	}
+	k.OnCommit(tx)
+	if got := k.slot(tx).Load(); got != 0 {
+		t.Errorf("karma after commit = %d, want 0", got)
+	}
+}
+
+func TestGreedyOlderWaitsYoungerAborts(t *testing.T) {
+	g := &Greedy{}
+	s := New(Options{})
+	v := NewVar(0)
+	v.who.Store(100) // holder instance
+
+	older := &Tx{stm: s, pair: pairOf(0, 1), instance: 50}
+	for a := 0; a < 20; a++ {
+		if !g.OnConflict(older, v, a) {
+			t.Fatalf("older transaction refused at attempt %d", a)
+		}
+	}
+
+	younger := &Tx{stm: s, pair: pairOf(0, 2), instance: 200}
+	gave := false
+	for a := 0; a < 10; a++ {
+		if !g.OnConflict(younger, v, a) {
+			gave = true
+			break
+		}
+	}
+	if !gave {
+		t.Error("younger transaction should abort quickly")
+	}
+}
+
+func TestCMCallbacksInvoked(t *testing.T) {
+	cm := &countingCM{}
+	s := New(Options{})
+	s.SetContentionManager(cm)
+	v := NewVar(0)
+	_ = s.Atomic(0, 0, func(tx *Tx) error {
+		tx.Write(v, 1)
+		return nil
+	})
+	if cm.commits.Load() != 1 {
+		t.Errorf("OnCommit calls = %d", cm.commits.Load())
+	}
+}
+
+type countingCM struct {
+	commits atomic.Int64
+	aborts  atomic.Int64
+}
+
+func (c *countingCM) OnConflict(*Tx, *Var, int) bool { return false }
+func (c *countingCM) OnCommit(*Tx)                   { c.commits.Add(1) }
+func (c *countingCM) OnAbort(*Tx)                    { c.aborts.Add(1) }
+
+// pairOf is a tiny helper for white-box manager tests.
+func pairOf(txID, thread uint16) tts.Pair {
+	return tts.Pair{Tx: txID, Thread: thread}
+}

@@ -1,0 +1,117 @@
+package tl2
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Irrevocable transactions (Sreeram & Pande, IPDPS'12 — the paper's
+// reference [23]): a transaction that is guaranteed to commit on its
+// first attempt, so it may safely perform externally visible actions
+// (I/O, syscalls). The implementation is single-token two-phase
+// locking layered on the TL2 word metadata:
+//
+//   - only one irrevocable transaction runs at a time (a global token);
+//   - every Var it touches — reads included — is write-locked at
+//     encounter time by spinning until the lock frees. Regular TL2
+//     transactions never block on locks (they abort and retry), so the
+//     spin cannot deadlock;
+//   - writes go straight to the Var under the lock; the commit step
+//     just publishes new versions and releases.
+//
+// Regular transactions that raced an irrevocable one abort on its locks
+// or versions and retry, exactly as against any committer. The paper's
+// related work cautions that irrevocability is an I/O mechanism, not a
+// variance tool — using it to suppress rollbacks serializes execution
+// (measurable with the ablation benchmarks).
+
+// irrevocableState is the per-STM token and bookkeeping.
+type irrevocableState struct {
+	token sync.Mutex
+}
+
+// IrrevTx is the access handle inside AtomicIrrevocable. It intentionally
+// mirrors Tx's Read/Write surface but has no abort path.
+type IrrevTx struct {
+	stm      *STM
+	instance uint64
+	locked   []*Var
+	prevWho  []uint64
+}
+
+// lockVar spin-acquires v's write lock (idempotently per transaction).
+func (tx *IrrevTx) lockVar(v *Var) {
+	if v.who.Load() == tx.instance {
+		// Already ours — confirm, since who can be stale for unlocked
+		// vars; the locked list is authoritative.
+		for _, o := range tx.locked {
+			if o == v {
+				return
+			}
+		}
+	}
+	for {
+		l := v.lock.Load()
+		if l&lockedBit == 0 && v.lock.CompareAndSwap(l, l|lockedBit) {
+			tx.prevWho = append(tx.prevWho, v.who.Load())
+			v.who.Store(tx.instance)
+			tx.locked = append(tx.locked, v)
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// Read returns v's value, locking it first (two-phase locking: the
+// value cannot change until the irrevocable transaction finishes).
+func (tx *IrrevTx) Read(v *Var) int64 {
+	tx.lockVar(v)
+	return v.val.Load()
+}
+
+// Write stores x into v in place, under the transaction's lock.
+func (tx *IrrevTx) Write(v *Var, x int64) {
+	tx.lockVar(v)
+	v.val.Store(x)
+}
+
+// ReadFloat reads v as a float64.
+func (tx *IrrevTx) ReadFloat(v *Var) float64 {
+	return floatFromBits(tx.Read(v))
+}
+
+// WriteFloat writes f into v.
+func (tx *IrrevTx) WriteFloat(v *Var, f float64) {
+	tx.Write(v, floatToBits(f))
+}
+
+// AtomicIrrevocable runs fn as an irrevocable transaction: fn executes
+// exactly once and its writes are never rolled back, so it may perform
+// side effects. A non-nil error from fn is returned as-is — but note
+// the writes performed before the error stand (irrevocability means no
+// rollback; callers needing all-or-nothing must use Atomic).
+func (s *STM) AtomicIrrevocable(thread, txID uint16, fn func(*IrrevTx) error) error {
+	s.irrevocable.token.Lock()
+	defer s.irrevocable.token.Unlock()
+
+	tx := &IrrevTx{stm: s, instance: s.instances.Add(1)}
+	err := fn(tx)
+
+	// Publish: bump versions and release every lock. Regular readers
+	// that observed pre-lock values fail validation against the new
+	// versions, as with any commit.
+	if len(tx.locked) > 0 {
+		wv := s.clock.Add(1)
+		newLock := wv << 1
+		for _, v := range tx.locked {
+			v.lock.Store(newLock)
+		}
+	}
+	tx.locked = nil
+
+	if err == nil {
+		s.commits.Add(1)
+		s.tracer.Load().t.OnCommit(tx.instance, pairOfIDs(txID, thread))
+	}
+	return err
+}

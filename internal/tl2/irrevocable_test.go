@@ -1,0 +1,183 @@
+package tl2
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestIrrevocableBasics(t *testing.T) {
+	s := New(Options{})
+	v := NewVar(10)
+	sideEffects := 0
+	err := s.AtomicIrrevocable(0, 0, func(tx *IrrevTx) error {
+		if got := tx.Read(v); got != 10 {
+			t.Errorf("Read = %d", got)
+		}
+		tx.Write(v, 42)
+		sideEffects++ // stands for I/O: must run exactly once
+		if got := tx.Read(v); got != 42 {
+			t.Errorf("read-own-write = %d", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sideEffects != 1 {
+		t.Errorf("fn ran %d times, want exactly 1", sideEffects)
+	}
+	if v.Value() != 42 {
+		t.Errorf("committed = %d", v.Value())
+	}
+	if s.Commits() != 1 {
+		t.Errorf("commits = %d", s.Commits())
+	}
+	// Locks must be fully released.
+	if err := s.Atomic(1, 0, func(tx *Tx) error {
+		tx.Write(v, 7)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIrrevocableFloat(t *testing.T) {
+	s := New(Options{})
+	v := NewFloatVar(1.5)
+	_ = s.AtomicIrrevocable(0, 0, func(tx *IrrevTx) error {
+		tx.WriteFloat(v, tx.ReadFloat(v)*2)
+		return nil
+	})
+	if v.FloatValue() != 3.0 {
+		t.Errorf("FloatValue = %v", v.FloatValue())
+	}
+}
+
+func TestIrrevocableErrorKeepsWrites(t *testing.T) {
+	// Irrevocability means no rollback: writes before the error stand.
+	s := New(Options{})
+	v := NewVar(1)
+	sentinel := errors.New("io failed")
+	err := s.AtomicIrrevocable(0, 0, func(tx *IrrevTx) error {
+		tx.Write(v, 99)
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if v.Value() != 99 {
+		t.Errorf("irrevocable write was rolled back: %d", v.Value())
+	}
+	if s.Commits() != 0 {
+		t.Error("errored irrevocable must not count as commit")
+	}
+	// Locks released regardless.
+	if err := s.Atomic(1, 0, func(tx *Tx) error { _ = tx.Read(v); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIrrevocableMutualExclusion(t *testing.T) {
+	s := New(Options{})
+	var inFlight, maxInFlight atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				_ = s.AtomicIrrevocable(uint16(w), 0, func(tx *IrrevTx) error {
+					n := inFlight.Add(1)
+					for {
+						m := maxInFlight.Load()
+						if n <= m || maxInFlight.CompareAndSwap(m, n) {
+							break
+						}
+					}
+					inFlight.Add(-1)
+					return nil
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if maxInFlight.Load() != 1 {
+		t.Errorf("irrevocable concurrency = %d, want 1", maxInFlight.Load())
+	}
+}
+
+func TestIrrevocableVsRegularTransactions(t *testing.T) {
+	// Mixed traffic: regular increments race irrevocable increments; the
+	// final count must be exact and nothing may deadlock.
+	s := New(Options{})
+	v := NewVar(0)
+	const workers = 6
+	const per = 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if w%2 == 0 {
+					_ = s.Atomic(uint16(w), 0, func(tx *Tx) error {
+						tx.Write(v, tx.Read(v)+1)
+						return nil
+					})
+				} else {
+					_ = s.AtomicIrrevocable(uint16(w), 1, func(tx *IrrevTx) error {
+						tx.Write(v, tx.Read(v)+1)
+						return nil
+					})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if v.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", v.Value(), workers*per)
+	}
+}
+
+func TestIrrevocableCommitVisibleToValidation(t *testing.T) {
+	// A regular transaction that read a Var before an irrevocable
+	// transaction rewrote it must fail validation and retry (seeing the
+	// new value), never commit a stale snapshot.
+	s := New(Options{})
+	x, y := NewVar(0), NewVar(0)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := int64(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = s.AtomicIrrevocable(0, 0, func(tx *IrrevTx) error {
+				tx.Write(x, i)
+				tx.Write(y, i)
+				return nil
+			})
+		}
+	}()
+	for i := 0; i < 300; i++ {
+		var a, b int64
+		if err := s.Atomic(1, 1, func(tx *Tx) error {
+			a = tx.Read(x)
+			b = tx.Read(y)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("torn read across irrevocable writer: %d vs %d", a, b)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,18 @@
+package tl2
+
+import "sync"
+
+// newTxPool builds the shared pool of Tx scratch structures. Pooling
+// keeps the per-attempt allocation cost at zero once warm, which
+// matters because aborted attempts re-enter Atomic's loop at high
+// frequency under contention.
+func newTxPool() *sync.Pool {
+	return &sync.Pool{
+		New: func() any {
+			return &Tx{
+				reads:  make([]*Var, 0, 64),
+				writes: make([]writeEntry, 0, 16),
+			}
+		},
+	}
+}

@@ -1,0 +1,74 @@
+package tl2
+
+import (
+	"sync"
+	"testing"
+)
+
+// Regression: commit-time validation must check the version of read-set
+// entries even when the committing transaction itself holds their write
+// lock. With the check skipped, two transactions that both read-modify-
+// write the same Var could commit from the same snapshot: the classic
+// symptom was concurrent Queue.Pop returning the same element twice.
+// This test hammers exactly that shape.
+func TestNoDuplicateReadModifyWriteCommits(t *testing.T) {
+	s := New(Options{})
+	q := NewQueue(2048)
+	const total = 600
+
+	// Preload sequential tickets.
+	if err := s.Atomic(0, 0, func(tx *Tx) error {
+		for i := int64(0); i < total; i++ {
+			if !q.Push(tx, i) {
+				t.Fatal("preload overflow")
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 6
+	taken := make([]map[int64]bool, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		taken[w] = make(map[int64]bool)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				var x int64
+				var ok bool
+				if err := s.Atomic(uint16(w), 1, func(tx *Tx) error {
+					x, ok = q.Pop(tx)
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+				if !ok {
+					return
+				}
+				taken[w][x] = true
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	seen := make(map[int64]int)
+	n := 0
+	for w := 0; w < workers; w++ {
+		for x := range taken[w] {
+			seen[x]++
+			n++
+		}
+	}
+	if n != total {
+		t.Errorf("popped %d tickets, want %d", n, total)
+	}
+	for x, c := range seen {
+		if c > 1 {
+			t.Errorf("ticket %d popped by %d workers — serializability violated", x, c)
+		}
+	}
+}

@@ -1,0 +1,512 @@
+// Package tl2 implements the Transactional Locking II software
+// transactional memory of Dice, Shalev and Shavit (DISC'06), the STM the
+// paper instruments for its STAMP experiments (Section II-A): a
+// write-back STM with invisible reads, a global version clock, per-word
+// versioned write-locks and commit-time locking (lazy conflict
+// detection).
+//
+// Beyond stock TL2, every transaction attempt carries a unique instance
+// ID and every Var remembers the instance that last locked/wrote it, so
+// an aborting transaction can name its killer. Those (victim, killer)
+// edges are exactly what the paper's profiler logs to build thread
+// transactional states.
+//
+// Transactions run through STM.Atomic, which retries on conflict:
+//
+//	v := tl2.NewVar(0)
+//	err := s.Atomic(threadID, txID, func(tx *tl2.Tx) error {
+//		tx.Write(v, tx.Read(v)+1)
+//		return nil
+//	})
+package tl2
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"gstm/internal/trace"
+	"gstm/internal/tts"
+)
+
+// lock word layout: bit 0 = locked, bits 1..63 = version.
+const lockedBit = 1
+
+// Var is one transactional memory word holding an int64. The zero value
+// is a Var with value 0 and version 0, ready for use. Vars must not be
+// copied after first use and must not be shared between STM instances.
+type Var struct {
+	lock atomic.Uint64 // version<<1 | locked
+	val  atomic.Int64
+	// who is the instance ID of the attempt currently holding the lock,
+	// or of the last committer. Victims read it to attribute aborts.
+	who atomic.Uint64
+}
+
+// NewVar returns a Var initialized to x.
+func NewVar(x int64) *Var {
+	v := &Var{}
+	v.val.Store(x)
+	return v
+}
+
+// NewFloatVar returns a Var initialized to the bit pattern of f.
+func NewFloatVar(f float64) *Var {
+	return NewVar(floatToBits(f))
+}
+
+// floatToBits and floatFromBits convert between float64 values and the
+// int64 representation Vars store.
+func floatToBits(f float64) int64   { return int64(math.Float64bits(f)) }
+func floatFromBits(x int64) float64 { return math.Float64frombits(uint64(x)) }
+
+// pairOfIDs builds a tts.Pair (helper shared with irrevocable commits).
+func pairOfIDs(txID, thread uint16) tts.Pair {
+	return tts.Pair{Tx: txID, Thread: thread}
+}
+
+// Value loads the current committed value non-transactionally. Intended
+// for post-run verification, not for use inside transactions.
+func (v *Var) Value() int64 { return v.val.Load() }
+
+// FloatValue loads the current committed value as a float64.
+func (v *Var) FloatValue() float64 { return math.Float64frombits(uint64(v.val.Load())) }
+
+// Store sets the value non-transactionally. Only for setup code that
+// runs before any transaction touches the Var.
+func (v *Var) Store(x int64) { v.val.Store(x) }
+
+// StoreFloat sets a float64 value non-transactionally (setup only).
+func (v *Var) StoreFloat(f float64) { v.val.Store(int64(math.Float64bits(f))) }
+
+// Gate is consulted at the start of every transaction attempt when
+// guided execution is active. Admit blocks (per the controller's
+// hold/retry/escape policy) until the pair may proceed.
+type Gate interface {
+	Admit(p tts.Pair)
+}
+
+// Options configures an STM instance.
+type Options struct {
+	// MaxRetries bounds conflict retries per Atomic call; 0 means
+	// unbounded (the TL2 default).
+	MaxRetries int
+	// LockSpin is how many times Commit re-tries acquiring a busy
+	// write-lock before aborting. Defaults to 8.
+	LockSpin int
+	// BackoffBase is the initial randomized backoff after an abort.
+	// Defaults to 500ns; doubles per consecutive abort up to 64x.
+	BackoffBase time.Duration
+	// YieldEvery inserts a scheduler yield every N transactional
+	// accesses. On hosts with fewer cores than worker threads this
+	// emulates the instruction-level interleaving of critical sections
+	// that true multicore parallelism produces (and that the paper's
+	// pinned-thread testbeds exhibit); without it, goroutines on a
+	// single P run whole transactions atomically and conflicts vanish.
+	// 0 means the default (4); negative disables yielding.
+	YieldEvery int
+}
+
+// defaultYieldEvery is the access interval between scheduler yields.
+const defaultYieldEvery = 4
+
+func (o *Options) fill() {
+	if o.LockSpin <= 0 {
+		o.LockSpin = 8
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 500 * time.Nanosecond
+	}
+	if o.YieldEvery == 0 {
+		o.YieldEvery = defaultYieldEvery
+	}
+}
+
+// STM is a TL2 transactional memory domain: a global version clock plus
+// run-wide configuration. Vars are independent objects but must only be
+// used through a single STM at a time.
+type STM struct {
+	clock     atomic.Uint64
+	instances atomic.Uint64
+	commits   atomic.Uint64
+	aborts    atomic.Uint64
+	tracer    atomic.Pointer[tracerBox]
+	gate      atomic.Pointer[gateBox]
+	cm        atomic.Pointer[cmBox]
+	opts      Options
+
+	irrevocable irrevocableState
+}
+
+type tracerBox struct{ t trace.Tracer }
+type gateBox struct{ g Gate }
+
+// New returns an STM with the given options.
+func New(opts Options) *STM {
+	opts.fill()
+	s := &STM{opts: opts}
+	s.SetTracer(trace.Nop{})
+	return s
+}
+
+// SetTracer installs the event sink for commit/abort events. Passing
+// nil restores the no-op tracer. Safe to call between runs; calling it
+// while transactions are in flight applies to subsequent events.
+func (s *STM) SetTracer(t trace.Tracer) {
+	if t == nil {
+		t = trace.Nop{}
+	}
+	s.tracer.Store(&tracerBox{t})
+}
+
+// SetGate installs (or, with nil, removes) the guided-execution gate.
+func (s *STM) SetGate(g Gate) {
+	if g == nil {
+		s.gate.Store(nil)
+		return
+	}
+	s.gate.Store(&gateBox{g})
+}
+
+// Commits returns the total number of committed transactions.
+func (s *STM) Commits() uint64 { return s.commits.Load() }
+
+// Aborts returns the total number of aborted transaction attempts.
+func (s *STM) Aborts() uint64 { return s.aborts.Load() }
+
+// ResetCounters zeroes the commit/abort counters (between runs).
+func (s *STM) ResetCounters() {
+	s.commits.Store(0)
+	s.aborts.Store(0)
+}
+
+// abortSignal is the internal control-flow signal for a conflict abort;
+// it carries the killer's instance for attribution.
+type abortSignal struct {
+	killer uint64
+}
+
+// ErrRetryLimit is returned by Atomic when Options.MaxRetries was
+// exceeded.
+var ErrRetryLimit = fmt.Errorf("tl2: transaction exceeded retry limit")
+
+type writeEntry struct {
+	v   *Var
+	val int64
+	// prevWho is the Var's last writer before we locked it at commit,
+	// kept for abort attribution when our own lock hides it.
+	prevWho uint64
+}
+
+// Tx is a single transaction attempt. A Tx is only valid inside the
+// function passed to Atomic and must not be retained or shared.
+type Tx struct {
+	stm      *STM
+	pair     tts.Pair
+	instance uint64
+	rv       uint64
+	reads    []*Var
+	writes   []writeEntry
+	// writeIdx accelerates read-own-write lookups once the write set
+	// grows beyond linear-scan comfort.
+	writeIdx map[*Var]int
+	// ops counts transactional accesses for YieldEvery interleaving.
+	ops int
+}
+
+// maybeYield emulates multicore interleaving of transactional code on
+// under-provisioned hosts (see Options.YieldEvery).
+func (tx *Tx) maybeYield() {
+	ye := tx.stm.opts.YieldEvery
+	if ye <= 0 {
+		return
+	}
+	tx.ops++
+	if tx.ops%ye == 0 {
+		runtime.Gosched()
+	}
+}
+
+const writeIdxThreshold = 64
+
+func (tx *Tx) reset(rv uint64, instance uint64) {
+	tx.rv = rv
+	tx.instance = instance
+	tx.ops = 0
+	tx.reads = tx.reads[:0]
+	tx.writes = tx.writes[:0]
+	if tx.writeIdx != nil {
+		clear(tx.writeIdx)
+	}
+}
+
+// Pair returns the (transaction, thread) identity of this attempt.
+func (tx *Tx) Pair() tts.Pair { return tx.pair }
+
+// abort signals a conflict abort killed by the given instance.
+func (tx *Tx) abort(killer uint64) {
+	panic(abortSignal{killer})
+}
+
+func (tx *Tx) lookupWrite(v *Var) (int64, bool) {
+	if tx.writeIdx != nil && len(tx.writes) > writeIdxThreshold {
+		if i, ok := tx.writeIdx[v]; ok {
+			return tx.writes[i].val, true
+		}
+		return 0, false
+	}
+	for i := len(tx.writes) - 1; i >= 0; i-- {
+		if tx.writes[i].v == v {
+			return tx.writes[i].val, true
+		}
+	}
+	return 0, false
+}
+
+// Read returns the transactional value of v, observing the
+// transaction's own pending writes. On conflict the attempt aborts and
+// Atomic retries the whole function.
+func (tx *Tx) Read(v *Var) int64 {
+	tx.maybeYield()
+	if x, ok := tx.lookupWrite(v); ok {
+		return x
+	}
+	l1 := v.lock.Load()
+	for attempt := 0; l1&lockedBit != 0; attempt++ {
+		if !tx.consultCM(v, attempt) {
+			tx.abort(v.who.Load())
+		}
+		l1 = v.lock.Load()
+	}
+	x := v.val.Load()
+	l2 := v.lock.Load()
+	if l1 != l2 || l2>>1 > tx.rv {
+		tx.abort(v.who.Load())
+	}
+	tx.reads = append(tx.reads, v)
+	return x
+}
+
+// Write buffers a transactional store of x into v (write-back: shared
+// memory is untouched until commit).
+func (tx *Tx) Write(v *Var, x int64) {
+	tx.maybeYield()
+	if tx.writeIdx != nil && len(tx.writes) >= writeIdxThreshold {
+		if i, ok := tx.writeIdx[v]; ok {
+			tx.writes[i].val = x
+			return
+		}
+	} else {
+		for i := len(tx.writes) - 1; i >= 0; i-- {
+			if tx.writes[i].v == v {
+				tx.writes[i].val = x
+				return
+			}
+		}
+	}
+	tx.writes = append(tx.writes, writeEntry{v: v, val: x})
+	if len(tx.writes) == writeIdxThreshold+1 {
+		if tx.writeIdx == nil {
+			tx.writeIdx = make(map[*Var]int, 2*writeIdxThreshold)
+		}
+		for i, w := range tx.writes {
+			tx.writeIdx[w.v] = i
+		}
+	} else if tx.writeIdx != nil && len(tx.writes) > writeIdxThreshold {
+		tx.writeIdx[v] = len(tx.writes) - 1
+	}
+}
+
+// ReadFloat reads v as a float64.
+func (tx *Tx) ReadFloat(v *Var) float64 {
+	return math.Float64frombits(uint64(tx.Read(v)))
+}
+
+// WriteFloat writes f into v as a float64 bit pattern.
+func (tx *Tx) WriteFloat(v *Var, f float64) {
+	tx.Write(v, int64(math.Float64bits(f)))
+}
+
+// commit runs the TL2 commit protocol: lock the write set, increment
+// the global clock, validate the read set, write back, release.
+func (tx *Tx) commit() {
+	// A suspension point between the transaction body and the commit
+	// protocol: even two-access transactions overlap with concurrent
+	// committers here, as they do under true parallelism.
+	if tx.stm.opts.YieldEvery > 0 {
+		runtime.Gosched()
+	}
+	if len(tx.writes) == 0 {
+		// Read-only fast path: per-read validation against rv already
+		// guarantees a consistent snapshot at rv.
+		return
+	}
+	s := tx.stm
+	locked := 0
+	for i := range tx.writes {
+		w := &tx.writes[i]
+		for attempt := 0; !tx.tryLock(w.v); attempt++ {
+			if !tx.consultCM(w.v, attempt) {
+				killer := w.v.who.Load()
+				tx.unlockPrefix(locked)
+				tx.abort(killer)
+			}
+		}
+		w.prevWho = w.v.who.Load()
+		w.v.who.Store(tx.instance)
+		locked++
+	}
+	wv := s.clock.Add(1)
+	if wv > tx.rv+1 {
+		for _, r := range tx.reads {
+			l := r.lock.Load()
+			if l&lockedBit != 0 && r.who.Load() != tx.instance {
+				killer := r.who.Load()
+				tx.unlockPrefix(locked)
+				tx.abort(killer)
+			}
+			// Validate the version even when we hold the lock ourselves:
+			// the locked bit leaves the pre-lock version intact, and a
+			// version newer than rv means our earlier read of this Var
+			// (it is in both our read and write sets) saw a value that a
+			// concurrent commit has since replaced.
+			if l>>1 > tx.rv {
+				killer := r.who.Load()
+				if killer == tx.instance {
+					// We overwrote who when locking; recover the real
+					// culprit (the committer that bumped the version).
+					for i := range tx.writes {
+						if tx.writes[i].v == r {
+							killer = tx.writes[i].prevWho
+							break
+						}
+					}
+				}
+				tx.unlockPrefix(locked)
+				tx.abort(killer)
+			}
+		}
+	}
+	newLock := wv << 1
+	for _, w := range tx.writes {
+		w.v.val.Store(w.val)
+		w.v.lock.Store(newLock)
+	}
+}
+
+// tryLock attempts to acquire v's write lock with bounded spinning.
+func (tx *Tx) tryLock(v *Var) bool {
+	spin := tx.stm.opts.LockSpin
+	for i := 0; i < spin; i++ {
+		l := v.lock.Load()
+		if l&lockedBit == 0 {
+			if v.lock.CompareAndSwap(l, l|lockedBit) {
+				return true
+			}
+		} else if v.who.Load() == tx.instance {
+			return true // already ours (duplicate write entry cannot happen, but be safe)
+		}
+		runtime.Gosched()
+	}
+	return false
+}
+
+// unlockPrefix releases the first n acquired write locks, restoring
+// their pre-lock versions (no writeback happened yet).
+func (tx *Tx) unlockPrefix(n int) {
+	for i := 0; i < n; i++ {
+		v := tx.writes[i].v
+		l := v.lock.Load()
+		v.lock.Store(l &^ lockedBit)
+	}
+}
+
+// Atomic executes fn transactionally as static transaction txID on the
+// given thread, retrying on conflicts until commit. If fn returns a
+// non-nil error the transaction is rolled back (its writes discarded)
+// and the error is returned without retrying — the caller-level abort
+// idiom. Returns ErrRetryLimit if Options.MaxRetries is exceeded.
+func (s *STM) Atomic(thread, txID uint16, fn func(*Tx) error) error {
+	tx := txPool.Get().(*Tx)
+	defer txPool.Put(tx)
+	tx.stm = s
+	tx.pair = tts.Pair{Tx: txID, Thread: thread}
+
+	attempts := 0
+	for {
+		if gb := s.gate.Load(); gb != nil {
+			gb.g.Admit(tx.pair)
+		}
+		rv := s.clock.Load()
+		inst := s.instances.Add(1)
+		tx.reset(rv, inst)
+
+		killer, userErr, committed := s.runAttempt(tx, fn)
+		if committed {
+			s.commits.Add(1)
+			if b := s.cm.Load(); b != nil {
+				b.cm.OnCommit(tx)
+			}
+			s.tracer.Load().t.OnCommit(inst, tx.pair)
+			return nil
+		}
+		if userErr != nil {
+			return userErr
+		}
+		s.aborts.Add(1)
+		if b := s.cm.Load(); b != nil {
+			b.cm.OnAbort(tx)
+		}
+		s.tracer.Load().t.OnAbort(tx.pair, killer)
+		attempts++
+		if s.opts.MaxRetries > 0 && attempts > s.opts.MaxRetries {
+			return ErrRetryLimit
+		}
+		s.backoff(attempts)
+	}
+}
+
+// runAttempt runs one attempt of fn, converting the internal abort
+// panic into a (killer, committed=false) result.
+func (s *STM) runAttempt(tx *Tx, fn func(*Tx) error) (killer uint64, userErr error, committed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if sig, ok := r.(abortSignal); ok {
+				killer = sig.killer
+				return
+			}
+			panic(r)
+		}
+	}()
+	if err := fn(tx); err != nil {
+		return 0, err, false
+	}
+	tx.commit()
+	return 0, nil, true
+}
+
+// backoff applies randomized exponential backoff after an abort to damp
+// livelock, capped at 64x the base.
+func (s *STM) backoff(attempts int) {
+	shift := attempts
+	if shift > 6 {
+		shift = 6
+	}
+	d := s.opts.BackoffBase << uint(shift)
+	// Cheap xorshift jitter off the clock to avoid lockstep retries.
+	j := uint64(time.Now().UnixNano())
+	j ^= j << 13
+	j ^= j >> 7
+	d = time.Duration(uint64(d)/2 + j%uint64(d))
+	if d < time.Microsecond {
+		for i := 0; i <= shift; i++ {
+			runtime.Gosched()
+		}
+		return
+	}
+	time.Sleep(d)
+}
+
+var txPool = newTxPool()

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"gstm/internal/tts"
+)
+
+// The paper's artifact materializes each profiled run's transaction
+// sequence to a file ("the modified STM ... generate[s] a bitwise
+// transaction sequence") and builds the model offline. WriteSequence
+// and ReadSequence implement that interchange format: a magic header,
+// the state count, then each thread transactional state as its commit
+// pair followed by its abort pairs.
+
+var seqMagic = [8]byte{'G', 'S', 'T', 'M', 'T', 'S', 'Q', '1'}
+
+// WriteSequence writes a transaction sequence in the binary
+// interchange format.
+func WriteSequence(w io.Writer, seq []tts.State) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(seqMagic[:]); err != nil {
+		return err
+	}
+	var scratch [4]byte
+	binary.BigEndian.PutUint32(scratch[:], uint32(len(seq)))
+	if _, err := bw.Write(scratch[:]); err != nil {
+		return err
+	}
+	writePair := func(p tts.Pair) error {
+		binary.BigEndian.PutUint16(scratch[:2], p.Tx)
+		binary.BigEndian.PutUint16(scratch[2:], p.Thread)
+		_, err := bw.Write(scratch[:4])
+		return err
+	}
+	for i := range seq {
+		st := seq[i]
+		if len(st.Aborts) > 0xffff {
+			return fmt.Errorf("trace: state %d has %d aborts, too many to encode", i, len(st.Aborts))
+		}
+		if err := writePair(st.Commit); err != nil {
+			return err
+		}
+		binary.BigEndian.PutUint16(scratch[:2], uint16(len(st.Aborts)))
+		if _, err := bw.Write(scratch[:2]); err != nil {
+			return err
+		}
+		for _, a := range st.Aborts {
+			if err := writePair(a); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSequence reads a sequence written by WriteSequence.
+func ReadSequence(r io.Reader) ([]tts.State, error) {
+	br := bufio.NewReader(r)
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if got != seqMagic {
+		return nil, fmt.Errorf("trace: bad sequence magic %q", got[:])
+	}
+	var scratch [4]byte
+	if _, err := io.ReadFull(br, scratch[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	n := binary.BigEndian.Uint32(scratch[:])
+	readPair := func() (tts.Pair, error) {
+		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+			return tts.Pair{}, err
+		}
+		return tts.Pair{
+			Tx:     binary.BigEndian.Uint16(scratch[:2]),
+			Thread: binary.BigEndian.Uint16(scratch[2:]),
+		}, nil
+	}
+	seq := make([]tts.State, 0, n)
+	for i := uint32(0); i < n; i++ {
+		commit, err := readPair()
+		if err != nil {
+			return nil, fmt.Errorf("trace: state %d commit: %w", i, err)
+		}
+		if _, err := io.ReadFull(br, scratch[:2]); err != nil {
+			return nil, fmt.Errorf("trace: state %d abort count: %w", i, err)
+		}
+		na := binary.BigEndian.Uint16(scratch[:2])
+		st := tts.State{Commit: commit}
+		for a := uint16(0); a < na; a++ {
+			p, err := readPair()
+			if err != nil {
+				return nil, fmt.Errorf("trace: state %d abort %d: %w", i, a, err)
+			}
+			st.Aborts = append(st.Aborts, p)
+		}
+		st.Canonicalize()
+		seq = append(seq, st)
+	}
+	return seq, nil
+}

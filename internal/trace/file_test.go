@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gstm/internal/tts"
+)
+
+func TestSequenceFileRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var seq []tts.State
+	for i := 0; i < 200; i++ {
+		st := tts.State{Commit: tts.Pair{Tx: uint16(rng.Intn(5)), Thread: uint16(rng.Intn(8))}}
+		for a := 0; a < rng.Intn(4); a++ {
+			st.Aborts = append(st.Aborts,
+				tts.Pair{Tx: uint16(rng.Intn(5)), Thread: uint16(rng.Intn(8))})
+		}
+		st.Canonicalize()
+		seq = append(seq, st)
+	}
+	var buf bytes.Buffer
+	if err := WriteSequence(&buf, seq); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSequence(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(seq) {
+		t.Fatalf("length %d, want %d", len(got), len(seq))
+	}
+	for i := range seq {
+		if !got[i].Equal(seq[i]) {
+			t.Fatalf("state %d mismatch: %v vs %v", i, got[i], seq[i])
+		}
+	}
+}
+
+func TestSequenceFileEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSequence(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSequence(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("got %d states", len(got))
+	}
+}
+
+func TestSequenceFileErrors(t *testing.T) {
+	if _, err := ReadSequence(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input must fail")
+	}
+	if _, err := ReadSequence(strings.NewReader("NOTMAGIC....")); err == nil {
+		t.Error("bad magic must fail")
+	}
+	var buf bytes.Buffer
+	_ = WriteSequence(&buf, []tts.State{{Commit: tts.Pair{Tx: 1, Thread: 2}}})
+	trunc := buf.Bytes()[:buf.Len()-2]
+	if _, err := ReadSequence(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated input must fail")
+	}
+}
+
+// Property: roundtrip preserves every state's canonical key.
+func TestSequenceFileRoundtripProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		var seq []tts.State
+		for i := 0; i+1 < len(raw); i += 2 {
+			st := tts.State{Commit: tts.PairFromKey(raw[i])}
+			if raw[i+1]%2 == 0 {
+				st.Aborts = append(st.Aborts, tts.PairFromKey(raw[i+1]))
+			}
+			st.Canonicalize()
+			seq = append(seq, st)
+		}
+		var buf bytes.Buffer
+		if err := WriteSequence(&buf, seq); err != nil {
+			return false
+		}
+		got, err := ReadSequence(&buf)
+		if err != nil || len(got) != len(seq) {
+			return false
+		}
+		for i := range seq {
+			if got[i].Key() != seq[i].Key() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSequenceFileFeedsModelPipeline(t *testing.T) {
+	// The artifact flow: record → file → read back → model. Ensure the
+	// collector's output writes and reads cleanly.
+	c := NewCollector()
+	c.OnAbort(tts.Pair{Tx: 0, Thread: 1}, 7)
+	c.OnCommit(7, tts.Pair{Tx: 1, Thread: 2})
+	c.OnCommit(8, tts.Pair{Tx: 0, Thread: 3})
+	seq, _ := c.Sequence()
+	var buf bytes.Buffer
+	if err := WriteSequence(&buf, seq); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSequence(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || len(got[0].Aborts) != 1 {
+		t.Fatalf("pipeline sequence = %v", got)
+	}
+}

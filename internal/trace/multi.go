@@ -1,0 +1,42 @@
+package trace
+
+import "gstm/internal/tts"
+
+// Multi fans every event out to each sink in order. Guided measurement
+// runs use it to feed the guide controller (state tracking) and a
+// Collector (metrics) from the same STM.
+func Multi(sinks ...Tracer) Tracer {
+	// Flatten to avoid nesting overhead when composing.
+	var flat []Tracer
+	for _, s := range sinks {
+		if s == nil {
+			continue
+		}
+		if m, ok := s.(multi); ok {
+			flat = append(flat, m...)
+		} else {
+			flat = append(flat, s)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return Nop{}
+	case 1:
+		return flat[0]
+	}
+	return multi(flat)
+}
+
+type multi []Tracer
+
+func (m multi) OnCommit(instance uint64, p tts.Pair) {
+	for _, t := range m {
+		t.OnCommit(instance, p)
+	}
+}
+
+func (m multi) OnAbort(p tts.Pair, killer uint64) {
+	for _, t := range m {
+		t.OnAbort(p, killer)
+	}
+}

@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+
+	"gstm/internal/tts"
+)
+
+func TestNopTracerIsHarmless(t *testing.T) {
+	var n Nop
+	n.OnCommit(1, tts.Pair{})
+	n.OnAbort(tts.Pair{}, 0)
+}
+
+func TestSequenceGroupsAbortsUnderKiller(t *testing.T) {
+	c := NewCollector()
+	// Instance 10: thread 7 commits tx b, killing (a,6).
+	c.OnAbort(tts.Pair{Tx: 0, Thread: 6}, 10)
+	c.OnCommit(10, tts.Pair{Tx: 1, Thread: 7})
+	// Instance 11: thread 0 commits tx b with no victims.
+	c.OnCommit(11, tts.Pair{Tx: 1, Thread: 0})
+
+	seq, unattr := c.Sequence()
+	if unattr != 0 {
+		t.Fatalf("unattributed = %d", unattr)
+	}
+	if len(seq) != 2 {
+		t.Fatalf("len(seq) = %d", len(seq))
+	}
+	want0 := tts.State{Commit: tts.Pair{Tx: 1, Thread: 7}, Aborts: []tts.Pair{{Tx: 0, Thread: 6}}}
+	if !seq[0].Equal(want0) {
+		t.Errorf("seq[0] = %v, want %v", seq[0], want0)
+	}
+	if len(seq[1].Aborts) != 0 {
+		t.Errorf("seq[1] should be a singleton commit, got %v", seq[1])
+	}
+}
+
+func TestSequenceAbortOrderIndependent(t *testing.T) {
+	build := func(abortFirst bool) string {
+		c := NewCollector()
+		if abortFirst {
+			c.OnAbort(tts.Pair{Tx: 0, Thread: 1}, 5)
+			c.OnAbort(tts.Pair{Tx: 2, Thread: 3}, 5)
+		} else {
+			c.OnAbort(tts.Pair{Tx: 2, Thread: 3}, 5)
+			c.OnAbort(tts.Pair{Tx: 0, Thread: 1}, 5)
+		}
+		c.OnCommit(5, tts.Pair{Tx: 1, Thread: 0})
+		seq, _ := c.Sequence()
+		return seq[0].Key()
+	}
+	if build(true) != build(false) {
+		t.Error("abort arrival order changed the state key")
+	}
+}
+
+func TestSequenceUnattributedAborts(t *testing.T) {
+	c := NewCollector()
+	c.OnCommit(1, tts.Pair{Tx: 0, Thread: 0})
+	c.OnAbort(tts.Pair{Tx: 1, Thread: 1}, 99) // killer never commits
+	c.OnAbort(tts.Pair{Tx: 1, Thread: 2}, 0)  // unknown killer
+	seq, unattr := c.Sequence()
+	if unattr != 2 {
+		t.Errorf("unattributed = %d, want 2", unattr)
+	}
+	if len(seq) != 1 || len(seq[0].Aborts) != 0 {
+		t.Errorf("seq = %v", seq)
+	}
+}
+
+func TestSequenceKillerInstanceZeroNeverMatches(t *testing.T) {
+	// Even if a commit somehow used instance 0, aborts with killer 0
+	// must stay unattributed ("unknown"), never grouped.
+	c := NewCollector()
+	c.OnCommit(0, tts.Pair{Tx: 0, Thread: 0})
+	c.OnAbort(tts.Pair{Tx: 1, Thread: 1}, 0)
+	seq, unattr := c.Sequence()
+	if unattr != 1 {
+		t.Errorf("unattributed = %d, want 1", unattr)
+	}
+	if len(seq[0].Aborts) != 0 {
+		t.Errorf("abort wrongly attributed: %v", seq[0])
+	}
+}
+
+func TestCountsAndReset(t *testing.T) {
+	c := NewCollector()
+	c.OnCommit(1, tts.Pair{})
+	c.OnCommit(2, tts.Pair{})
+	c.OnAbort(tts.Pair{}, 1)
+	if cm, ab := c.Counts(); cm != 2 || ab != 1 {
+		t.Errorf("Counts = %d,%d", cm, ab)
+	}
+	c.Reset()
+	if cm, ab := c.Counts(); cm != 0 || ab != 0 {
+		t.Errorf("after Reset Counts = %d,%d", cm, ab)
+	}
+	if seq, _ := c.Sequence(); len(seq) != 0 {
+		t.Errorf("after Reset Sequence = %v", seq)
+	}
+}
+
+func TestAbortCountByThread(t *testing.T) {
+	c := NewCollector()
+	c.OnAbort(tts.Pair{Tx: 0, Thread: 3}, 0)
+	c.OnAbort(tts.Pair{Tx: 1, Thread: 3}, 0)
+	c.OnAbort(tts.Pair{Tx: 0, Thread: 5}, 0)
+	m := c.AbortCountByThread()
+	if m[3] != 2 || m[5] != 1 || len(m) != 2 {
+		t.Errorf("AbortCountByThread = %v", m)
+	}
+}
+
+func TestCollectorConcurrentSafety(t *testing.T) {
+	c := NewCollector()
+	const workers = 8
+	const per = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				inst := uint64(w*per + i + 1)
+				c.OnCommit(inst, tts.Pair{Tx: uint16(i % 4), Thread: uint16(w)})
+				c.OnAbort(tts.Pair{Tx: uint16(i % 4), Thread: uint16(w)}, inst)
+			}
+		}(w)
+	}
+	wg.Wait()
+	cm, ab := c.Counts()
+	if cm != workers*per || ab != workers*per {
+		t.Errorf("Counts = %d,%d", cm, ab)
+	}
+	seq, unattr := c.Sequence()
+	if len(seq) != workers*per {
+		t.Errorf("len(seq) = %d", len(seq))
+	}
+	// Every abort named an instance that committed, so all attribute.
+	if unattr != 0 {
+		t.Errorf("unattributed = %d", unattr)
+	}
+}
+
+func TestKeys(t *testing.T) {
+	seq := []tts.State{
+		{Commit: tts.Pair{Tx: 0, Thread: 0}},
+		{Commit: tts.Pair{Tx: 1, Thread: 1}, Aborts: []tts.Pair{{Tx: 0, Thread: 2}}},
+	}
+	ks := Keys(seq)
+	if len(ks) != 2 {
+		t.Fatalf("len = %d", len(ks))
+	}
+	if ks[0] != seq[0].Key() || ks[1] != seq[1].Key() {
+		t.Error("Keys mismatch")
+	}
+}
