@@ -1,0 +1,108 @@
+// Command gstmlint is the repository's STM-aware linter: it loads
+// packages from source (stdlib go/parser + go/types, no x/tools),
+// runs the internal/lint checker registry over them, and reports
+// file:line:col diagnostics with stable check IDs.
+//
+// Usage:
+//
+//	gstmlint [-checks gstm001,gstm003] [-list] [-v] [packages...]
+//
+// Packages are directories or "dir/..." wildcards (default "./...").
+// The exit code is the CI contract: 0 clean, 1 diagnostics found,
+// 2 usage or load failure. Suppress individual findings with an
+// inline //gstm:ignore [ids...] directive; see README "Transaction
+// safety rules".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gstm/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("gstmlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	checks := fs.String("checks", "", "comma-separated check IDs or names to run (default: all)")
+	list := fs.Bool("list", false, "list registered checks and exit")
+	verbose := fs.Bool("v", false, "also print type-check warnings for packages that do not fully type-check")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: gstmlint [flags] [packages...]\n\nSTM-aware static analysis for gstm transaction bodies.\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, c := range lint.Checkers() {
+			fmt.Fprintf(stdout, "%s %s\n    %s\n", c.ID(), c.Name(), c.Doc())
+		}
+		return 0
+	}
+
+	var checkers []lint.Checker
+	if *checks != "" {
+		for _, id := range strings.Split(*checks, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			c, ok := lint.Lookup(id)
+			if !ok {
+				fmt.Fprintf(stderr, "gstmlint: unknown check %q (try -list)\n", id)
+				return 2
+			}
+			checkers = append(checkers, c)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(stderr, "gstmlint: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "gstmlint: %v\n", err)
+		return 2
+	}
+
+	if *verbose {
+		for _, pkg := range pkgs {
+			for _, terr := range pkg.TypeErrors {
+				fmt.Fprintf(stderr, "gstmlint: typecheck %s: %v\n", pkg.Path, terr)
+			}
+		}
+	}
+
+	cwd, _ := os.Getwd()
+	diags := lint.Run(pkgs, checkers)
+	for _, d := range diags {
+		file := d.Position.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: %s [%s]\n", file, d.Position.Line, d.Position.Column, d.Message, d.Check)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "gstmlint: %d issue(s) across %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}

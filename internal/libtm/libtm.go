@@ -181,8 +181,11 @@ func (s *STM) ResetCounters() {
 	s.aborts.Store(0)
 }
 
-// Obj is one transactional object holding an int64. Create with NewObj.
+// Obj is one transactional object holding an int64. Create with NewObj
+// and never copy it after first use (enforced by `go vet -copylocks`
+// and gstmlint's gstm003).
 type Obj struct {
+	_          noCopy
 	mu         sync.Mutex
 	version    uint64
 	writerInst uint64         // instance holding the write lock (0 = none)

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+func init() { Register(droppedAtomicError{}) }
+
+// droppedAtomicError is gstm005: ignoring the result of Atomic.
+//
+// Atomic's error is load-bearing: ErrRetryLimit means the transaction
+// never committed (its writes were discarded), and a caller-level
+// abort error means the body rolled back on purpose. Discarding the
+// result lets a program continue as if the state change happened.
+// Only the bare statement form is flagged — an explicit `_ =` is the
+// repo's documented "this transaction cannot fail / failure is
+// acceptable" idiom (unbounded retries and a body that returns nil),
+// and stays visible in review.
+type droppedAtomicError struct{}
+
+func (droppedAtomicError) ID() string   { return "gstm005" }
+func (droppedAtomicError) Name() string { return "dropped-atomic-error" }
+func (droppedAtomicError) Doc() string {
+	return "flags Atomic/AtomicIrrevocable calls whose error result is silently discarded " +
+		"(statement position, go, or defer): ErrRetryLimit and caller-level aborts mean " +
+		"the transaction did not commit; assign the error or use an explicit `_ =` to " +
+		"document intent"
+}
+
+func (c droppedAtomicError) Check(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			var how string
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+				how = "discarded"
+			case *ast.GoStmt:
+				call = n.Call
+				how = "unobservable from a go statement"
+			case *ast.DeferStmt:
+				call = n.Call
+				how = "unobservable from a defer statement"
+			}
+			if call == nil {
+				return true
+			}
+			if name, ok := atomicMethod(p.calleeFunc(call)); ok {
+				p.Reportf(call.Pos(), "error result of %s is %s: ErrRetryLimit or a caller-level abort means the transaction never committed; check the error or document intent with `_ =`", name, how)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,251 @@
+// Package lint is a from-scratch static-analysis framework for the
+// gstm repository, built directly on go/parser, go/ast and go/types
+// (no golang.org/x/tools dependency).
+//
+// The paper's whole pipeline — TTS profiling, TSA model construction,
+// guided commit — assumes transaction bodies are pure with respect to
+// retry: TL2 may re-execute an Atomic closure many times before it
+// commits, so any side effect, escaped *Tx, or raw Var access silently
+// corrupts both program state and the profiled transaction sequences
+// the model is built from. Package lint makes those patterns
+// unwritable at build time: a registry of STM-aware checkers walks
+// type-checked packages and reports diagnostics with stable check IDs
+// (gstm001..gstm005) that CI gates on via cmd/gstmlint.
+//
+// Diagnostics can be suppressed with an inline directive:
+//
+//	v.Store(0) //gstm:ignore gstm003 -- setup helper, no tx in flight
+//
+// A bare //gstm:ignore suppresses every check on that line (or the
+// line directly below, when the comment stands alone); listing IDs
+// restricts the suppression to those checks.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, a stable check ID and a
+// human-readable message.
+type Diagnostic struct {
+	Position token.Position
+	Check    string // stable ID, e.g. "gstm001"
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Position.Filename,
+		d.Position.Line, d.Position.Column, d.Message, d.Check)
+}
+
+// Checker is one lint pass. Implementations are stateless: Check may
+// be called concurrently for different packages.
+type Checker interface {
+	// ID returns the stable check ID (e.g. "gstm001").
+	ID() string
+	// Name returns the short mnemonic (e.g. "retry-unsafe").
+	Name() string
+	// Doc returns a one-paragraph description of what the check flags
+	// and why the pattern is unsafe under transactional retry.
+	Doc() string
+	// Check inspects one package and reports findings through pass.
+	Check(pass *Pass)
+}
+
+// registry holds every Register'ed checker, keyed by ID.
+var registry = map[string]Checker{}
+
+// Register adds a checker to the global registry. It panics on
+// duplicate IDs — checker IDs are API and must stay unique.
+func Register(c Checker) {
+	if _, dup := registry[c.ID()]; dup {
+		panic("lint: duplicate checker ID " + c.ID())
+	}
+	registry[c.ID()] = c
+}
+
+// Checkers returns all registered checkers sorted by ID.
+func Checkers() []Checker {
+	out := make([]Checker, 0, len(registry))
+	for _, c := range registry {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// Lookup resolves a checker by ID or mnemonic name.
+func Lookup(idOrName string) (Checker, bool) {
+	if c, ok := registry[idOrName]; ok {
+		return c, true
+	}
+	for _, c := range registry {
+		if c.Name() == idOrName {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// Pass carries one package through one checker.
+type Pass struct {
+	Fset    *token.FileSet
+	Pkg     *Package
+	checker Checker
+	diags   *[]Diagnostic
+
+	// contexts caches the package's transactional contexts, shared by
+	// every checker that runs on the package.
+	contexts *[]*txContext
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Position: p.Fset.Position(pos),
+		Check:    p.checker.ID(),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the given checkers (all registered ones if nil) over
+// the packages and returns the surviving diagnostics, sorted by
+// position, deduplicated, and filtered through //gstm:ignore
+// directives.
+func Run(pkgs []*Package, checkers []Checker) []Diagnostic {
+	if checkers == nil {
+		checkers = Checkers()
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ctxs := new([]*txContext)
+		for _, c := range checkers {
+			pass := &Pass{Fset: pkg.Fset, Pkg: pkg, checker: c, diags: &diags, contexts: ctxs}
+			c.Check(pass)
+		}
+		diags = suppress(diags, pkg)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Check < b.Check
+	})
+	return dedupe(diags)
+}
+
+// dedupe removes exact duplicates (the same construct can be reached
+// through more than one walk, e.g. a nested closure).
+func dedupe(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	seen := map[string]bool{}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d:%d:%s:%s", d.Position.Filename, d.Position.Line,
+			d.Position.Column, d.Check, d.Message)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ignoreDirective is the suppression comment prefix.
+const ignoreDirective = "gstm:ignore"
+
+// suppress drops diagnostics covered by //gstm:ignore directives in
+// pkg's files. A directive applies to its own line and to the line
+// directly below it (for comments standing alone above the construct).
+func suppress(diags []Diagnostic, pkg *Package) []Diagnostic {
+	type lineKey struct {
+		file string
+		line int
+	}
+	// ignores maps a line to the set of suppressed IDs; nil = all.
+	ignores := map[lineKey]map[string]bool{}
+	for _, f := range pkg.Files {
+		tokFile := pkg.Fset.File(f.Pos())
+		if tokFile == nil {
+			continue
+		}
+		fname := tokFile.Name()
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+				if !strings.HasPrefix(text, ignoreDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, ignoreDirective)
+				// Allow a trailing free-form justification after " -- ".
+				if i := strings.Index(rest, "--"); i >= 0 {
+					rest = rest[:i]
+				}
+				var ids map[string]bool
+				fields := strings.FieldsFunc(rest, func(r rune) bool {
+					return r == ',' || r == ' ' || r == '\t'
+				})
+				if len(fields) > 0 {
+					ids = map[string]bool{}
+					for _, f := range fields {
+						ids[f] = true
+					}
+				}
+				line := pkg.Fset.Position(c.Pos()).Line
+				for _, l := range []int{line, line + 1} {
+					k := lineKey{fname, l}
+					if ids == nil {
+						ignores[k] = nil // all
+					} else if prev, ok := ignores[k]; !ok || prev != nil {
+						if prev == nil {
+							prev = map[string]bool{}
+						}
+						for id := range ids {
+							prev[id] = true
+						}
+						ignores[k] = prev
+					}
+				}
+			}
+		}
+	}
+	if len(ignores) == 0 {
+		return diags
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		ids, found := ignores[lineKey{d.Position.Filename, d.Position.Line}]
+		if found && (ids == nil || ids[d.Check]) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// inspectIgnoringNestedContexts walks body but does not descend into
+// nested function literals that are themselves transactional contexts
+// (they are analyzed as their own context, avoiding double reports).
+func (p *Pass) inspectIgnoringNestedContexts(body ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && n != body {
+			if _, _, isCtx := p.txParams(fl.Type); isCtx {
+				return false
+			}
+		}
+		return visit(n)
+	})
+}

@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+func init() { Register(nestedAtomic{}) }
+
+// nestedAtomic is gstm004: starting a transaction inside a
+// transaction.
+//
+// The STMs here are flat — there is no nesting support. An inner
+// Atomic commits immediately and independently, so when the outer
+// attempt later aborts, the inner effects stand: atomicity of the
+// outer transaction is silently broken, and the inner transaction
+// replays on every outer retry. Against an irrevocable outer body it
+// is worse still: the inner commit can spin on locks the irrevocable
+// transaction holds, and a nested AtomicIrrevocable self-deadlocks on
+// the global token.
+type nestedAtomic struct{}
+
+func (nestedAtomic) ID() string   { return "gstm004" }
+func (nestedAtomic) Name() string { return "nested-atomic" }
+func (nestedAtomic) Doc() string {
+	return "flags STM.Atomic/AtomicIrrevocable calls made inside a transaction body: the " +
+		"STM is flat, so the inner transaction commits independently (breaking outer " +
+		"atomicity and replaying on retry) and can deadlock against locks the outer " +
+		"body holds"
+}
+
+func (nestedAtomic) Check(p *Pass) {
+	for _, ctx := range p.STMContexts() {
+		kind := "Atomic"
+		if !ctx.retryable {
+			kind = "AtomicIrrevocable"
+		}
+		p.inspectIgnoringNestedContexts(ctx.body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := atomicMethod(p.calleeFunc(call)); ok {
+				p.Reportf(call.Pos(), "%s started inside an %s body: the STM is flat, so the inner transaction commits even when the outer attempt aborts and replays on every retry; merge the bodies or run them sequentially", name, kind)
+			}
+			return true
+		})
+	}
+}

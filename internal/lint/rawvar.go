@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func init() { Register(rawVarAccess{}) }
+
+// rawVarAccess is gstm003: bypassing the read/write sets.
+//
+// Var.Value/Store (and friends on Array, Map, Queue and libtm.Obj)
+// touch the committed word directly: no read-set entry, no write-back
+// buffering, no commit-time validation. Inside a transaction such an
+// access reads values the attempt's snapshot never validated and
+// publishes writes no concurrent reader can detect — serializability
+// is gone and the profiled abort attribution is wrong. Copying a
+// Var/Obj by value is equally fatal at any point after first use: the
+// copy carries a stale version word and its own lock, so transactions
+// against copy and original stop conflicting with each other.
+type rawVarAccess struct{}
+
+func (rawVarAccess) ID() string   { return "gstm003" }
+func (rawVarAccess) Name() string { return "raw-var-access" }
+func (rawVarAccess) Doc() string {
+	return "flags non-transactional accessors (Value, Store, Snapshot, ...) called on " +
+		"transactional data inside a transaction body, and by-value copies of Var/Obj " +
+		"anywhere: both bypass the read/write sets, so writes skip commit validation " +
+		"and reads see unvalidated state"
+}
+
+// rawAccessors are the setup/verification methods on transactional
+// containers that bypass the STM when called with a transaction open.
+var rawAccessors = map[string]bool{
+	"Value":      true,
+	"FloatValue": true,
+	"Store":      true,
+	"StoreFloat": true,
+	"Snapshot":   true,
+}
+
+func (c rawVarAccess) Check(p *Pass) {
+	// Raw accessor calls are only wrong while a transaction is open.
+	for _, ctx := range p.STMContexts() {
+		p.inspectIgnoringNestedContexts(ctx.body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := p.calleeFunc(call)
+			if fn == nil || !rawAccessors[fn.Name()] {
+				return true
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			if sig == nil || sig.Recv() == nil {
+				return true
+			}
+			if name, ok := isSTMDataType(sig.Recv().Type()); ok {
+				p.Reportf(call.Pos(), "%s.%s inside a transaction body bypasses the read/write sets: the access is invisible to commit validation; use the tx accessors instead", name, fn.Name())
+			}
+			return true
+		})
+	}
+
+	// By-value copies are wrong anywhere (outside the STM runtimes,
+	// which are skipped wholesale).
+	if isSTMImplPackage(p.Pkg.Path) {
+		return
+	}
+	copyable := map[string]bool{"Var": true, "Obj": true}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StarExpr:
+				// A dereference that produces a Var/Obj *value* is a copy
+				// (as an lvalue, `*dst = *src`, it is also an overwrite of
+				// live lock metadata).
+				if t := p.exprType(n); t != nil {
+					if name, ok := isSTMDataType(t); ok && copyable[name] {
+						if _, isPtr := t.(*types.Pointer); !isPtr {
+							p.Reportf(n.Pos(), "dereference copies a %s by value: the copy carries its own lock and version word, so transactions against copy and original no longer conflict", name)
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value == nil {
+					return true
+				}
+				// Range-declared idents are recorded in Defs/Uses, not in
+				// the Types map, so resolve through the object.
+				t := p.exprType(n.Value)
+				if t == nil {
+					if id, ok := n.Value.(*ast.Ident); ok {
+						if obj := p.assignTarget(id); obj != nil {
+							t = obj.Type()
+						}
+					}
+				}
+				if t != nil {
+					if name, ok := isSTMDataType(t); ok && copyable[name] {
+						if _, isPtr := t.(*types.Pointer); !isPtr {
+							p.Reportf(n.Value.Pos(), "ranging by value copies each %s: iterate by index and take addresses instead", name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}

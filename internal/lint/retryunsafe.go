@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+func init() { Register(retryUnsafe{}) }
+
+// retryUnsafe is gstm001: side effects inside transaction bodies.
+//
+// TL2 may run an Atomic closure many times before one attempt commits,
+// and an aborted attempt's work is rolled back only inside the STM —
+// anything that leaked out (a printed line, a consumed random number,
+// a wall-clock sample, a goroutine, a channel message, an acquired
+// mutex) happened once per *attempt*, not once per transaction. That
+// corrupts program state, skews the profiled Tseq the TSA model is
+// built from, and in the blocking cases can deadlock against the
+// commit protocol. Irrevocable transactions run exactly once, so I/O,
+// timing and randomness are legal there — but they still hold every
+// touched lock plus the global irrevocability token, so blocking
+// constructs (goroutine joins, channel ops, mutexes) remain flagged.
+type retryUnsafe struct{}
+
+func (retryUnsafe) ID() string   { return "gstm001" }
+func (retryUnsafe) Name() string { return "retry-unsafe" }
+func (retryUnsafe) Doc() string {
+	return "flags side effects inside transaction bodies: I/O, logging, time sampling, " +
+		"randomness, goroutine spawns, channel operations and mutex use re-execute on " +
+		"every retry of an Atomic closure, corrupting program state and the profiled " +
+		"transaction sequences; blocking constructs are flagged even in irrevocable bodies"
+}
+
+// retryUnsafePkgs lists packages whose every function or method call
+// is an externally visible effect.
+var retryUnsafePkgs = map[string]string{
+	"log":          "logging",
+	"os":           "operating-system I/O",
+	"os/exec":      "subprocess execution",
+	"net":          "network I/O",
+	"net/http":     "network I/O",
+	"io/ioutil":    "file I/O",
+	"bufio":        "buffered I/O",
+	"syscall":      "raw syscall",
+	"math/rand":    "shared PRNG draw",
+	"math/rand/v2": "shared PRNG draw",
+}
+
+// retryUnsafeFuncs lists individually unsafe functions in otherwise
+// safe packages (fmt.Sprintf is pure; fmt.Printf is not).
+var retryUnsafeFuncs = map[string]string{
+	"fmt.Print": "console I/O", "fmt.Printf": "console I/O", "fmt.Println": "console I/O",
+	"fmt.Fprint": "stream I/O", "fmt.Fprintf": "stream I/O", "fmt.Fprintln": "stream I/O",
+	"fmt.Scan": "console input", "fmt.Scanf": "console input", "fmt.Scanln": "console input",
+	"fmt.Fscan": "stream input", "fmt.Fscanf": "stream input", "fmt.Fscanln": "stream input",
+	"time.Now": "wall-clock sample", "time.Since": "wall-clock sample",
+	"time.Until": "wall-clock sample", "time.Sleep": "blocking sleep",
+	"time.After": "timer channel", "time.Tick": "timer channel",
+	"time.NewTimer": "timer", "time.NewTicker": "timer", "time.AfterFunc": "deferred goroutine",
+}
+
+// blockingRecvPkgs are packages whose method calls block or
+// synchronize — unsafe even in irrevocable bodies, which hold the
+// global token while running.
+var blockingRecvPkgs = map[string]string{
+	"sync": "blocking sync primitive",
+}
+
+func (c retryUnsafe) Check(p *Pass) {
+	for _, ctx := range p.STMContexts() {
+		kind := "Atomic"
+		if !ctx.retryable {
+			kind = "AtomicIrrevocable"
+		}
+		p.inspectIgnoringNestedContexts(ctx.body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				p.Reportf(n.Pos(), "goroutine started inside an %s body: each retry spawns another copy and the goroutine outlives the attempt", kind)
+			case *ast.SendStmt:
+				p.reportChanOp(ctx, n.Pos(), "channel send")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					p.reportChanOp(ctx, n.Pos(), "channel receive")
+				}
+			case *ast.SelectStmt:
+				p.reportChanOp(ctx, n.Pos(), "select")
+			case *ast.RangeStmt:
+				if t := p.exprType(n.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						p.reportChanOp(ctx, n.Pos(), "range over channel")
+					}
+				}
+			case *ast.CallExpr:
+				c.checkCall(p, ctx, n)
+			}
+			return true
+		})
+	}
+}
+
+// reportChanOp flags a channel operation; the message explains the
+// hazard for the context kind.
+func (p *Pass) reportChanOp(ctx *txContext, pos token.Pos, op string) {
+	if ctx.retryable {
+		p.Reportf(pos, "%s inside an Atomic body: the message is replayed on every retry and can deadlock against the commit protocol", op)
+	} else {
+		p.Reportf(pos, "%s inside an AtomicIrrevocable body blocks while holding the irrevocability token and every touched lock", op)
+	}
+}
+
+func (c retryUnsafe) checkCall(p *Pass, ctx *txContext, call *ast.CallExpr) {
+	switch b := p.calleeBuiltin(call); {
+	case b == "close":
+		p.reportChanOp(ctx, call.Pos(), "channel close")
+		return
+	case (b == "print" || b == "println") && ctx.retryable:
+		p.Reportf(call.Pos(), "%s inside an Atomic body re-executes on every retry; hoist it out or use AtomicIrrevocable", b)
+		return
+	case b != "":
+		return
+	}
+	fn := p.calleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	pkgPath := fn.Pkg().Path()
+	sig, _ := fn.Type().(*types.Signature)
+
+	// Method calls: classify by the receiver's defining package.
+	if sig != nil && sig.Recv() != nil {
+		recvPkg := ""
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := types.Unalias(t).(*types.Named); ok && named.Obj().Pkg() != nil {
+			recvPkg = named.Obj().Pkg().Path()
+		}
+		if why, bad := blockingRecvPkgs[recvPkg]; bad {
+			p.Reportf(call.Pos(), "%s inside a transaction body (%s): lock state leaks across retries and blocks the commit protocol", callName(fn), why)
+			return
+		}
+		if !ctx.retryable {
+			return // remaining method classes are legal in irrevocable bodies
+		}
+		if why, bad := retryUnsafePkgs[recvPkg]; bad {
+			p.Reportf(call.Pos(), "%s inside an Atomic body (%s) re-executes on every retry; hoist it out or use AtomicIrrevocable", callName(fn), why)
+			return
+		}
+		// The repo's deterministic workload PRNG: a draw advances the
+		// stream once per attempt, so retries change every subsequent
+		// decision and the profiled Tseq is no longer reproducible.
+		if name, ok := namedSTMWorkloadRand(recvPkg, t); ok {
+			p.Reportf(call.Pos(), "%s.%s draw inside an Atomic body: each retry advances the PRNG stream, making runs and profiles irreproducible; draw before the transaction", name, fn.Name())
+		}
+		return
+	}
+
+	if why, bad := retryUnsafePkgs[pkgPath]; bad && ctx.retryable {
+		p.Reportf(call.Pos(), "%s inside an Atomic body (%s) re-executes on every retry; hoist it out or use AtomicIrrevocable", callName(fn), why)
+		return
+	}
+	if why, bad := retryUnsafeFuncs[pkgPath+"."+fn.Name()]; bad {
+		if ctx.retryable {
+			p.Reportf(call.Pos(), "%s inside an Atomic body (%s) re-executes on every retry; hoist it out or use AtomicIrrevocable", callName(fn), why)
+		} else if strings.Contains(why, "blocking") || strings.Contains(why, "goroutine") {
+			p.Reportf(call.Pos(), "%s inside an AtomicIrrevocable body (%s) blocks while holding the irrevocability token", callName(fn), why)
+		}
+	}
+}
+
+// namedSTMWorkloadRand matches the repo's deterministic workload PRNG
+// (internal/stamp.Rand).
+func namedSTMWorkloadRand(pkgPath string, t types.Type) (string, bool) {
+	if !strings.HasSuffix(pkgPath, "/internal/stamp") && pkgPath != "internal/stamp" {
+		return "", false
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok || named.Obj().Name() != "Rand" {
+		return "", false
+	}
+	return "stamp.Rand", true
+}
+
+// callName renders pkg.Func or Type.Method for diagnostics.
+func callName(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := types.Unalias(t).(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

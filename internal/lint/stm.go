@@ -1,0 +1,256 @@
+package lint
+
+// STM awareness: the helpers shared by every checker for recognizing
+// the repo's transactional types and the source regions that execute
+// inside transactions.
+//
+// A *transactional context* is any function — declaration or literal —
+// with a parameter of type *tl2.Tx, *libtm.Tx (retryable) or
+// *tl2.IrrevTx (irrevocable). Tx handles are only valid inside Atomic
+// bodies, so a function that receives one can only ever run inside a
+// transaction; this catches both the closure passed to Atomic and
+// every helper it calls with the handle (e.g. collection methods in
+// workload packages).
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// isSTMPackagePath reports whether path is one of the packages that
+// define the STM runtime types (the root façade re-exports them as
+// aliases, which resolve to the same named types).
+func isSTMPackagePath(path string) bool {
+	return path == "gstm" ||
+		strings.HasSuffix(path, "/internal/tl2") ||
+		strings.HasSuffix(path, "/internal/libtm")
+}
+
+// isSTMImplPackage reports whether path is an STM *implementation*
+// package. The runtime itself legitimately spins, sleeps, locks and
+// touches raw words, so transaction-body checks skip it.
+func isSTMImplPackage(path string) bool {
+	return strings.HasSuffix(path, "/internal/tl2") ||
+		strings.HasSuffix(path, "/internal/libtm")
+}
+
+// namedSTMType unwraps pointers and aliases and, if t is a named type
+// declared in an STM package, returns its name.
+func namedSTMType(t types.Type) (string, bool) {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !isSTMPackagePath(obj.Pkg().Path()) {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// isTxType reports whether t is a transaction-handle type, and whether
+// the handle is retryable (Tx) or irrevocable (IrrevTx).
+func isTxType(t types.Type) (retryable, ok bool) {
+	switch name, isSTM := namedSTMType(t); {
+	case !isSTM:
+		return false, false
+	case name == "Tx":
+		return true, true
+	case name == "IrrevTx":
+		return false, true
+	}
+	return false, false
+}
+
+// isTxPointer reports whether t is *Tx or *IrrevTx specifically (the
+// form transaction handles are passed around in).
+func isTxPointer(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.(*types.Pointer); !ok {
+		return false
+	}
+	_, ok := isTxType(t)
+	return ok
+}
+
+// stmDataTypes are the transactional data types whose raw (non-tx)
+// accessors bypass the read/write sets.
+var stmDataTypes = map[string]bool{
+	"Var":   true, // tl2 word
+	"Array": true, // tl2 word sequence
+	"Map":   true, // tl2 hash table
+	"Queue": true, // tl2 FIFO
+	"Obj":   true, // libtm object
+}
+
+// isSTMDataType reports whether t (pointer or value) is one of the
+// transactional containers, returning its name.
+func isSTMDataType(t types.Type) (string, bool) {
+	name, ok := namedSTMType(t)
+	if !ok || !stmDataTypes[name] {
+		return "", false
+	}
+	return name, true
+}
+
+// atomicMethod reports whether fn is STM.Atomic or
+// STM.AtomicIrrevocable from one of the STM runtimes.
+func atomicMethod(fn *types.Func) (name string, ok bool) {
+	if fn == nil {
+		return "", false
+	}
+	if fn.Name() != "Atomic" && fn.Name() != "AtomicIrrevocable" {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	if recvName, isSTM := namedSTMType(sig.Recv().Type()); !isSTM || recvName != "STM" {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (nil for builtins, calls of function values, and type conversions).
+func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Pkg.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// calleeBuiltin resolves a call to the builtin it invokes ("" if the
+// callee is not a builtin).
+func (p *Pass) calleeBuiltin(call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := p.Pkg.Info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// txContext is one function body that executes inside a transaction.
+type txContext struct {
+	// fn is the *ast.FuncDecl or *ast.FuncLit.
+	fn ast.Node
+	// body is the function body.
+	body *ast.BlockStmt
+	// retryable is true for *Tx contexts (the body may re-execute),
+	// false for *IrrevTx (runs exactly once but holds global locks).
+	retryable bool
+	// txObjs are the declared transaction-handle parameters.
+	txObjs map[types.Object]bool
+}
+
+// txParams scans a function type's parameters for transaction handles.
+func (p *Pass) txParams(ft *ast.FuncType) (objs []*ast.Ident, retryable bool, isCtx bool) {
+	if ft == nil || ft.Params == nil {
+		return nil, false, false
+	}
+	for _, field := range ft.Params.List {
+		var t types.Type
+		if tv, ok := p.Pkg.Info.Types[field.Type]; ok {
+			t = tv.Type
+		}
+		if t == nil {
+			continue
+		}
+		r, ok := isTxType(t)
+		if !ok {
+			continue
+		}
+		if _, isPtr := t.(*types.Pointer); !isPtr {
+			continue
+		}
+		isCtx = true
+		retryable = retryable || r
+		objs = append(objs, field.Names...)
+	}
+	return objs, retryable, isCtx
+}
+
+// STMContexts returns the package's transactional contexts, cached
+// across checkers. Implementation packages (the STM runtimes
+// themselves) yield none.
+func (p *Pass) STMContexts() []*txContext {
+	if p.contexts != nil && *p.contexts != nil {
+		return *p.contexts
+	}
+	ctxs := []*txContext{}
+	if !isSTMImplPackage(p.Pkg.Path) {
+		for _, f := range p.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				var ft *ast.FuncType
+				var body *ast.BlockStmt
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					ft, body = fn.Type, fn.Body
+				case *ast.FuncLit:
+					ft, body = fn.Type, fn.Body
+				default:
+					return true
+				}
+				if body == nil {
+					return true
+				}
+				ids, retryable, isCtx := p.txParams(ft)
+				if !isCtx {
+					return true
+				}
+				objs := map[types.Object]bool{}
+				for _, id := range ids {
+					if obj := p.Pkg.Info.Defs[id]; obj != nil {
+						objs[obj] = true
+					}
+				}
+				ctxs = append(ctxs, &txContext{fn: n, body: body, retryable: retryable, txObjs: objs})
+				return true // nested literals become their own contexts
+			})
+		}
+	}
+	if p.contexts != nil {
+		*p.contexts = ctxs
+	}
+	return ctxs
+}
+
+// usesTxObj reports whether expr mentions one of ctx's transaction
+// handles (directly or inside a nested literal).
+func (p *Pass) usesTxObj(ctx *txContext, expr ast.Node) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.Pkg.Info.Uses[id] != nil && ctx.txObjs[p.Pkg.Info.Uses[id]] {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// exprType returns the static type of e (nil when type checking failed
+// to produce one).
+func (p *Pass) exprType(e ast.Expr) types.Type {
+	if tv, ok := p.Pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}

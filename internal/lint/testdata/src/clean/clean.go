@@ -1,0 +1,41 @@
+// Package clean is the negative fixture: idiomatic transactional code
+// that must produce zero diagnostics, including one deliberate
+// violation silenced by the //gstm:ignore directive.
+package clean
+
+import (
+	"fmt"
+	"time"
+
+	"gstm"
+)
+
+// Transfer moves amount between two accounts, with effects kept
+// strictly outside the transaction.
+func Transfer(s *gstm.STM, from, to *gstm.Var, amount int64) error {
+	start := time.Now()
+	err := s.Atomic(0, 0, func(tx *gstm.Tx) error {
+		balance := tx.Read(from)
+		if balance < amount {
+			return fmt.Errorf("insufficient funds: %d < %d", balance, amount)
+		}
+		tx.Write(from, balance-amount)
+		tx.Write(to, tx.Read(to)+amount)
+		return nil
+	})
+	fmt.Printf("transfer took %v\n", time.Since(start))
+	return err
+}
+
+// Audit demonstrates the suppression directive: the raw read is
+// intentional here (a monitoring probe that tolerates torn reads) and
+// the directive keeps that decision visible in review.
+func Audit(s *gstm.STM, v *gstm.Var) int64 {
+	var seen int64
+	_ = s.Atomic(0, 1, func(tx *gstm.Tx) error {
+		seen = v.Value() //gstm:ignore gstm003 -- monitoring probe, torn reads acceptable
+		seen += tx.Read(v)
+		return nil
+	})
+	return seen
+}

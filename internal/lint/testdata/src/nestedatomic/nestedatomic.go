@@ -1,0 +1,49 @@
+// Package nestedatomic exercises gstm004: transactions started inside
+// transaction bodies.
+package nestedatomic
+
+import (
+	"gstm"
+	"gstm/internal/tl2"
+)
+
+func positives(s *gstm.STM, v, w *gstm.Var) {
+	_ = s.Atomic(0, 0, func(tx *gstm.Tx) error {
+		tx.Write(v, tx.Read(v)+1)
+		return s.Atomic(0, 1, func(inner *gstm.Tx) error { // want "gstm004"
+			inner.Write(w, inner.Read(w)+1)
+			return nil
+		})
+	})
+	_ = s.AtomicIrrevocable(0, 0, func(tx *tl2.IrrevTx) error {
+		_ = s.Atomic(0, 1, func(inner *gstm.Tx) error { // want "gstm004"
+			inner.Write(w, inner.Read(w)+1)
+			return nil
+		})
+		return nil
+	})
+}
+
+// helper can only run inside a transaction; starting another one from
+// here is the same flat-nesting hazard.
+func helper(tx *tl2.Tx, s *tl2.STM, v *tl2.Var) {
+	_ = s.AtomicIrrevocable(0, 2, func(inner *tl2.IrrevTx) error { // want "gstm004"
+		inner.Write(v, 1)
+		return nil
+	})
+}
+
+// negatives: sequential transactions compose fine, as does calling a
+// transactional helper with the current handle.
+func addOne(tx *gstm.Tx, v *gstm.Var) { tx.Write(v, tx.Read(v)+1) }
+
+func negatives(s *gstm.STM, v, w *gstm.Var) {
+	_ = s.Atomic(0, 0, func(tx *gstm.Tx) error {
+		addOne(tx, v)
+		return nil
+	})
+	_ = s.Atomic(0, 1, func(tx *gstm.Tx) error {
+		addOne(tx, w)
+		return nil
+	})
+}

@@ -1,0 +1,54 @@
+// Package rawvar exercises gstm003: bypassing the read/write sets.
+package rawvar
+
+import (
+	"gstm"
+	"gstm/internal/libtm"
+	"gstm/internal/tl2"
+)
+
+func positives(s *gstm.STM, v *gstm.Var, a *gstm.Array, o *libtm.Obj) {
+	_ = s.Atomic(0, 0, func(tx *gstm.Tx) error {
+		x := v.Value()     // want "gstm003"
+		v.Store(x + 1)     // want "gstm003"
+		_ = a.Snapshot()   // want "gstm003"
+		_ = o.Value()      // want "gstm003"
+		o.StoreFloat(1.5)  // want "gstm003"
+		_ = v.FloatValue() // want "gstm003"
+		tx.Write(v, tx.Read(v)+1)
+		return nil
+	})
+}
+
+// helper runs inside a transaction (it has the handle), so raw
+// accessors are just as wrong here.
+func helper(tx *tl2.Tx, v *tl2.Var) {
+	v.Store(tx.Read(v)) // want "gstm003"
+}
+
+// copies shows the by-value hazards, flagged even outside
+// transactions: a copied Var carries its own lock and version word.
+func copies(src *tl2.Var, vars []tl2.Var) {
+	shadow := *src // want "gstm003"
+	_ = shadow
+	for _, v := range vars { // want "gstm003"
+		_ = v
+	}
+}
+
+// negatives: raw accessors are the documented setup/verification API
+// outside transactions, and indexed iteration does not copy.
+func negatives(s *gstm.STM, vars []tl2.Var) {
+	v := gstm.NewVar(3)
+	v.Store(40)
+	_ = s.Atomic(0, 0, func(tx *gstm.Tx) error {
+		tx.Write(v, tx.Read(v)+2)
+		return nil
+	})
+	if v.Value() != 42 {
+		panic("lost update")
+	}
+	for i := range vars {
+		_ = vars[i].Value()
+	}
+}

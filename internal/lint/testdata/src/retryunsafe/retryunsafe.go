@@ -1,0 +1,64 @@
+// Package retryunsafe exercises gstm001: side effects inside
+// transaction bodies. Positive cases carry `// want` expectations;
+// everything else must stay diagnostic-free.
+package retryunsafe
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"gstm"
+	"gstm/internal/stamp"
+	"gstm/internal/tl2"
+)
+
+func positives(s *gstm.STM, v *gstm.Var, ch chan int, mu *sync.Mutex, rng *stamp.Rand) {
+	_ = s.Atomic(0, 0, func(tx *gstm.Tx) error {
+		fmt.Println("attempt", tx.Read(v)) // want "gstm001"
+		t := time.Now()                    // want "gstm001"
+		_ = rand.Intn(10)                  // want "gstm001"
+		_ = rng.Intn(10)                   // want "gstm001"
+		go func() { _ = t }()              // want "gstm001"
+		ch <- 1                            // want "gstm001"
+		<-ch                               // want "gstm001"
+		close(ch)                          // want "gstm001"
+		mu.Lock()                          // want "gstm001"
+		time.Sleep(time.Millisecond)       // want "gstm001"
+		println("raw")                     // want "gstm001"
+		return nil
+	})
+}
+
+// helper has a *Tx parameter, so it can only run inside a transaction:
+// its body is checked exactly like an Atomic closure.
+func helper(tx *tl2.Tx, v *tl2.Var) {
+	fmt.Printf("v=%d\n", tx.Read(v)) // want "gstm001"
+}
+
+// irrevocable bodies run exactly once, so I/O, timing and randomness
+// are the sanctioned escape hatch — but blocking constructs still
+// hold the irrevocability token and every touched lock.
+func irrevocable(s *tl2.STM, v *tl2.Var, ch chan int, mu *sync.Mutex) {
+	_ = s.AtomicIrrevocable(0, 0, func(tx *tl2.IrrevTx) error {
+		fmt.Println("logged once", tx.Read(v)) // I/O is legal here
+		_ = time.Now()                         // so is timing
+		ch <- 1                                // want "gstm001"
+		mu.Lock()                              // want "gstm001"
+		return nil
+	})
+}
+
+// negatives: effects before and after the transaction, and pure
+// formatting inside it, are all fine.
+func negatives(s *gstm.STM, v *gstm.Var, rng *stamp.Rand) {
+	start := time.Now()
+	jitter := rng.Intn(8)
+	_ = s.Atomic(0, 0, func(tx *gstm.Tx) error {
+		msg := fmt.Sprintf("pure formatting %d", jitter)
+		tx.Write(v, tx.Read(v)+int64(len(msg)))
+		return nil
+	})
+	fmt.Println("elapsed", time.Since(start))
+}

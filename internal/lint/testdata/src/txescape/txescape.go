@@ -1,0 +1,54 @@
+// Package txescape exercises gstm002: transaction handles escaping
+// their attempt.
+package txescape
+
+import (
+	"gstm"
+	"gstm/internal/tl2"
+)
+
+// leakedTx is the classic escape target: a package-level variable.
+var leakedTx *gstm.Tx
+
+type holder struct {
+	tx *tl2.Tx
+}
+
+type txMsg struct {
+	tx *tl2.Tx
+}
+
+func positives(s *gstm.STM, v *gstm.Var, h *holder, byID map[int]*tl2.Tx, ch chan *tl2.Tx) {
+	var stash []*tl2.Tx
+	_ = s.Atomic(0, 0, func(tx *gstm.Tx) error {
+		leakedTx = tx              // want "gstm002"
+		h.tx = tx                  // want "gstm002"
+		byID[0] = tx               // want "gstm002"
+		ch <- tx                   // want "gstm002" "gstm001"
+		_ = txMsg{tx: tx}          // want "gstm002"
+		stash = append(stash, tx)  // want "gstm002"
+		go func() { tx.Read(v) }() // want "gstm002" "gstm001"
+		tx.Write(v, tx.Read(v)+1)
+		return nil
+	})
+	_ = stash
+}
+
+// returnTx escapes the handle upward: whatever the caller does with
+// it outlives the attempt that owned it.
+func returnTx(tx *tl2.Tx) *tl2.Tx {
+	return tx // want "gstm002"
+}
+
+// negatives: passing the handle down into helpers (and taking local
+// aliases that stay on the stack) is how transactional code composes.
+func useTx(tx *tl2.Tx, v *tl2.Var) int64 { return tx.Read(v) }
+
+func negatives(s *gstm.STM, v *gstm.Var) {
+	_ = s.Atomic(0, 0, func(tx *gstm.Tx) error {
+		local := tx
+		sum := useTx(local, v)
+		tx.Write(v, sum+1)
+		return nil
+	})
+}

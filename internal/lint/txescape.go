@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func init() { Register(txEscape{}) }
+
+// txEscape is gstm002: transaction handles leaving their attempt.
+//
+// A *Tx is only valid inside the function passed to Atomic, for the
+// duration of one attempt: its read/write sets are recycled through a
+// pool the moment Atomic returns, and an aborted attempt's handle
+// refers to state the next attempt overwrites. A handle stored in a
+// field, global, container or channel — or captured by a goroutine —
+// can be used after (or concurrently with) its attempt, turning into
+// reads of recycled memory and writes that bypass commit validation
+// entirely. The same holds for *IrrevTx after its single run ends.
+type txEscape struct{}
+
+func (txEscape) ID() string   { return "gstm002" }
+func (txEscape) Name() string { return "tx-escape" }
+func (txEscape) Doc() string {
+	return "flags *Tx/*IrrevTx handles escaping the transaction attempt: stored into a " +
+		"field, global, slice, map or channel, returned from a helper, or captured by a " +
+		"spawned goroutine; a handle is recycled when Atomic returns, so escaped uses " +
+		"touch another attempt's read/write sets and bypass commit validation"
+}
+
+func (c txEscape) Check(p *Pass) {
+	for _, ctx := range p.STMContexts() {
+		p.inspectIgnoringNestedContexts(ctx.body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				c.checkAssign(p, n)
+			case *ast.SendStmt:
+				if isTxPointer(p.exprType(n.Value)) {
+					p.Reportf(n.Pos(), "transaction handle sent on a channel escapes its attempt; pass values computed from the transaction instead")
+				}
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					if isTxPointer(p.exprType(res)) {
+						p.Reportf(res.Pos(), "transaction handle returned from the enclosing function escapes its attempt; return the values it read instead")
+					}
+				}
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					v := elt
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						v = kv.Value
+					}
+					if isTxPointer(p.exprType(v)) {
+						p.Reportf(v.Pos(), "transaction handle stored in a composite literal may outlive its attempt")
+					}
+				}
+			case *ast.CallExpr:
+				if p.calleeBuiltin(n) == "append" {
+					for _, arg := range n.Args {
+						if isTxPointer(p.exprType(arg)) {
+							p.Reportf(arg.Pos(), "transaction handle appended to a slice may outlive its attempt")
+						}
+					}
+				}
+			case *ast.GoStmt:
+				if p.usesTxObj(ctx, n.Call) {
+					p.Reportf(n.Pos(), "goroutine captures the transaction handle: it runs concurrently with (and beyond) the attempt, so its accesses race the commit protocol")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkAssign flags assignments that store a tx-typed value anywhere
+// other than a plain local variable.
+func (c txEscape) checkAssign(p *Pass, assign *ast.AssignStmt) {
+	if len(assign.Lhs) != len(assign.Rhs) {
+		return // multi-value call unpacking cannot produce a bare handle store
+	}
+	for i, rhs := range assign.Rhs {
+		if !isTxPointer(p.exprType(rhs)) {
+			continue
+		}
+		switch lhs := ast.Unparen(assign.Lhs[i]).(type) {
+		case *ast.Ident:
+			if lhs.Name == "_" {
+				continue
+			}
+			if obj := p.assignTarget(lhs); obj != nil && p.Pkg.Types != nil && obj.Parent() == p.Pkg.Types.Scope() {
+				p.Reportf(assign.Pos(), "transaction handle stored in package-level variable %s escapes its attempt", lhs.Name)
+			}
+			// Local aliases are allowed; the alias itself is not tracked.
+		case *ast.SelectorExpr:
+			p.Reportf(assign.Pos(), "transaction handle stored in a field escapes its attempt; keep handles on the stack of the Atomic closure")
+		case *ast.IndexExpr:
+			p.Reportf(assign.Pos(), "transaction handle stored in a slice or map escapes its attempt; keep handles on the stack of the Atomic closure")
+		case *ast.StarExpr:
+			p.Reportf(assign.Pos(), "transaction handle stored through a pointer escapes its attempt; keep handles on the stack of the Atomic closure")
+		}
+	}
+}
+
+// assignTarget resolves the object an identifier assigns to (Defs for
+// :=, Uses for =).
+func (p *Pass) assignTarget(id *ast.Ident) types.Object {
+	if obj := p.Pkg.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.Pkg.Info.Uses[id]
+}

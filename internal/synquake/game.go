@@ -184,11 +184,17 @@ func (g *Game) stepPlayer(thread, player, frame int, rng *stamp.Rand) {
 	tx0, ty0 := quest.Target(frame)
 
 	// Movement: advance ~1/8 of the distance to the quest plus jitter.
+	// The jitter is drawn before the transaction: a draw inside the
+	// closure would advance the PRNG once per *attempt*, making the
+	// stream — and every profiled Tseq built from it — depend on the
+	// abort history (gstm001).
+	jx := (rng.Float64() - 0.5) * quest.Spread
+	jy := (rng.Float64() - 0.5) * quest.Spread
 	_ = g.stm.Atomic(th, TxMove, func(tx *libtm.Tx) error {
 		x := tx.ReadFloat(g.posX[player])
 		y := tx.ReadFloat(g.posY[player])
-		nx := g.clamp(x + (tx0-x)/8 + (rng.Float64()-0.5)*quest.Spread)
-		ny := g.clamp(y + (ty0-y)/8 + (rng.Float64()-0.5)*quest.Spread)
+		nx := g.clamp(x + (tx0-x)/8 + jx)
+		ny := g.clamp(y + (ty0-y)/8 + jy)
 		oldCell, newCell := g.cellOf(x, y), g.cellOf(nx, ny)
 		if oldCell != newCell {
 			tx.Write(g.cells[oldCell], tx.Read(g.cells[oldCell])-1)

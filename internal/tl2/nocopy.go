@@ -1,0 +1,19 @@
+package tl2
+
+// noCopy turns the "must not be copied after first use" doc contract
+// on transactional memory words into a machine-checked one: embedding
+// it gives the enclosing type a Lock/Unlock pair, which `go vet
+// -copylocks` (part of the scripts/check.sh pre-merge gate) treats as
+// a copy hazard. A copied Var would carry its own lock and version
+// word, so transactions against the copy and the original would stop
+// conflicting with each other — the same failure gstmlint's gstm003
+// check flags at use sites.
+//
+// The field is zero-sized and declared first, so it costs no memory
+// even inside large []Var backing arrays.
+type noCopy struct{}
+
+// Lock and Unlock make noCopy a sync.Locker for vet's copylocks
+// analysis; they are never called.
+func (*noCopy) Lock()   {}
+func (*noCopy) Unlock() {}

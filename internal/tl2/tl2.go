@@ -36,8 +36,10 @@ const lockedBit = 1
 
 // Var is one transactional memory word holding an int64. The zero value
 // is a Var with value 0 and version 0, ready for use. Vars must not be
-// copied after first use and must not be shared between STM instances.
+// copied after first use (enforced by `go vet -copylocks` and
+// gstmlint's gstm003) and must not be shared between STM instances.
 type Var struct {
+	_    noCopy
 	lock atomic.Uint64 // version<<1 | locked
 	val  atomic.Int64
 	// who is the instance ID of the attempt currently holding the lock,

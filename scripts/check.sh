@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# check.sh — the repository's pre-merge gate (see ROADMAP.md).
+#
+# Runs, in order: formatting, go vet (including the -copylocks guard
+# backing tl2.Var/libtm.Obj's no-copy contract), build + full test
+# suite, the race detector over both STM runtimes, and gstmlint (the
+# STM-aware transaction-safety linter, checks gstm001..gstm005).
+# Exits non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== build + tests =="
+go build ./...
+go test ./...
+
+echo "== race detector (STM runtimes) =="
+go test -race ./internal/tl2 ./internal/libtm
+
+echo "== gstmlint =="
+go run ./cmd/gstmlint ./...
+
+echo "all checks passed"
