@@ -5,16 +5,30 @@
 //
 // Usage:
 //
-//	gstmlint [-checks gstm001,gstm003] [-list] [-v] [packages...]
+//	gstmlint [-checks gstm001,gstm003] [-list] [-json] [-v] [packages...]
+//	gstmlint -footprint [-json] [packages...]
 //
 // Packages are directories or "dir/..." wildcards (default "./...").
 // The exit code is the CI contract: 0 clean, 1 diagnostics found,
 // 2 usage or load failure. Suppress individual findings with an
 // inline //gstm:ignore [ids...] directive; see README "Transaction
 // safety rules".
+//
+// -json switches lint output to one JSON object per diagnostic per
+// line (file, line, col, check, message, chain), for editor and CI
+// integration.
+//
+// -footprint skips linting and instead prints the static transaction
+// footprint report: for every Atomic call site, the may-read/may-write
+// sets of transactional storage (propagated through helper calls), and
+// the static conflict graph those sets induce — the compile-time
+// analogue of the TSA model's abort edges. Module-local imports of the
+// named packages are loaded too, so footprints of an entry point
+// include the workload packages it calls into.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +47,8 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	checks := fs.String("checks", "", "comma-separated check IDs or names to run (default: all)")
 	list := fs.Bool("list", false, "list registered checks and exit")
+	jsonOut := fs.Bool("json", false, "emit one JSON object per diagnostic (or the footprint graph as JSON with -footprint)")
+	footprint := fs.Bool("footprint", false, "print static transaction footprints and the conflict graph instead of linting")
 	verbose := fs.Bool("v", false, "also print type-check warnings for packages that do not fully type-check")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: gstmlint [flags] [packages...]\n\nSTM-aware static analysis for gstm transaction bodies.\n\n")
@@ -75,7 +91,13 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintf(stderr, "gstmlint: %v\n", err)
 		return 2
 	}
-	pkgs, err := loader.Load(patterns...)
+	load := loader.Load
+	if *footprint {
+		// Footprints follow calls into workload packages, so pull in
+		// module-local dependencies of the named entry points.
+		load = loader.LoadWithDeps
+	}
+	pkgs, err := load(patterns...)
 	if err != nil {
 		fmt.Fprintf(stderr, "gstmlint: %v\n", err)
 		return 2
@@ -89,14 +111,44 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 	}
 
+	if *footprint {
+		g := lint.Footprint(pkgs, loader.ModuleRoot)
+		if *jsonOut {
+			if err := g.RenderJSON(stdout); err != nil {
+				fmt.Fprintf(stderr, "gstmlint: %v\n", err)
+				return 2
+			}
+		} else {
+			g.RenderText(stdout)
+		}
+		return 0
+	}
+
 	cwd, _ := os.Getwd()
 	diags := lint.Run(pkgs, checkers)
+	enc := json.NewEncoder(stdout)
 	for _, d := range diags {
 		file := d.Position.Filename
 		if cwd != "" {
 			if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
 				file = rel
 			}
+		}
+		if *jsonOut {
+			// One object per line: stable field set for tooling.
+			rec := struct {
+				File    string   `json:"file"`
+				Line    int      `json:"line"`
+				Col     int      `json:"col"`
+				Check   string   `json:"check"`
+				Message string   `json:"message"`
+				Chain   []string `json:"chain,omitempty"`
+			}{file, d.Position.Line, d.Position.Column, d.Check, d.Message, d.Chain}
+			if err := enc.Encode(rec); err != nil {
+				fmt.Fprintf(stderr, "gstmlint: %v\n", err)
+				return 2
+			}
+			continue
 		}
 		fmt.Fprintf(stdout, "%s:%d:%d: %s [%s]\n", file, d.Position.Line, d.Position.Column, d.Message, d.Check)
 	}

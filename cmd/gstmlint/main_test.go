@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCapture invokes run() with stdout/stderr redirected to temp files
+// and returns the exit code and both streams.
+func runCapture(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	capture := func(name string) (*os.File, func() string) {
+		f, err := os.CreateTemp(t.TempDir(), name)
+		if err != nil {
+			t.Fatalf("CreateTemp: %v", err)
+		}
+		return f, func() string {
+			data, err := os.ReadFile(f.Name())
+			if err != nil {
+				t.Fatalf("ReadFile: %v", err)
+			}
+			f.Close()
+			return string(data)
+		}
+	}
+	outF, outRead := capture("stdout")
+	errF, errRead := capture("stderr")
+	code = run(args, outF, errF)
+	return code, outRead(), errRead()
+}
+
+// TestJSONOutput pins the -json contract: one object per line with the
+// stable field set, same findings and exit code as the text mode.
+func TestJSONOutput(t *testing.T) {
+	fixture := filepath.Join("..", "..", "internal", "lint", "testdata", "src", "deadread")
+	code, stdout, _ := runCapture(t, "-json", "-checks", "gstm007", fixture)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (fixture has findings)", code)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("got %d JSON lines, want several:\n%s", len(lines), stdout)
+	}
+	for _, line := range lines {
+		var rec struct {
+			File    string   `json:"file"`
+			Line    int      `json:"line"`
+			Col     int      `json:"col"`
+			Check   string   `json:"check"`
+			Message string   `json:"message"`
+			Chain   []string `json:"chain"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line is not valid JSON: %v\n%s", err, line)
+		}
+		if rec.File == "" || rec.Line == 0 || rec.Check != "gstm007" || rec.Message == "" {
+			t.Errorf("incomplete record: %s", line)
+		}
+	}
+}
+
+// TestJSONChain checks that interprocedural findings carry their call
+// chain through the JSON encoding.
+func TestJSONChain(t *testing.T) {
+	fixture := filepath.Join("..", "..", "internal", "lint", "testdata", "src", "transitive")
+	code, stdout, _ := runCapture(t, "-json", "-checks", "gstm006", fixture)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	sawChain := false
+	for _, line := range strings.Split(strings.TrimSpace(stdout), "\n") {
+		var rec struct {
+			Chain []string `json:"chain"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad JSON: %v\n%s", err, line)
+		}
+		if len(rec.Chain) >= 2 {
+			sawChain = true
+		}
+	}
+	if !sawChain {
+		t.Errorf("no gstm006 record carried a call chain:\n%s", stdout)
+	}
+}
+
+// TestFootprintFlag smoke-tests the -footprint mode through the CLI:
+// text and JSON renderings of a one-site example.
+func TestFootprintFlag(t *testing.T) {
+	example := filepath.Join("..", "..", "examples", "quickstart")
+	code, stdout, stderr := runCapture(t, "-footprint", example)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr:\n%s", code, stderr)
+	}
+	for _, want := range []string{"static transaction footprints (1 sites)", "quickstart.main.bank", "static conflict graph"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("text output missing %q:\n%s", want, stdout)
+		}
+	}
+
+	code, stdout, _ = runCapture(t, "-footprint", "-json", example)
+	if code != 0 {
+		t.Fatalf("json exit code = %d, want 0", code)
+	}
+	var g struct {
+		Sites []struct {
+			Reads  []string `json:"reads"`
+			Writes []string `json:"writes"`
+		} `json:"sites"`
+		Edges []struct{ A, B int } `json:"edges"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &g); err != nil {
+		t.Fatalf("footprint JSON invalid: %v", err)
+	}
+	if len(g.Sites) != 1 || len(g.Edges) != 1 {
+		t.Errorf("got %d sites / %d edges, want 1 / 1", len(g.Sites), len(g.Edges))
+	}
+}

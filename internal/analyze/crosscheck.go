@@ -1,0 +1,114 @@
+package analyze
+
+// Cross-checking profiled abort edges against the static conflict
+// graph. The footprint analyzer in internal/lint computes, per Atomic
+// call site, the may-read/may-write sets of transactional storage; two
+// transactions can only ever abort each other when one's may-write set
+// intersects the other's footprint. That makes the static conflict
+// relation a soundness envelope for profiling: every abort recorded in
+// a TTS sequence must connect statically conflicting transactions. An
+// abort edge between statically *disjoint* transactions cannot come
+// from the workload — it indicates an attribution bug in the profiler
+// (wrong killer pair recorded), a stale model replayed against a
+// changed workload, or transaction IDs reused across unrelated bodies.
+// CrossCheck surfaces exactly those edges.
+
+import (
+	"fmt"
+	"sort"
+
+	"gstm/internal/model"
+)
+
+// TxConflicts is the static may-conflict relation over transaction
+// IDs, as produced by the footprint analyzer (lint.ConflictGraph's
+// TxIDPairs). The relation is symmetric; self-pairs mark transactions
+// whose instances can abort each other.
+type TxConflicts struct {
+	pairs map[[2]uint16]bool
+}
+
+// NewTxConflicts builds the relation from unordered ID pairs.
+func NewTxConflicts(pairs [][2]uint16) *TxConflicts {
+	c := &TxConflicts{pairs: make(map[[2]uint16]bool, len(pairs))}
+	for _, p := range pairs {
+		if p[0] > p[1] {
+			p[0], p[1] = p[1], p[0]
+		}
+		c.pairs[p] = true
+	}
+	return c
+}
+
+// Conflict reports whether transactions a and b may conflict.
+func (c *TxConflicts) Conflict(a, b uint16) bool {
+	if a > b {
+		a, b = b, a
+	}
+	return c.pairs[[2]uint16{a, b}]
+}
+
+// AbortMismatch is one abort edge found in a profiled model between
+// transactions the static analysis proves disjoint.
+type AbortMismatch struct {
+	// State is the human-readable TTS containing the edge.
+	State string
+	// Committer and Aborted are the static transaction IDs of the
+	// committing and aborted executions.
+	Committer uint16
+	Aborted   uint16
+	// Occurrences counts how many distinct model states repeat this
+	// committer/aborted combination.
+	Occurrences int
+}
+
+// String renders the mismatch with its diagnosis.
+func (mm AbortMismatch) String() string {
+	return fmt.Sprintf("model state %s records tx %d aborting tx %d, but their static footprints are disjoint (%d state(s)); suspect profiler attribution, a stale model, or reused transaction IDs",
+		mm.State, mm.Committer, mm.Aborted, mm.Occurrences)
+}
+
+// CrossCheck validates every abort edge in m against the static
+// conflict relation and returns the edges that cannot be explained by
+// the workload's data footprints, deduplicated by (committer, aborted)
+// and sorted. A nil or empty relation means nothing is provably
+// disjoint, so the result is empty. An empty result does not prove the
+// model correct — the static relation over-approximates — but a
+// non-empty one proves it wrong somewhere.
+func CrossCheck(m *model.TSA, conflicts *TxConflicts) []AbortMismatch {
+	if m == nil || conflicts == nil || len(conflicts.pairs) == 0 {
+		return nil
+	}
+	type key struct{ committer, aborted uint16 }
+	found := map[key]*AbortMismatch{}
+	for _, n := range m.Nodes {
+		for _, ab := range n.State.Aborts {
+			if conflicts.Conflict(n.State.Commit.Tx, ab.Tx) {
+				continue
+			}
+			k := key{n.State.Commit.Tx, ab.Tx}
+			if mm, ok := found[k]; ok {
+				mm.Occurrences++
+				continue
+			}
+			found[k] = &AbortMismatch{
+				State:       n.State.String(),
+				Committer:   k.committer,
+				Aborted:     k.aborted,
+				Occurrences: 1,
+			}
+		}
+	}
+	out := make([]AbortMismatch, 0, len(found))
+	for _, mm := range found {
+		out = append(out, *mm)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Committer != b.Committer {
+			return a.Committer < b.Committer
+		}
+		return a.Aborted < b.Aborted
+	})
+	return out
+}

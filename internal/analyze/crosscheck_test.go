@@ -1,0 +1,68 @@
+package analyze
+
+import (
+	"strings"
+	"testing"
+
+	"gstm/internal/model"
+	"gstm/internal/tts"
+)
+
+// TestTxConflictsSymmetry pins the relation's order-independence.
+func TestTxConflictsSymmetry(t *testing.T) {
+	c := NewTxConflicts([][2]uint16{{2, 0}, {1, 1}})
+	for _, tc := range []struct {
+		a, b uint16
+		want bool
+	}{
+		{0, 2, true}, {2, 0, true}, {1, 1, true},
+		{0, 1, false}, {1, 0, false}, {0, 0, false},
+	} {
+		if got := c.Conflict(tc.a, tc.b); got != tc.want {
+			t.Errorf("Conflict(%d, %d) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// TestCrossCheck builds a model shaped like synquake's static graph —
+// TxMove(0) and TxAttack(1) disjoint, both conflicting with
+// TxScore(2) — and plants abort edges on both sides of the envelope.
+func TestCrossCheck(t *testing.T) {
+	conflicts := NewTxConflicts([][2]uint16{
+		{0, 0}, {1, 1}, {2, 2}, {0, 2}, {1, 2},
+	})
+
+	legal := tts.State{Commit: tts.Pair{Tx: 2, Thread: 0},
+		Aborts: []tts.Pair{{Tx: 0, Thread: 1}, {Tx: 1, Thread: 2}}}
+	// tx0 aborting tx1 is impossible by the static footprints; two
+	// distinct states repeat the combination.
+	bad1 := tts.State{Commit: tts.Pair{Tx: 0, Thread: 1},
+		Aborts: []tts.Pair{{Tx: 1, Thread: 2}}}
+	bad2 := tts.State{Commit: tts.Pair{Tx: 0, Thread: 3},
+		Aborts: []tts.Pair{{Tx: 1, Thread: 0}}}
+
+	m := model.Build(4, []tts.State{legal, bad1, bad2})
+
+	got := CrossCheck(m, conflicts)
+	if len(got) != 1 {
+		t.Fatalf("got %d mismatches, want 1: %+v", len(got), got)
+	}
+	mm := got[0]
+	if mm.Committer != 0 || mm.Aborted != 1 || mm.Occurrences != 2 {
+		t.Errorf("mismatch = %+v, want committer 0 aborted 1 occurrences 2", mm)
+	}
+	if s := mm.String(); !strings.Contains(s, "disjoint") || !strings.Contains(s, "tx 0") {
+		t.Errorf("String() = %q lost the diagnosis", s)
+	}
+
+	// An empty relation proves nothing disjoint: no mismatches.
+	if got := CrossCheck(m, NewTxConflicts(nil)); got != nil {
+		t.Errorf("empty relation produced %+v", got)
+	}
+	if got := CrossCheck(m, nil); got != nil {
+		t.Errorf("nil relation produced %+v", got)
+	}
+	if got := CrossCheck(nil, conflicts); got != nil {
+		t.Errorf("nil model produced %+v", got)
+	}
+}

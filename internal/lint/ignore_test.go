@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestIgnoreDirectiveEdgeCases pins the suppression corner cases on
+// the dedicated fixture: a standalone directive covering the
+// multi-line statement below it, a directive mixing a valid ID with a
+// bogus one, and a directive whose IDs do not match the finding.
+func TestIgnoreDirectiveEdgeCases(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.Load(filepath.Join("testdata", "src", "ignore"))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Fatalf("ignore fixture does not type-check: %v", terr)
+		}
+	}
+	diags := Run(pkgs, nil)
+	if len(diags) != 1 {
+		for _, d := range diags {
+			t.Logf("diagnostic: %s", d)
+		}
+		t.Fatalf("got %d diagnostics, want exactly 1 (the non-matching-ID line)", len(diags))
+	}
+	d := diags[0]
+	if d.Check != "gstm007" {
+		t.Errorf("surviving diagnostic is %s, want gstm007", d.Check)
+	}
+	if d.Position.Line != 24 {
+		t.Errorf("surviving diagnostic at line %d, want 24 (the `bogus999`-only directive)", d.Position.Line)
+	}
+}
+
+// TestIgnoreDirectiveDoesNotLeakAcrossPackages guards the dogfood run:
+// suppression is keyed per package and file, so a directive inside a
+// fixture package must not swallow diagnostics from any other package
+// loaded in the same Run.
+func TestIgnoreDirectiveDoesNotLeakAcrossPackages(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	inFile := func(diags []Diagnostic, substr string) int {
+		n := 0
+		for _, d := range diags {
+			if strings.Contains(d.Position.Filename, substr) {
+				n++
+			}
+		}
+		return n
+	}
+
+	alone, err := loader.Load(filepath.Join("testdata", "src", "retryunsafe"))
+	if err != nil {
+		t.Fatalf("Load(retryunsafe): %v", err)
+	}
+	want := inFile(Run(alone, nil), "retryunsafe")
+	if want == 0 {
+		t.Fatal("retryunsafe fixture produced no diagnostics on its own")
+	}
+
+	both, err := loader.Load(
+		filepath.Join("testdata", "src", "ignore"),
+		filepath.Join("testdata", "src", "retryunsafe"),
+	)
+	if err != nil {
+		t.Fatalf("Load(both): %v", err)
+	}
+	if got := inFile(Run(both, nil), "retryunsafe"); got != want {
+		t.Errorf("retryunsafe diagnostics dropped from %d to %d when the ignore fixture joined the run", want, got)
+	}
+}

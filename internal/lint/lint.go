@@ -30,11 +30,16 @@ import (
 )
 
 // Diagnostic is one finding: a position, a stable check ID and a
-// human-readable message.
+// human-readable message. Interprocedural checks additionally carry
+// the call chain from the transaction body to the offending operation.
 type Diagnostic struct {
 	Position token.Position
 	Check    string // stable ID, e.g. "gstm001"
 	Message  string
+	// Chain is the call path for interprocedural findings (gstm006),
+	// outermost first: ["tx TxMove", "jitter", "rand.Intn"]. Nil for
+	// intraprocedural checks.
+	Chain []string
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
@@ -99,6 +104,10 @@ type Pass struct {
 	checker Checker
 	diags   *[]Diagnostic
 
+	// prog is the module-wide program view (function index across every
+	// package of the Run), used by interprocedural checkers.
+	prog *program
+
 	// contexts caches the package's transactional contexts, shared by
 	// every checker that runs on the package.
 	contexts *[]*txContext
@@ -113,6 +122,16 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportChainf records a diagnostic that carries a call chain.
+func (p *Pass) ReportChainf(pos token.Pos, chain []string, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Position: p.Fset.Position(pos),
+		Check:    p.checker.ID(),
+		Message:  fmt.Sprintf(format, args...),
+		Chain:    chain,
+	})
+}
+
 // Run executes the given checkers (all registered ones if nil) over
 // the packages and returns the surviving diagnostics, sorted by
 // position, deduplicated, and filtered through //gstm:ignore
@@ -121,11 +140,12 @@ func Run(pkgs []*Package, checkers []Checker) []Diagnostic {
 	if checkers == nil {
 		checkers = Checkers()
 	}
+	prog := newProgram(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		ctxs := new([]*txContext)
 		for _, c := range checkers {
-			pass := &Pass{Fset: pkg.Fset, Pkg: pkg, checker: c, diags: &diags, contexts: ctxs}
+			pass := &Pass{Fset: pkg.Fset, Pkg: pkg, checker: c, diags: &diags, prog: prog, contexts: ctxs}
 			c.Check(pass)
 		}
 		diags = suppress(diags, pkg)

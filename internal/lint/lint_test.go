@@ -16,6 +16,8 @@ var fixtureDirs = []string{
 	"rawvar",
 	"nestedatomic",
 	"droppederr",
+	"transitive",
+	"deadread",
 	"clean",
 }
 

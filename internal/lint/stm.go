@@ -120,7 +120,7 @@ func atomicMethod(fn *types.Func) (name string, ok bool) {
 
 // calleeFunc resolves a call expression to the *types.Func it invokes
 // (nil for builtins, calls of function values, and type conversions).
-func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
+func (pkg *Package) calleeFunc(call *ast.CallExpr) *types.Func {
 	var id *ast.Ident
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
@@ -130,21 +130,29 @@ func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
 	default:
 		return nil
 	}
-	fn, _ := p.Pkg.Info.Uses[id].(*types.Func)
+	fn, _ := pkg.Info.Uses[id].(*types.Func)
 	return fn
+}
+
+func (p *Pass) calleeFunc(call *ast.CallExpr) *types.Func {
+	return p.Pkg.calleeFunc(call)
 }
 
 // calleeBuiltin resolves a call to the builtin it invokes ("" if the
 // callee is not a builtin).
-func (p *Pass) calleeBuiltin(call *ast.CallExpr) string {
+func (pkg *Package) calleeBuiltin(call *ast.CallExpr) string {
 	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
 	if !ok {
 		return ""
 	}
-	if b, ok := p.Pkg.Info.Uses[id].(*types.Builtin); ok {
+	if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok {
 		return b.Name()
 	}
 	return ""
+}
+
+func (p *Pass) calleeBuiltin(call *ast.CallExpr) string {
+	return p.Pkg.calleeBuiltin(call)
 }
 
 // txContext is one function body that executes inside a transaction.
@@ -248,9 +256,13 @@ func (p *Pass) usesTxObj(ctx *txContext, expr ast.Node) bool {
 
 // exprType returns the static type of e (nil when type checking failed
 // to produce one).
-func (p *Pass) exprType(e ast.Expr) types.Type {
-	if tv, ok := p.Pkg.Info.Types[e]; ok {
+func (pkg *Package) exprType(e ast.Expr) types.Type {
+	if tv, ok := pkg.Info.Types[e]; ok {
 		return tv.Type
 	}
 	return nil
+}
+
+func (p *Pass) exprType(e ast.Expr) types.Type {
+	return p.Pkg.exprType(e)
 }

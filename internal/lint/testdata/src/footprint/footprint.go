@@ -1,0 +1,43 @@
+// Package footprint is the unit fixture for the static footprint
+// analyzer: parameter substitution through helpers, receiver
+// substitution through methods, closure-captured storage, and
+// single-assignment alias tracing.
+package footprint
+
+import "gstm"
+
+var acct = gstm.NewVar(0)
+var audit = gstm.NewVar(0)
+
+type ledger struct{ total *gstm.Var }
+
+// credit accesses whatever Var its caller passes: the analyzer records
+// a parameter-relative access and substitutes the argument per call
+// site.
+func credit(tx *gstm.Tx, v *gstm.Var, n int64) { tx.Write(v, tx.Read(v)+n) }
+
+// bump adds a receiver hop: ledger.total must surface as the
+// type-abstracted field root.
+func (l *ledger) bump(tx *gstm.Tx) { credit(tx, l.total, 1) }
+
+func run(s *gstm.STM, l *ledger) {
+	_ = s.Atomic(0, 0, func(tx *gstm.Tx) error {
+		credit(tx, acct, 5)
+		l.bump(tx)
+		_ = tx.Read(audit)
+		return nil
+	})
+}
+
+func capture(s *gstm.STM) {
+	// A closure-captured local holding the container: the local itself
+	// is the storage identity, labeled by its declaring function.
+	local := gstm.NewVar(0)
+	// An alias traced through a single assignment collapses onto the
+	// storage it names.
+	alias := acct
+	_ = s.Atomic(0, 1, func(tx *gstm.Tx) error {
+		tx.Write(local, tx.Read(alias))
+		return nil
+	})
+}

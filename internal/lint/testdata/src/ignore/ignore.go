@@ -1,0 +1,28 @@
+// Package ignore exercises the //gstm:ignore directive's edge cases:
+// a standalone directive above a multi-line statement, mixed valid and
+// bogus IDs in one directive, and a directive whose IDs do not match
+// the diagnostic (which must survive).
+package ignore
+
+import (
+	"fmt"
+
+	"gstm"
+)
+
+func cases(s *gstm.STM, v *gstm.Var) {
+	_ = s.Atomic(0, 0, func(tx *gstm.Tx) error {
+		// Standalone directive: applies to the line below, where the
+		// multi-line statement starts.
+		//gstm:ignore gstm001 -- demo output, duplication under retry accepted
+		fmt.Println(
+			tx.Read(v),
+		)
+		// Mixed validity: the unknown ID is inert, gstm007 still applies.
+		tx.Read(v) //gstm:ignore gstm007, bogus999 -- deliberate widening demo
+		// Non-matching ID: the diagnostic must survive. Line 24.
+		tx.Read(v) //gstm:ignore bogus999 -- wrong id, must not suppress
+		tx.Write(v, 1)
+		return nil
+	})
+}

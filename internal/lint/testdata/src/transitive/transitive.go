@@ -1,0 +1,74 @@
+// Package transitive exercises gstm006: retry-unsafe effects a
+// transaction body reaches through helpers that never touch the
+// handle — the blind spot of the intraprocedural gstm001.
+package transitive
+
+import (
+	"math/rand"
+	"os"
+	"time"
+
+	"gstm"
+	"gstm/internal/tl2"
+)
+
+var sink *os.File
+
+// jitter draws from the shared PRNG but takes no handle, so gstm001
+// never inspects it; every retry of a body that calls it re-draws.
+func jitter() int { return rand.Intn(8) }
+
+// persist chains two plain helpers deep before hitting file I/O —
+// the seeded tx body -> helper -> os.File.Write case.
+func persist(b []byte) { logBytes(b) }
+
+func logBytes(b []byte) {
+	sink.Write(b)
+}
+
+// spin samples wall-clock time behind a helper.
+func spin() { time.Sleep(time.Millisecond) }
+
+// spawn leaks a goroutine per retry.
+func spawn(done chan struct{}) {
+	go func() { done <- struct{}{} }()
+}
+
+func positives(s *gstm.STM, v *gstm.Var, done chan struct{}) {
+	_ = s.Atomic(0, 0, func(tx *gstm.Tx) error {
+		delay := jitter()  // want "gstm006"
+		persist([]byte{1}) // want "gstm006"
+		spin()             // want "gstm006"
+		spawn(done)        // want "gstm006" "gstm006" -- spawn + the send inside the goroutine
+		tx.Write(v, tx.Read(v)+int64(delay))
+		return nil
+	})
+}
+
+// clamp is a pure helper: calling it from a body is the composition
+// the checker must not punish.
+func clamp(x int64) int64 {
+	if x > 100 {
+		return 100
+	}
+	return x
+}
+
+// indirect hides its callee behind a func value: dynamic dispatch is
+// an analysis horizon, so traversal stops without reporting.
+func indirect(f func() int) int { return f() }
+
+func negatives(s *gstm.STM, v *gstm.Var) {
+	_ = s.Atomic(0, 1, func(tx *gstm.Tx) error {
+		tx.Write(v, clamp(tx.Read(v)))
+		_ = indirect(func() int { return 1 })
+		return nil
+	})
+	// Irrevocable bodies run exactly once: reaching I/O through a
+	// helper is their whole point.
+	_ = s.AtomicIrrevocable(0, 2, func(tx *tl2.IrrevTx) error {
+		persist([]byte{2})
+		tx.Write(v, 1)
+		return nil
+	})
+}

@@ -27,7 +27,7 @@ func positives(s *gstm.STM, v *gstm.Var, h *holder, byID map[int]*tl2.Tx, ch cha
 		ch <- tx                   // want "gstm002" "gstm001"
 		_ = txMsg{tx: tx}          // want "gstm002"
 		stash = append(stash, tx)  // want "gstm002"
-		go func() { tx.Read(v) }() // want "gstm002" "gstm001"
+		go func() { tx.Read(v) }() // want "gstm002" "gstm001" "gstm007"
 		tx.Write(v, tx.Read(v)+1)
 		return nil
 	})
@@ -38,6 +38,20 @@ func positives(s *gstm.STM, v *gstm.Var, h *holder, byID map[int]*tl2.Tx, ch cha
 // it outlives the attempt that owned it.
 func returnTx(tx *tl2.Tx) *tl2.Tx {
 	return tx // want "gstm002"
+}
+
+// readHook is an escape target for method values: `tx.Read` closes
+// over the handle even though no *Tx value is assigned anywhere.
+var readHook func(*tl2.Var) int64
+
+func methodValues(s *gstm.STM, v *gstm.Var) {
+	_ = s.Atomic(0, 1, func(tx *gstm.Tx) error {
+		readHook = tx.Read // want "gstm002"
+		w := tx.Write      // want "gstm002"
+		_ = w
+		tx.Write(v, tx.Read(v)+1) // direct invocation binds nothing
+		return nil
+	})
 }
 
 // negatives: passing the handle down into helpers (and taking local

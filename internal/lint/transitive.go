@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+func init() { Register(transitiveRetryUnsafe{}) }
+
+// transitiveRetryUnsafe is gstm006: side effects a transaction body
+// reaches through plain helpers.
+//
+// gstm001 inspects transaction bodies — functions that hold a
+// *Tx/*IrrevTx — but a body is free to call helpers that do not take
+// the handle, and those helpers re-execute on every retry just the
+// same. A `jitter()` helper that draws from math/rand, a logging
+// wrapper, a metrics hook that samples time.Now: none of them touch
+// the handle, so gstm001 never sees them, yet each abort replays their
+// effects. gstm006 closes that gap with a module-wide call graph:
+// static calls are followed transitively (helpers calling helpers),
+// and any reachable effect is reported at the call site inside the
+// transaction body with the full chain rendered in the message
+// (`tx TxMove -> jitter -> rand.Intn`). Dynamic dispatch — interface
+// methods, func values — is an analysis horizon: traversal stops
+// there rather than guessing, so gstm006 never false-positives
+// through a dynamic call.
+type transitiveRetryUnsafe struct{}
+
+func (transitiveRetryUnsafe) ID() string   { return "gstm006" }
+func (transitiveRetryUnsafe) Name() string { return "transitive-retry-unsafe" }
+func (transitiveRetryUnsafe) Doc() string {
+	return "flags retryable transaction bodies that reach I/O, time sampling, randomness, " +
+		"goroutine spawns, channel operations or sync primitives through helpers that do " +
+		"not take the transaction handle (and so escape gstm001), following static calls " +
+		"module-wide and printing the offending call chain; dynamic dispatch stops the " +
+		"traversal conservatively"
+}
+
+// effectTerminal is one retry-unsafe operation reachable from a
+// function: the operation's name, why it is unsafe, and the call chain
+// from (but excluding) the function down to the operation.
+type effectTerminal struct {
+	op    string // e.g. "rand.Intn", "go statement"
+	why   string // e.g. "shared PRNG draw"
+	chain []string
+}
+
+const (
+	// maxTerminalsPerFunc bounds the per-function effect list so a
+	// pathological helper cannot explode diagnostics.
+	maxTerminalsPerFunc = 8
+	// maxChainDepth bounds traversal depth as a recursion backstop on
+	// top of the cycle guard.
+	maxChainDepth = 32
+)
+
+func (c transitiveRetryUnsafe) Check(p *Pass) {
+	if p.prog == nil {
+		return
+	}
+	labels := closureLabels(p.Pkg)
+	for _, ctx := range p.STMContexts() {
+		if !ctx.retryable {
+			continue // irrevocable bodies run once; I/O is their purpose
+		}
+		root := contextLabel(p.Pkg, ctx, labels)
+		p.inspectIgnoringNestedContexts(ctx.body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := p.Pkg.calleeFunc(call)
+			node := p.prog.traversable(callee)
+			if node == nil {
+				return true
+			}
+			for _, t := range p.prog.effectTerminals(node, map[*funcNode]bool{}, 0) {
+				chain := append([]string{root, node.name()}, t.chain...)
+				p.ReportChainf(call.Pos(), chain,
+					"transaction body reaches %s (%s) through retry-blind helpers: %s; the effect re-executes on every retry of the Atomic body",
+					t.op, t.why, strings.Join(chain, " -> "))
+			}
+			return true
+		})
+	}
+}
+
+// contextLabel names a transactional context for chain rendering: the
+// function name for declarations, the Atomic site's transaction ID for
+// closures, the enclosing function as a fallback.
+func contextLabel(pkg *Package, ctx *txContext, closureLabels map[ast.Node]string) string {
+	switch fn := ctx.fn.(type) {
+	case *ast.FuncDecl:
+		return fn.Name.Name
+	case *ast.FuncLit:
+		if label, ok := closureLabels[fn]; ok {
+			return label
+		}
+		if name := enclosingFuncName(pkg, fn.Pos()); name != "" {
+			return name
+		}
+	}
+	return "tx body"
+}
+
+// effectTerminals computes the retry-unsafe operations reachable from
+// node, memoized on the program. visiting guards recursion cycles.
+func (pr *program) effectTerminals(node *funcNode, visiting map[*funcNode]bool, depth int) []effectTerminal {
+	if ts, done := pr.terminals[node]; done {
+		return ts
+	}
+	if visiting[node] || depth > maxChainDepth {
+		return nil // cycle or runaway depth: cut conservatively
+	}
+	visiting[node] = true
+	defer delete(visiting, node)
+
+	var ts []effectTerminal
+	seen := map[string]bool{}
+	add := func(t effectTerminal) {
+		if !seen[t.op] && len(ts) < maxTerminalsPerFunc {
+			seen[t.op] = true
+			ts = append(ts, t)
+		}
+	}
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			add(effectTerminal{op: "go statement", why: "spawns a goroutine per retry", chain: []string{"go statement"}})
+		case *ast.SendStmt:
+			add(effectTerminal{op: "channel send", why: "replayed per retry, can deadlock against commit", chain: []string{"channel send"}})
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				add(effectTerminal{op: "channel receive", why: "replayed per retry, can deadlock against commit", chain: []string{"channel receive"}})
+			}
+		case *ast.SelectStmt:
+			add(effectTerminal{op: "select", why: "replayed per retry, can deadlock against commit", chain: []string{"select"}})
+		case *ast.RangeStmt:
+			if t := node.pkg.exprType(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					add(effectTerminal{op: "range over channel", why: "replayed per retry, can deadlock against commit", chain: []string{"range over channel"}})
+				}
+			}
+		case *ast.CallExpr:
+			if b := node.pkg.calleeBuiltin(n); b == "close" {
+				add(effectTerminal{op: "channel close", why: "replayed per retry", chain: []string{"channel close"}})
+				return true
+			} else if b == "print" || b == "println" {
+				add(effectTerminal{op: b, why: "console I/O", chain: []string{b}})
+				return true
+			}
+			callee := node.pkg.calleeFunc(n)
+			if name, why, bad := classifyEffectCall(callee); bad {
+				add(effectTerminal{op: name, why: why, chain: []string{name}})
+				return true
+			}
+			if next := pr.traversable(callee); next != nil && next != node {
+				for _, t := range pr.effectTerminals(next, visiting, depth+1) {
+					add(effectTerminal{op: t.op, why: t.why, chain: append([]string{next.name()}, t.chain...)})
+				}
+			}
+		}
+		return true
+	})
+	pr.terminals[node] = ts
+	return ts
+}
+
+// classifyEffectCall decides whether a resolved call is itself a
+// retry-unsafe effect (the same catalogue gstm001 enforces inside
+// transaction bodies: effectful packages, effectful functions,
+// blocking receivers, and the workload PRNG).
+func classifyEffectCall(fn *types.Func) (name, why string, bad bool) {
+	if fn == nil || fn.Pkg() == nil {
+		return "", "", false
+	}
+	pkgPath := fn.Pkg().Path()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		recvPkg := ""
+		if named, ok := types.Unalias(t).(*types.Named); ok && named.Obj().Pkg() != nil {
+			recvPkg = named.Obj().Pkg().Path()
+		}
+		if why, bad := blockingRecvPkgs[recvPkg]; bad {
+			return callName(fn), why, true
+		}
+		if why, bad := retryUnsafePkgs[recvPkg]; bad {
+			return callName(fn), why, true
+		}
+		if rname, ok := namedSTMWorkloadRand(recvPkg, t); ok {
+			return rname + "." + fn.Name(), "shared PRNG draw", true
+		}
+		return "", "", false
+	}
+	if why, bad := retryUnsafePkgs[pkgPath]; bad {
+		return callName(fn), why, true
+	}
+	if why, bad := retryUnsafeFuncs[pkgPath+"."+fn.Name()]; bad {
+		return callName(fn), why, true
+	}
+	return "", "", false
+}

@@ -30,8 +30,27 @@ func (txEscape) Doc() string {
 
 func (c txEscape) Check(p *Pass) {
 	for _, ctx := range p.STMContexts() {
+		// Pre-collect callee expressions so `tx.Read(v)` is recognized as
+		// a direct invocation, not a method value.
+		invoked := map[ast.Expr]bool{}
+		p.inspectIgnoringNestedContexts(ctx.body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				invoked[ast.Unparen(call.Fun)] = true
+			}
+			return true
+		})
 		p.inspectIgnoringNestedContexts(ctx.body, func(n ast.Node) bool {
 			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				// A method value like `tx.Read` closes over the handle: the
+				// resulting func carries the *Tx wherever it flows, so any
+				// binding that is not an immediate call is an escape vector.
+				if !invoked[n] {
+					if sel, ok := p.Pkg.Info.Selections[n]; ok &&
+						sel.Kind() == types.MethodVal && isTxPointer(sel.Recv()) {
+						p.Reportf(n.Pos(), "method value %s.%s binds the transaction handle and can be invoked after the attempt ends; call the method directly or pass plain values", types.ExprString(n.X), n.Sel.Name)
+					}
+				}
 			case *ast.AssignStmt:
 				c.checkAssign(p, n)
 			case *ast.SendStmt:

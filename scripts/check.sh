@@ -4,8 +4,10 @@
 # Runs, in order: formatting, go vet (including the -copylocks guard
 # backing tl2.Var/libtm.Obj's no-copy contract), build + full test
 # suite, the race detector over both STM runtimes, and gstmlint (the
-# STM-aware transaction-safety linter, checks gstm001..gstm005).
-# Exits non-zero on the first failure.
+# STM-aware transaction-safety linter, checks gstm001..gstm007,
+# including the interprocedural gstm006 over the module-wide call
+# graph). Exits non-zero on the first failure. CI runs this same
+# script (.github/workflows/ci.yml).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
