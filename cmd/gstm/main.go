@@ -17,42 +17,80 @@
 // runs guided STM; default runs unmodified STM; ND_mcmc / ND_only
 // report non-determinism data for guided / default runs. The -freq flag
 // is the paper's Tfactor (usually 4).
+//
+// Robustness knobs: -fault injects deterministic faults (see
+// fault.ParseSpec; e.g. "commit-abort:50,hold-stall:~10:1ms"),
+// -fault-seed fixes the injection schedule, and -health-window /
+// -relax-factor / -rearm-windows tune the guided controller's
+// degradation ladder. Model and trace files are written atomically
+// (temp file + fsync + rename). Exit codes: 1 unexpected, 2 usage,
+// 3 file I/O, 4 pipeline failure.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"text/tabwriter"
 
 	"gstm/internal/analyze"
+	"gstm/internal/fault"
 	"gstm/internal/guide"
 	"gstm/internal/harness"
 	"gstm/internal/model"
+	"gstm/internal/safeio"
 	"gstm/internal/stamp"
 	"gstm/internal/tl2"
 	"gstm/internal/trace"
 	"gstm/internal/tts"
 )
 
+// Exit codes: scripts driving the artifact can tell a typo from a
+// broken disk from a failed experiment.
+const (
+	exitUsage    = 2
+	exitIO       = 3
+	exitPipeline = 4
+)
+
 func main() {
 	var (
-		bench     = flag.String("bench", "kmeans", "benchmark: "+fmt.Sprint(harness.WorkloadNames))
-		threads   = flag.Int("threads", 8, "worker thread count")
-		runs      = flag.Int("runs", 20, "number of runs")
-		op        = flag.String("op", "default", "operation: mcmc_data|analyze|model|default|ND_mcmc|ND_only|inspect|dot|trace")
-		modelPath = flag.String("model", "state_data", "model file path")
-		freq      = flag.Float64("freq", 4, "Tfactor: guidance threshold divisor")
-		k         = flag.Int("k", 0, "guide progress-escape retries (0 = default)")
-		sizeFlag  = flag.String("size", "", "input size override (small|medium|large)")
-		seed      = flag.Int64("seed", 1, "workload content seed")
-		maxprocs  = flag.Int("gomaxprocs", 0, "override GOMAXPROCS (0 = leave as is)")
+		bench        = flag.String("bench", "kmeans", "benchmark: "+fmt.Sprint(harness.WorkloadNames))
+		threads      = flag.Int("threads", 8, "worker thread count")
+		runs         = flag.Int("runs", 20, "number of runs")
+		op           = flag.String("op", "default", "operation: mcmc_data|analyze|model|default|ND_mcmc|ND_only|inspect|dot|trace")
+		modelPath    = flag.String("model", "state_data", "model file path")
+		freq         = flag.Float64("freq", 4, "Tfactor: guidance threshold divisor")
+		k            = flag.Int("k", 0, "guide progress-escape retries (0 = default)")
+		sizeFlag     = flag.String("size", "", "input size override (small|medium|large)")
+		seed         = flag.Int64("seed", 1, "workload content seed")
+		maxprocs     = flag.Int("gomaxprocs", 0, "override GOMAXPROCS (0 = leave as is)")
+		faultSpec    = flag.String("fault", "", "fault injection spec, e.g. commit-abort:50,hold-stall:~10:1ms")
+		faultSeed    = flag.Uint64("fault-seed", 1, "seed for the deterministic fault schedule")
+		healthWindow = flag.Int("health-window", 0, "health monitor window in admits (0 = default, <0 = disable)")
+		relaxFactor  = flag.Float64("relax-factor", 0, "Tfactor multiplier at the relaxed ladder level (0 = default)")
+		rearmWindows = flag.Int("rearm-windows", 0, "healthy windows before re-arming a tripped ladder (0 = default)")
 	)
 	flag.Parse()
 
 	if *maxprocs > 0 {
 		runtime.GOMAXPROCS(*maxprocs)
+	}
+
+	var inj *fault.Injector
+	if *faultSpec != "" {
+		var err error
+		inj, err = fault.ParseSpec(*faultSpec, *faultSeed)
+		if err != nil {
+			fatalf(exitUsage, "%v", err)
+		}
+	}
+	gopts := guide.Options{
+		HealthWindow: *healthWindow,
+		RelaxFactor:  *relaxFactor,
+		RearmWindows: *rearmWindows,
 	}
 
 	e := harness.Experiment{
@@ -63,11 +101,13 @@ func main() {
 		Tfactor:     *freq,
 		K:           *k,
 		Seed:        *seed,
+		Inject:      inj,
+		Guide:       gopts,
 	}
 	if *sizeFlag != "" {
 		sz, err := stamp.ParseSize(*sizeFlag)
 		if err != nil {
-			fatalf("%v", err)
+			fatalf(exitUsage, "%v", err)
 		}
 		e.ProfileSize, e.MeasureSize = sz, sz
 	}
@@ -76,17 +116,10 @@ func main() {
 	case "mcmc_data", "profile":
 		m, err := e.Profile()
 		if err != nil {
-			fatalf("profiling: %v", err)
+			fatalf(exitPipeline, "profiling: %v", err)
 		}
-		f, err := os.Create(*modelPath)
-		if err != nil {
-			fatalf("creating model file: %v", err)
-		}
-		if err := m.Encode(f); err != nil {
-			fatalf("writing model: %v", err)
-		}
-		if err := f.Close(); err != nil {
-			fatalf("closing model file: %v", err)
+		if err := safeio.WriteFileAtomic(*modelPath, m.Encode); err != nil {
+			fatalf(exitIO, "writing model: %v", err)
 		}
 		rep := analyze.Analyze(m, analyze.Options{Tfactor: *freq})
 		fmt.Printf("model written to %s: %d states, %d bytes\n", *modelPath,
@@ -109,7 +142,7 @@ func main() {
 	case "dot":
 		m := loadModel(*modelPath)
 		if err := m.WriteDOT(os.Stdout, model.DOTOptions{Tfactor: *freq, MaxStates: 40}); err != nil {
-			fatalf("writing DOT: %v", err)
+			fatalf(exitIO, "writing DOT: %v", err)
 		}
 
 	case "trace":
@@ -117,17 +150,12 @@ func main() {
 		// artifact's per-run sequence files).
 		seq, err := recordOneRun(e)
 		if err != nil {
-			fatalf("tracing: %v", err)
+			fatalf(exitPipeline, "tracing: %v", err)
 		}
-		f, err := os.Create(*modelPath)
-		if err != nil {
-			fatalf("creating trace file: %v", err)
-		}
-		if err := trace.WriteSequence(f, seq); err != nil {
-			fatalf("writing trace: %v", err)
-		}
-		if err := f.Close(); err != nil {
-			fatalf("closing trace file: %v", err)
+		if err := safeio.WriteFileAtomic(*modelPath, func(w io.Writer) error {
+			return trace.WriteSequence(w, seq)
+		}); err != nil {
+			fatalf(exitIO, "writing trace: %v", err)
 		}
 		fmt.Printf("trace written to %s: %d states\n", *modelPath, len(seq))
 
@@ -137,25 +165,35 @@ func main() {
 		if !rep.Fit {
 			fmt.Fprintf(os.Stderr, "warning: %v — guiding anyway\n", rep)
 		}
-		ctrl := guide.New(m.Prune(*freq), guide.Options{Tfactor: *freq, K: *k})
+		g := gopts
+		g.Tfactor, g.K, g.Inject = *freq, *k, inj
+		ctrl := guide.New(m.Prune(*freq), g)
 		res, err := e.Measure(ctrl)
 		if err != nil {
-			fatalf("guided run: %v", err)
+			fatalf(exitPipeline, "guided run: %v", err)
 		}
 		printSummary("guided", *bench, res, *op == "ND_mcmc")
 		gs := res.Guide
 		fmt.Printf("gate: %d admits, %d holds, %d escapes, %d unknown-state passes\n",
 			gs.Admits, gs.Holds, gs.Escapes, gs.UnknownPasses)
+		fmt.Printf("health: level %s, %d degradations, %d re-arms, %d relaxed admits, %d passthrough admits\n",
+			gs.Level, gs.Degradations, gs.Rearms, gs.RelaxedAdmits, gs.PassthroughAdmits)
+		if inj != nil {
+			fmt.Printf("faults: %s\n", inj.Counts())
+		}
 
 	case "default", "orig", "ND_only":
 		res, err := e.Measure(nil)
 		if err != nil {
-			fatalf("default run: %v", err)
+			fatalf(exitPipeline, "default run: %v", err)
 		}
 		printSummary("default", *bench, res, *op == "ND_only")
+		if inj != nil {
+			fmt.Printf("faults: %s\n", inj.Counts())
+		}
 
 	default:
-		fatalf("unknown op %q", *op)
+		fatalf(exitUsage, "unknown op %q", *op)
 	}
 }
 
@@ -166,7 +204,7 @@ func recordOneRun(e harness.Experiment) ([]tts.State, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := tl2.New(tl2.Options{})
+	s := tl2.New(tl2.Options{Inject: e.Inject})
 	col := trace.NewCollector()
 	cfg := stamp.Config{Threads: e.Threads, Size: e.MeasureSize, Seed: e.Seed}
 	if cfg.Size == stamp.SizeUnset {
@@ -182,12 +220,12 @@ func recordOneRun(e harness.Experiment) ([]tts.State, error) {
 func loadModel(path string) *model.TSA {
 	f, err := os.Open(path)
 	if err != nil {
-		fatalf("opening model: %v (run -op mcmc_data first)", err)
+		fatalf(exitIO, "opening model %s: %v (run -op mcmc_data first)", path, err)
 	}
 	defer f.Close()
 	m, err := model.Decode(f)
 	if err != nil {
-		fatalf("decoding model: %v", err)
+		fatalf(exitIO, "decoding model %s: %v", path, err)
 	}
 	return m
 }
@@ -223,7 +261,7 @@ func printSummary(mode, bench string, res harness.ModeResult, nd bool) {
 	}
 }
 
-func fatalf(format string, args ...any) {
+func fatalf(code int, format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "gstm: "+format+"\n", args...)
-	os.Exit(1)
+	os.Exit(code)
 }

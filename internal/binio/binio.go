@@ -1,0 +1,129 @@
+// Package binio hardens the repo's length-prefixed binary formats
+// (the GSTMTSA model and GSTMTSQ sequence files) against corrupt and
+// adversarial inputs. It provides the v2 container discipline — a
+// CRC32-Castagnoli trailer sealed over magic+payload — plus an
+// offset-tracking reader whose untrusted count fields are validated
+// against the bytes actually present before anything is allocated:
+// a corrupt 4-byte count can no longer drive a multi-gigabyte make.
+package binio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// MaxEncoded caps how many bytes Decode-side callers will buffer from
+// an untrusted stream (256 MiB — over two orders of magnitude above
+// the paper's largest model).
+const MaxEncoded = 1 << 28
+
+// castagnoli is the CRC32-C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCRC reports a checksum mismatch (corrupt or truncated file).
+var ErrCRC = errors.New("CRC32 mismatch")
+
+// Seal appends the big-endian CRC32-Castagnoli of buf to buf and
+// returns the result. The checksum covers everything before it,
+// including any magic/version header.
+func Seal(buf []byte) []byte {
+	sum := crc32.Checksum(buf, castagnoli)
+	return binary.BigEndian.AppendUint32(buf, sum)
+}
+
+// Unseal verifies the 4-byte CRC trailer written by Seal and returns
+// the payload without it.
+func Unseal(buf []byte) ([]byte, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("%w: input too short (%d bytes) to hold a trailer", ErrCRC, len(buf))
+	}
+	payload, trailer := buf[:len(buf)-4], buf[len(buf)-4:]
+	want := binary.BigEndian.Uint32(trailer)
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, fmt.Errorf("%w: computed %08x, trailer says %08x", ErrCRC, got, want)
+	}
+	return payload, nil
+}
+
+// ReadAllCapped reads r to EOF, failing once more than limit bytes
+// arrive — an untrusted stream cannot buffer without bound.
+func ReadAllCapped(r io.Reader, limit int) ([]byte, error) {
+	data, err := io.ReadAll(io.LimitReader(r, int64(limit)+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) > limit {
+		return nil, fmt.Errorf("input exceeds the %d-byte cap", limit)
+	}
+	return data, nil
+}
+
+// Reader decodes big-endian fields from an in-memory buffer, tracking
+// the byte offset so decode errors can say where the damage is.
+type Reader struct {
+	buf []byte
+	off int
+}
+
+// NewReader returns a Reader over buf starting at offset 0.
+func NewReader(buf []byte) *Reader {
+	return &Reader{buf: buf}
+}
+
+// Offset returns the current byte offset from the start of the buffer.
+func (r *Reader) Offset() int { return r.off }
+
+// Remaining returns how many bytes are left.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Skip advances the offset by n bytes.
+func (r *Reader) Skip(n int) error {
+	if r.Remaining() < n {
+		return io.ErrUnexpectedEOF
+	}
+	r.off += n
+	return nil
+}
+
+// Bytes returns the next n bytes (aliasing the buffer, not copying).
+func (r *Reader) Bytes(n int) ([]byte, error) {
+	if n < 0 || r.Remaining() < n {
+		return nil, io.ErrUnexpectedEOF
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+// U16 reads a big-endian uint16.
+func (r *Reader) U16() (uint16, error) {
+	b, err := r.Bytes(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint16(b), nil
+}
+
+// U32 reads a big-endian uint32.
+func (r *Reader) U32() (uint32, error) {
+	b, err := r.Bytes(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+// CheckCount validates the untrusted count field n, claiming n items
+// of at least minBytes encoded bytes each, against the bytes actually
+// remaining. Callers must invoke it before sizing any allocation from
+// n; allocations then stay proportional to the real input.
+func (r *Reader) CheckCount(n uint32, minBytes int, what string) error {
+	if uint64(n)*uint64(minBytes) > uint64(r.Remaining()) {
+		return fmt.Errorf("implausible %s count %d at byte offset %d: needs ≥ %d bytes, %d remain",
+			what, n, r.off, uint64(n)*uint64(minBytes), r.Remaining())
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package binio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestSealUnsealRoundtrip(t *testing.T) {
+	payload := []byte("GSTMTEST some payload bytes")
+	sealed := Seal(append([]byte(nil), payload...))
+	if len(sealed) != len(payload)+4 {
+		t.Fatalf("sealed length = %d, want %d", len(sealed), len(payload)+4)
+	}
+	got, err := Unseal(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("unsealed payload differs")
+	}
+}
+
+func TestUnsealDetectsEveryOneByteCorruption(t *testing.T) {
+	sealed := Seal([]byte("deterministic payload under checksum"))
+	for off := range sealed {
+		bad := append([]byte(nil), sealed...)
+		bad[off] ^= 0x20
+		if _, err := Unseal(bad); !errors.Is(err, ErrCRC) {
+			t.Fatalf("corruption at byte %d: err = %v, want ErrCRC", off, err)
+		}
+	}
+}
+
+func TestUnsealShortInput(t *testing.T) {
+	if _, err := Unseal([]byte{1, 2}); !errors.Is(err, ErrCRC) {
+		t.Errorf("short input: err = %v, want ErrCRC", err)
+	}
+}
+
+func TestReadAllCapped(t *testing.T) {
+	data, err := ReadAllCapped(strings.NewReader("hello"), 10)
+	if err != nil || string(data) != "hello" {
+		t.Errorf("ReadAllCapped = %q, %v", data, err)
+	}
+	if _, err := ReadAllCapped(strings.NewReader("too many bytes"), 4); err == nil {
+		t.Error("over-limit input must error")
+	}
+}
+
+func TestReaderFieldsAndOffsets(t *testing.T) {
+	r := NewReader([]byte{0x12, 0x34, 0x00, 0x00, 0x00, 0x07, 'a', 'b'})
+	if v, err := r.U16(); err != nil || v != 0x1234 {
+		t.Fatalf("U16 = %x, %v", v, err)
+	}
+	if r.Offset() != 2 {
+		t.Errorf("offset = %d, want 2", r.Offset())
+	}
+	if v, err := r.U32(); err != nil || v != 7 {
+		t.Fatalf("U32 = %d, %v", v, err)
+	}
+	b, err := r.Bytes(2)
+	if err != nil || string(b) != "ab" {
+		t.Fatalf("Bytes = %q, %v", b, err)
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("remaining = %d, want 0", r.Remaining())
+	}
+	if _, err := r.U16(); err != io.ErrUnexpectedEOF {
+		t.Errorf("read past end: err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestReaderSkip(t *testing.T) {
+	r := NewReader(make([]byte, 8))
+	if err := r.Skip(8); err != nil || r.Offset() != 8 {
+		t.Errorf("Skip(8): %v, offset %d", err, r.Offset())
+	}
+	if err := r.Skip(1); err != io.ErrUnexpectedEOF {
+		t.Errorf("Skip past end: %v", err)
+	}
+}
+
+func TestCheckCountRejectsImplausibleCounts(t *testing.T) {
+	r := NewReader(make([]byte, 60))
+	if err := r.CheckCount(10, 6, "state"); err != nil {
+		t.Errorf("plausible count rejected: %v", err)
+	}
+	err := r.CheckCount(11, 6, "state")
+	if err == nil {
+		t.Fatal("implausible count accepted")
+	}
+	if !strings.Contains(err.Error(), "state count 11") || !strings.Contains(err.Error(), "offset 0") {
+		t.Errorf("error lacks context: %v", err)
+	}
+	// The overflow case: a count near 2^32 with a multi-byte item size
+	// must not wrap around.
+	if err := r.CheckCount(1<<32-1, 1<<30, "state"); err == nil {
+		t.Error("overflowing count accepted")
+	}
+}

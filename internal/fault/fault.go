@@ -1,0 +1,294 @@
+// Package fault is a deterministic, seed-driven fault-injection
+// framework for exercising the runtime half of the system — both STM
+// runtimes, the guide, and the trace/model persistence layer — under
+// the failure scenarios a production deployment must survive: forced
+// commit-time aborts, commit and lock-release delays, thread stalls
+// inside the gate's hold loop, dropped or duplicated trace events, and
+// corrupted serialized bytes.
+//
+// Injection sites are plain hook calls (Fire, Sleep) that are safe on a
+// nil *Injector, so production code pays one nil check when injection
+// is off. Firing decisions are a pure function of (seed, class,
+// per-class opportunity counter), never of wall-clock time or global
+// randomness, so a schedule replays identically given the same
+// per-site event order — the same discipline the PSTM line applies when
+// driving schedulers through failure scenarios systematically
+// (arXiv:2305.08380), with a seeded schedule standing in for CSP.
+package fault
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Class identifies one injectable fault site.
+type Class int
+
+// The injectable fault classes.
+const (
+	// CommitAbort forces a conflict abort at commit entry (the attempt
+	// retries as if a rival had killed it).
+	CommitAbort Class = iota
+	// CommitDelay stalls the committer before it starts acquiring
+	// write locks, widening the body/commit overlap window.
+	CommitDelay
+	// LockReleaseDelay stalls the committer while it holds its write
+	// locks, starving rivals that spin on them.
+	LockReleaseDelay
+	// HoldStall stalls a held transaction inside the gate's hold loop,
+	// simulating a descheduled or starving thread.
+	HoldStall
+	// TraceDrop silently discards a trace event before the tracer
+	// sees it.
+	TraceDrop
+	// TraceDup delivers a trace event twice.
+	TraceDup
+	numClasses
+)
+
+var classNames = map[Class]string{
+	CommitAbort:      "commit-abort",
+	CommitDelay:      "commit-delay",
+	LockReleaseDelay: "lock-release-delay",
+	HoldStall:        "hold-stall",
+	TraceDrop:        "trace-drop",
+	TraceDup:         "trace-dup",
+}
+
+// String returns the spec name of the class (e.g. "commit-abort").
+func (c Class) String() string {
+	if n, ok := classNames[c]; ok {
+		return n
+	}
+	return fmt.Sprintf("fault.Class(%d)", int(c))
+}
+
+// Rule schedules one fault class. A rule fires on an opportunity when
+// either trigger matches; a zero Rule never fires.
+type Rule struct {
+	// Every fires on every Nth opportunity (1 = every opportunity),
+	// starting at opportunity Offset (0-based). 0 disables the
+	// periodic trigger.
+	Every uint64
+	// Offset shifts the periodic trigger's first firing.
+	Offset uint64
+	// PerMille fires pseudo-randomly on ~N out of 1000 opportunities,
+	// decided by hashing (seed, class, opportunity counter) — random
+	// looking but fully replayable. 0 disables.
+	PerMille uint64
+	// Limit caps total firings (0 = unlimited).
+	Limit uint64
+	// Delay is how long Sleep sites stall when the rule fires; 0 means
+	// a scheduler yield.
+	Delay time.Duration
+}
+
+// Injector decides, deterministically, which opportunities turn into
+// faults. Safe for concurrent use; all methods are safe on nil (no
+// faults fire).
+type Injector struct {
+	seed  uint64
+	rules [numClasses]Rule
+	seen  [numClasses]atomic.Uint64
+	fired [numClasses]atomic.Uint64
+}
+
+// NewInjector returns an injector with the given seed and no rules.
+func NewInjector(seed uint64) *Injector {
+	return &Injector{seed: seed}
+}
+
+// Set installs the rule for one class, replacing any previous rule.
+// Returns the injector for chaining.
+func (i *Injector) Set(c Class, r Rule) *Injector {
+	if c < 0 || c >= numClasses {
+		panic(fmt.Sprintf("fault: unknown class %d", int(c)))
+	}
+	i.rules[c] = r
+	return i
+}
+
+// mix64 is splitmix64's finalizer: a cheap, well-distributed hash.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Fire records one opportunity for class c and reports whether the
+// fault fires on it.
+func (i *Injector) Fire(c Class) bool {
+	if i == nil {
+		return false
+	}
+	r := &i.rules[c]
+	if r.Every == 0 && r.PerMille == 0 {
+		return false
+	}
+	n := i.seen[c].Add(1) - 1 // 0-based opportunity index
+	hit := false
+	if r.Every > 0 && n >= r.Offset && (n-r.Offset)%r.Every == 0 {
+		hit = true
+	}
+	if !hit && r.PerMille > 0 &&
+		mix64(i.seed^mix64(uint64(c)+1)^n)%1000 < r.PerMille {
+		hit = true
+	}
+	if !hit {
+		return false
+	}
+	if r.Limit > 0 {
+		// Reserve a firing slot; back out when over the cap.
+		if i.fired[c].Add(1) > r.Limit {
+			i.fired[c].Add(^uint64(0))
+			return false
+		}
+		return true
+	}
+	i.fired[c].Add(1)
+	return true
+}
+
+// Sleep records one opportunity for class c and, when it fires, stalls
+// the caller for the rule's Delay (a scheduler yield when Delay is 0).
+func (i *Injector) Sleep(c Class) {
+	if !i.Fire(c) {
+		return
+	}
+	if d := i.rules[c].Delay; d > 0 {
+		time.Sleep(d)
+		return
+	}
+	runtime.Gosched()
+}
+
+// Fired returns how many times class c has fired so far.
+func (i *Injector) Fired(c Class) uint64 {
+	if i == nil {
+		return 0
+	}
+	return i.fired[c].Load()
+}
+
+// Seen returns how many opportunities class c has observed so far.
+func (i *Injector) Seen(c Class) uint64 {
+	if i == nil {
+		return 0
+	}
+	return i.seen[c].Load()
+}
+
+// Counts renders per-class seen/fired counters for reports and logs,
+// listing only classes with at least one opportunity.
+func (i *Injector) Counts() string {
+	if i == nil {
+		return "fault: off"
+	}
+	var parts []string
+	for c := Class(0); c < numClasses; c++ {
+		if s := i.seen[c].Load(); s > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d/%d", c, i.fired[c].Load(), s))
+		}
+	}
+	if len(parts) == 0 {
+		return "fault: idle"
+	}
+	sort.Strings(parts)
+	return "fault: " + strings.Join(parts, " ")
+}
+
+// ParseSpec builds an injector from a compact command-line spec:
+// comma-separated entries of the form
+//
+//	class:every[:delay]        e.g. commit-abort:100
+//	class:~permille[:delay]    e.g. hold-stall:~50:200us
+//
+// where class is one of commit-abort, commit-delay, lock-release-delay,
+// hold-stall, trace-drop, trace-dup; every is a firing period (fire on
+// every Nth opportunity), ~permille a pseudo-random rate out of 1000,
+// and delay a Go duration for stall classes. An empty spec yields a nil
+// injector (injection off).
+func ParseSpec(spec string, seed uint64) (*Injector, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	byName := make(map[string]Class, len(classNames))
+	for c, n := range classNames {
+		byName[n] = c
+	}
+	inj := NewInjector(seed)
+	for _, ent := range strings.Split(spec, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		fields := strings.Split(ent, ":")
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("fault: bad spec entry %q (want class:every[:delay])", ent)
+		}
+		c, ok := byName[fields[0]]
+		if !ok {
+			return nil, fmt.Errorf("fault: unknown class %q in spec entry %q", fields[0], ent)
+		}
+		var r Rule
+		rate := fields[1]
+		target := &r.Every
+		if strings.HasPrefix(rate, "~") {
+			rate = rate[1:]
+			target = &r.PerMille
+		}
+		if _, err := fmt.Sscanf(rate, "%d", target); err != nil || *target == 0 {
+			return nil, fmt.Errorf("fault: bad rate %q in spec entry %q", fields[1], ent)
+		}
+		if target == &r.PerMille && r.PerMille > 1000 {
+			return nil, fmt.Errorf("fault: per-mille rate %d > 1000 in spec entry %q", r.PerMille, ent)
+		}
+		if len(fields) == 3 {
+			d, err := time.ParseDuration(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad delay in spec entry %q: %w", ent, err)
+			}
+			r.Delay = d
+		}
+		inj.Set(c, r)
+	}
+	return inj, nil
+}
+
+// Corrupt returns a copy of data with one deterministically chosen bit
+// flipped (position derived from the seed). Returns data unchanged if
+// it is empty.
+func Corrupt(data []byte, seed uint64) []byte {
+	if len(data) == 0 {
+		return data
+	}
+	out := append([]byte(nil), data...)
+	bit := mix64(seed) % uint64(len(out)*8)
+	out[bit/8] ^= 1 << (bit % 8)
+	return out
+}
+
+// CorruptAt returns a copy of data with one bit of byte `off` flipped.
+func CorruptAt(data []byte, off int, bit uint) []byte {
+	out := append([]byte(nil), data...)
+	out[off] ^= 1 << (bit % 8)
+	return out
+}
+
+// Truncate returns a prefix of data whose length is deterministically
+// derived from the seed (always strictly shorter than data when data is
+// non-empty).
+func Truncate(data []byte, seed uint64) []byte {
+	if len(data) == 0 {
+		return data
+	}
+	n := mix64(seed^0x9e3779b97f4a7c15) % uint64(len(data))
+	return append([]byte(nil), data[:n]...)
+}

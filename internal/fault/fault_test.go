@@ -1,0 +1,222 @@
+package fault
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"gstm/internal/trace"
+	"gstm/internal/tts"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	for c := Class(0); c < numClasses; c++ {
+		if inj.Fire(c) {
+			t.Fatalf("nil injector fired %v", c)
+		}
+	}
+	inj.Sleep(HoldStall) // must not panic
+	if inj.Fired(CommitAbort) != 0 || inj.Seen(CommitAbort) != 0 {
+		t.Error("nil injector has non-zero counters")
+	}
+	if inj.Counts() != "fault: off" {
+		t.Errorf("nil Counts = %q", inj.Counts())
+	}
+}
+
+func TestEverySchedule(t *testing.T) {
+	inj := NewInjector(1).Set(CommitAbort, Rule{Every: 3, Offset: 1})
+	var got []bool
+	for i := 0; i < 8; i++ {
+		got = append(got, inj.Fire(CommitAbort))
+	}
+	want := []bool{false, true, false, false, true, false, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("opportunity %d: fired=%v, want %v (%v)", i, got[i], want[i], got)
+		}
+	}
+	if inj.Fired(CommitAbort) != 3 || inj.Seen(CommitAbort) != 8 {
+		t.Errorf("fired=%d seen=%d, want 3/8", inj.Fired(CommitAbort), inj.Seen(CommitAbort))
+	}
+}
+
+func TestPerMilleIsDeterministicAndRoughlyCalibrated(t *testing.T) {
+	const n = 10000
+	run := func(seed uint64) []bool {
+		inj := NewInjector(seed).Set(TraceDrop, Rule{PerMille: 100})
+		out := make([]bool, n)
+		for i := range out {
+			out[i] = inj.Fire(TraceDrop)
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	fires := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at opportunity %d", i)
+		}
+		if a[i] {
+			fires++
+		}
+	}
+	// ~10% nominal; allow wide slack, determinism is the contract.
+	if fires < n/20 || fires > n/5 {
+		t.Errorf("PerMille 100 fired %d/%d times, outside [%d,%d]", fires, n, n/20, n/5)
+	}
+	c := run(43)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == n {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestLimitCapsFirings(t *testing.T) {
+	inj := NewInjector(1).Set(HoldStall, Rule{Every: 1, Limit: 4})
+	fires := 0
+	for i := 0; i < 100; i++ {
+		if inj.Fire(HoldStall) {
+			fires++
+		}
+	}
+	if fires != 4 || inj.Fired(HoldStall) != 4 {
+		t.Errorf("fired %d times (counter %d), want 4", fires, inj.Fired(HoldStall))
+	}
+}
+
+func TestLimitUnderConcurrency(t *testing.T) {
+	inj := NewInjector(1).Set(CommitAbort, Rule{Every: 1, Limit: 10})
+	var wg sync.WaitGroup
+	var fires sync.Map
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < 1000; i++ {
+				if inj.Fire(CommitAbort) {
+					n++
+				}
+			}
+			fires.Store(g, n)
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	fires.Range(func(_, v any) bool { total += v.(int); return true })
+	if total != 10 {
+		t.Errorf("concurrent firings = %d, want exactly 10", total)
+	}
+}
+
+func TestSleepDelays(t *testing.T) {
+	inj := NewInjector(1).Set(CommitDelay, Rule{Every: 1, Delay: 2 * time.Millisecond})
+	t0 := time.Now()
+	inj.Sleep(CommitDelay)
+	if d := time.Since(t0); d < 2*time.Millisecond {
+		t.Errorf("Sleep returned after %v, want >= 2ms", d)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	inj, err := ParseSpec("commit-abort:100,hold-stall:~50:200us", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.rules[CommitAbort].Every != 100 {
+		t.Errorf("commit-abort Every = %d, want 100", inj.rules[CommitAbort].Every)
+	}
+	if inj.rules[HoldStall].PerMille != 50 || inj.rules[HoldStall].Delay != 200*time.Microsecond {
+		t.Errorf("hold-stall rule = %+v", inj.rules[HoldStall])
+	}
+
+	if got, err := ParseSpec("  ", 1); err != nil || got != nil {
+		t.Errorf("blank spec = (%v, %v), want (nil, nil)", got, err)
+	}
+	for _, bad := range []string{"nope:1", "commit-abort", "commit-abort:0", "commit-abort:~2000", "hold-stall:1:xyz"} {
+		if _, err := ParseSpec(bad, 1); err == nil {
+			t.Errorf("spec %q: expected error", bad)
+		}
+	}
+}
+
+func TestCorruptAndTruncate(t *testing.T) {
+	data := []byte("deterministic payload for corruption")
+	c1, c2 := Corrupt(data, 9), Corrupt(data, 9)
+	if !bytes.Equal(c1, c2) {
+		t.Error("Corrupt is not deterministic")
+	}
+	if bytes.Equal(c1, data) {
+		t.Error("Corrupt did not change the data")
+	}
+	diff := 0
+	for i := range data {
+		if c1[i] != data[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("Corrupt changed %d bytes, want 1", diff)
+	}
+
+	tr := Truncate(data, 9)
+	if len(tr) >= len(data) {
+		t.Errorf("Truncate returned %d bytes, want < %d", len(tr), len(data))
+	}
+	if !bytes.Equal(tr, data[:len(tr)]) {
+		t.Error("Truncate is not a prefix")
+	}
+	if !bytes.Equal(tr, Truncate(data, 9)) {
+		t.Error("Truncate is not deterministic")
+	}
+
+	ca := CorruptAt(data, 3, 2)
+	if ca[3] != data[3]^4 {
+		t.Errorf("CorruptAt flipped wrong bit: %x vs %x", ca[3], data[3])
+	}
+}
+
+func TestTracerDropAndDup(t *testing.T) {
+	col := trace.NewCollector()
+	// Drop every 2nd event, duplicate every 3rd surviving one.
+	inj := NewInjector(1).
+		Set(TraceDrop, Rule{Every: 2}).
+		Set(TraceDup, Rule{Every: 3})
+	ft := Tracer(col, inj)
+	p := tts.Pair{Tx: 1, Thread: 0}
+	for i := 0; i < 10; i++ {
+		ft.OnCommit(uint64(i+1), p)
+		ft.OnAbort(p, uint64(i+1))
+	}
+	commits, aborts := col.Counts()
+	if commits+aborts == 20 {
+		t.Error("no events dropped or duplicated")
+	}
+	if inj.Fired(TraceDrop) == 0 || inj.Fired(TraceDup) == 0 {
+		t.Errorf("drop fired %d, dup fired %d, want both > 0",
+			inj.Fired(TraceDrop), inj.Fired(TraceDup))
+	}
+	if got := Tracer(col, nil); got != trace.Tracer(col) {
+		t.Error("Tracer with nil injector should return inner unchanged")
+	}
+}
+
+func TestCountsString(t *testing.T) {
+	inj := NewInjector(1).Set(CommitAbort, Rule{Every: 2})
+	if inj.Counts() != "fault: idle" {
+		t.Errorf("idle Counts = %q", inj.Counts())
+	}
+	inj.Fire(CommitAbort)
+	inj.Fire(CommitAbort)
+	if got := inj.Counts(); got != "fault: commit-abort=1/2" {
+		t.Errorf("Counts = %q", got)
+	}
+}

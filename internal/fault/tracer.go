@@ -1,0 +1,48 @@
+package fault
+
+import (
+	"gstm/internal/trace"
+	"gstm/internal/tts"
+)
+
+// faultyTracer corrupts the event stream between an STM and a tracer:
+// TraceDrop swallows events, TraceDup delivers them twice. Both classes
+// count commit and abort events as opportunities, so the drop/dup
+// schedule interleaves deterministically with the event order.
+type faultyTracer struct {
+	inner trace.Tracer
+	inj   *Injector
+}
+
+var _ trace.Tracer = faultyTracer{}
+
+// Tracer wraps inner so its event stream passes through the injector's
+// TraceDrop/TraceDup rules. A nil injector returns inner unchanged.
+func Tracer(inner trace.Tracer, inj *Injector) trace.Tracer {
+	if inj == nil {
+		return inner
+	}
+	return faultyTracer{inner: inner, inj: inj}
+}
+
+// OnCommit implements trace.Tracer.
+func (f faultyTracer) OnCommit(instance uint64, p tts.Pair) {
+	if f.inj.Fire(TraceDrop) {
+		return
+	}
+	f.inner.OnCommit(instance, p)
+	if f.inj.Fire(TraceDup) {
+		f.inner.OnCommit(instance, p)
+	}
+}
+
+// OnAbort implements trace.Tracer.
+func (f faultyTracer) OnAbort(p tts.Pair, killer uint64) {
+	if f.inj.Fire(TraceDrop) {
+		return
+	}
+	f.inner.OnAbort(p, killer)
+	if f.inj.Fire(TraceDup) {
+		f.inner.OnAbort(p, killer)
+	}
+}

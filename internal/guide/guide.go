@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gstm/internal/fault"
 	"gstm/internal/model"
 	"gstm/internal/trace"
 	"gstm/internal/tts"
@@ -55,13 +56,34 @@ type Options struct {
 	// valve for spinning waiters. 0 (the default) holds with scheduler
 	// yields only.
 	HoldDelay time.Duration
+
+	// HealthWindow is the number of admits per health-monitor
+	// evaluation window. 0 means DefaultHealthWindow; negative
+	// disables the monitor entirely (the level stays LevelGuided).
+	HealthWindow int
+	// UnknownTrip is the unknown-state rate (0..1] within one window
+	// that trips the degradation ladder. ≤ 0 means DefaultUnknownTrip.
+	UnknownTrip float64
+	// EscapeTrip is the progress-escape rate (0..1] within one window
+	// that trips the degradation ladder. ≤ 0 means DefaultEscapeTrip.
+	EscapeTrip float64
+	// RelaxFactor multiplies the effective Tfactor at LevelRelaxed,
+	// widening the admissible sets. ≤ 0 means DefaultRelaxFactor.
+	RelaxFactor float64
+	// RearmWindows is how many consecutive healthy windows step the
+	// ladder back up one level. ≤ 0 means DefaultRearmWindows.
+	RearmWindows int
+	// Inject, when non-nil, arms the fault.HoldStall injection hook
+	// inside the hold loop (deterministic thread-stall testing).
+	Inject *fault.Injector
 }
 
 // Stats counts controller decisions, for reporting and tests.
 type Stats struct {
 	// Admits is the total number of Admit calls.
 	Admits uint64
-	// ImmediateAdmits passed on the first check.
+	// ImmediateAdmits passed on the first check (including passthrough
+	// admits).
 	ImmediateAdmits uint64
 	// Holds waited at least one re-check before passing.
 	Holds uint64
@@ -70,6 +92,25 @@ type Stats struct {
 	// UnknownPasses were admitted because the current state was not in
 	// the model (or had no outbound guidance).
 	UnknownPasses uint64
+
+	// RelaxedAdmits passed a first check against the relaxed
+	// (RelaxFactor× Tfactor) destination sets at LevelRelaxed.
+	RelaxedAdmits uint64
+	// PassthroughAdmits bypassed gating entirely at LevelPassthrough.
+	PassthroughAdmits uint64
+	// Degradations counts downward ladder steps; Rearms upward ones.
+	Degradations, Rearms uint64
+	// Level is the ladder position at snapshot time.
+	Level Level
+	// MaxHoldRechecks is the largest number of re-checks any single
+	// hold performed — the livelock-pressure high-water mark.
+	MaxHoldRechecks uint64
+	// ThreadEscapes[t] counts thread t's progress escapes and
+	// ThreadHoldTime[t] its cumulative time spent held — the
+	// starvation evidence per thread.
+	ThreadEscapes []uint64
+	// ThreadHoldTime is indexed like ThreadEscapes.
+	ThreadHoldTime []time.Duration
 }
 
 // snapshot is the controller's view of the current state; replaced
@@ -80,24 +121,40 @@ type snapshot struct {
 	// allowed is the union of pairs in all high-probability destination
 	// states; nil means "unknown state or no guidance: admit everyone".
 	allowed map[uint32]struct{}
+	// relaxed is the same union under the RelaxFactor× Tfactor,
+	// consulted at LevelRelaxed; always a superset of allowed.
+	relaxed map[uint32]struct{}
 	gen     uint64
 }
 
 // Controller guides an STM using a trained, analyzed model.
 type Controller struct {
 	allowedByState map[string]map[uint32]struct{}
+	relaxedByState map[string]map[uint32]struct{}
 	k              int
 	holdDelay      time.Duration
+	inject         *fault.Injector
 
 	mu  sync.Mutex // serializes state updates
 	cur atomic.Pointer[snapshot]
 	gen atomic.Uint64
+
+	// level is the degradation-ladder position (see health.go); the
+	// health monitor moves it, Admit polls it.
+	level     atomic.Int32
+	health    *healthMonitor
+	perThread []threadCounters
 
 	admits          atomic.Uint64
 	immediateAdmits atomic.Uint64
 	holds           atomic.Uint64
 	escapes         atomic.Uint64
 	unknownPasses   atomic.Uint64
+	relaxedAdmits   atomic.Uint64
+	passAdmits      atomic.Uint64
+	degradations    atomic.Uint64
+	rearms          atomic.Uint64
+	maxHoldRechecks atomic.Uint64
 }
 
 var _ trace.Tracer = (*Controller)(nil)
@@ -119,11 +176,56 @@ func New(m *model.TSA, opts Options) *Controller {
 	if hd < 0 {
 		hd = DefaultHoldDelay
 	}
+	rf := opts.RelaxFactor
+	if rf <= 0 {
+		rf = DefaultRelaxFactor
+	}
+	threads := m.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	if threads > maxThreadCounters {
+		threads = maxThreadCounters
+	}
 	c := &Controller{
-		allowedByState: make(map[string]map[uint32]struct{}, m.NumStates()),
+		allowedByState: buildAllowed(m, tf),
+		relaxedByState: buildAllowed(m, tf*rf),
 		k:              k,
 		holdDelay:      hd,
+		inject:         opts.Inject,
+		perThread:      make([]threadCounters, threads),
 	}
+	if opts.HealthWindow >= 0 {
+		w := opts.HealthWindow
+		if w == 0 {
+			w = DefaultHealthWindow
+		}
+		ut := opts.UnknownTrip
+		if ut <= 0 {
+			ut = DefaultUnknownTrip
+		}
+		et := opts.EscapeTrip
+		if et <= 0 {
+			et = DefaultEscapeTrip
+		}
+		rw := opts.RearmWindows
+		if rw <= 0 {
+			rw = DefaultRearmWindows
+		}
+		c.health = &healthMonitor{
+			window:       uint64(w),
+			unknownTrip:  ut,
+			escapeTrip:   et,
+			rearmWindows: rw,
+		}
+	}
+	return c
+}
+
+// buildAllowed precomputes, for every state, the union of the pairs of
+// its high-probability destination states under the given Tfactor.
+func buildAllowed(m *model.TSA, tf float64) map[string]map[uint32]struct{} {
+	out := make(map[string]map[uint32]struct{}, m.NumStates())
 	for key, node := range m.Nodes {
 		dests := node.HighProbDests(tf)
 		if len(dests) == 0 {
@@ -140,21 +242,34 @@ func New(m *model.TSA, opts Options) *Controller {
 			}
 		}
 		if len(set) > 0 {
-			c.allowedByState[key] = set
+			out[key] = set
 		}
 	}
-	return c
+	return out
 }
 
 // Stats returns a snapshot of the decision counters.
 func (c *Controller) Stats() Stats {
-	return Stats{
-		Admits:          c.admits.Load(),
-		ImmediateAdmits: c.immediateAdmits.Load(),
-		Holds:           c.holds.Load(),
-		Escapes:         c.escapes.Load(),
-		UnknownPasses:   c.unknownPasses.Load(),
+	st := Stats{
+		Admits:            c.admits.Load(),
+		ImmediateAdmits:   c.immediateAdmits.Load(),
+		Holds:             c.holds.Load(),
+		Escapes:           c.escapes.Load(),
+		UnknownPasses:     c.unknownPasses.Load(),
+		RelaxedAdmits:     c.relaxedAdmits.Load(),
+		PassthroughAdmits: c.passAdmits.Load(),
+		Degradations:      c.degradations.Load(),
+		Rearms:            c.rearms.Load(),
+		Level:             c.Level(),
+		MaxHoldRechecks:   c.maxHoldRechecks.Load(),
+		ThreadEscapes:     make([]uint64, len(c.perThread)),
+		ThreadHoldTime:    make([]time.Duration, len(c.perThread)),
 	}
+	for i := range c.perThread {
+		st.ThreadEscapes[i] = c.perThread[i].escapes.Load()
+		st.ThreadHoldTime[i] = time.Duration(c.perThread[i].holdNanos.Load())
+	}
+	return st
 }
 
 // replaceLocked installs a new snapshot. Caller holds c.mu; held
@@ -163,12 +278,14 @@ func (c *Controller) replaceLocked(next *snapshot) {
 	c.cur.Store(next)
 }
 
-// Reset clears the dynamic state (between runs); the trained model and
-// options are kept.
+// Reset clears the dynamic state — the current snapshot, the health
+// window, and the degradation ladder — between runs; the trained model,
+// options, and cumulative counters are kept.
 func (c *Controller) Reset() {
 	c.mu.Lock()
 	c.replaceLocked(nil)
 	c.mu.Unlock()
+	c.resetHealth()
 }
 
 // OnCommit implements trace.Tracer: a commit moves the automaton to a
@@ -182,6 +299,7 @@ func (c *Controller) OnCommit(instance uint64, p tts.Pair) {
 		instance: instance,
 		state:    st,
 		allowed:  c.allowedByState[key],
+		relaxed:  c.relaxedByState[key],
 		gen:      c.gen.Add(1),
 	})
 	c.mu.Unlock()
@@ -210,6 +328,7 @@ func (c *Controller) OnAbort(p tts.Pair, killer uint64) {
 		instance: snap.instance,
 		state:    st,
 		allowed:  c.allowedByState[key],
+		relaxed:  c.relaxedByState[key],
 		gen:      c.gen.Add(1),
 	})
 	c.mu.Unlock()
@@ -217,23 +336,58 @@ func (c *Controller) OnAbort(p tts.Pair, killer uint64) {
 
 // Admit implements the gate (paper Figure 2). It returns when pair p
 // may start: immediately if the pair appears in a high-probability
-// destination of the current state (or the state is unknown), otherwise
-// after holding through up to k re-checks.
+// destination of the current state (or the state is unknown, or the
+// ladder is at LevelPassthrough), otherwise after holding through up to
+// k re-checks. Every outcome feeds the health monitor.
 func (c *Controller) Admit(p tts.Pair) {
 	c.admits.Add(1)
 	pk := p.Key()
 
-	snap := c.cur.Load()
-	if ok, unknown := admissible(snap, pk); ok {
-		if unknown {
-			c.unknownPasses.Add(1)
-		}
+	lvl := c.Level()
+	if lvl == LevelPassthrough {
+		c.passAdmits.Add(1)
 		c.immediateAdmits.Add(1)
+		c.noteOutcome(false, false)
 		return
 	}
 
-	stale := 0 // re-checks that saw no state change (count toward k)
-	for total := 0; stale < c.k && total < maxHoldFactor*c.k; total++ {
+	snap := c.cur.Load()
+	if ok, unknown := admissible(snap, pk, lvl); ok {
+		if unknown {
+			c.unknownPasses.Add(1)
+		}
+		if lvl == LevelRelaxed {
+			c.relaxedAdmits.Add(1)
+		}
+		c.immediateAdmits.Add(1)
+		c.noteOutcome(unknown, false)
+		return
+	}
+
+	t0 := time.Now()
+	tc := c.threadCounter(p.Thread)
+	stale, total := 0, 0
+	// held finalizes a hold: counters, per-thread starvation evidence,
+	// the livelock high-water mark, and the health window.
+	held := func(escaped, unknown bool) {
+		c.holds.Add(1)
+		if unknown {
+			c.unknownPasses.Add(1)
+		}
+		if escaped {
+			c.escapes.Add(1)
+			tc.escapes.Add(1)
+		}
+		tc.holdNanos.Add(uint64(time.Since(t0)))
+		for {
+			cur := c.maxHoldRechecks.Load()
+			if uint64(total) <= cur || c.maxHoldRechecks.CompareAndSwap(cur, uint64(total)) {
+				break
+			}
+		}
+		c.noteOutcome(unknown, escaped)
+	}
+	for ; stale < c.k && total < maxHoldFactor*c.k; total++ {
 		// Yield so committers make progress, then re-check against the
 		// (possibly changed) current state. A scheduler yield, not a
 		// sleep: the hold must cost on the order of a transaction, not
@@ -242,35 +396,50 @@ func (c *Controller) Admit(p tts.Pair) {
 		// quiet (e.g. everyone is at a barrier) and the stale counter
 		// runs up to k, releasing us — the paper's progress escape.
 		runtime.Gosched()
+		c.inject.Sleep(fault.HoldStall)
 		if c.holdDelay > 0 && stale == c.k/2 {
 			// Politeness valve: one sleep per hold so configured
 			// deployments can cap spin pressure.
 			time.Sleep(c.holdDelay)
 		}
+		// Poll the ladder too: a degradation while we were held widens
+		// (or removes) the set we are waiting on.
+		if lvl = c.Level(); lvl == LevelPassthrough {
+			c.passAdmits.Add(1)
+			held(false, false)
+			return
+		}
 		next := c.cur.Load()
 		changed := next != snap
 		snap = next
-		if ok, unknown := admissible(snap, pk); ok {
-			if unknown {
-				c.unknownPasses.Add(1)
+		if ok, unknown := admissible(snap, pk, lvl); ok {
+			if lvl == LevelRelaxed {
+				c.relaxedAdmits.Add(1)
 			}
-			c.holds.Add(1)
+			held(false, unknown)
 			return
 		}
 		if !changed {
 			stale++
 		}
 	}
-	c.holds.Add(1)
-	c.escapes.Add(1)
+	held(true, false)
 }
 
-// admissible reports whether the pair may proceed under snapshot s, and
-// whether that is because the current state is unknown to the model.
-func admissible(s *snapshot, pairKey uint32) (ok, unknown bool) {
-	if s == nil || s.allowed == nil {
+// admissible reports whether the pair may proceed under snapshot s at
+// the given degradation level, and whether that is because the current
+// state is unknown to the model.
+func admissible(s *snapshot, pairKey uint32, lvl Level) (ok, unknown bool) {
+	if s == nil {
 		return true, true
 	}
-	_, ok = s.allowed[pairKey]
+	set := s.allowed
+	if lvl == LevelRelaxed {
+		set = s.relaxed
+	}
+	if set == nil {
+		return true, true
+	}
+	_, ok = set[pairKey]
 	return ok, false
 }

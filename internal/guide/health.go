@@ -1,0 +1,169 @@
+package guide
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The health monitor watches the controller's own decision stream for
+// evidence that the trained model no longer matches the live workload:
+// a high unknown-state rate (the automaton keeps landing in states the
+// model never saw) or a high escape rate (admissible pairs keep
+// starving until the progress escape frees them). Either means guidance
+// is paying its cost without buying variance reduction — a stale or
+// mismatched model must cost throughput, never liveness.
+//
+// Decisions are aggregated in fixed-size windows of admits. When a
+// window's rates cross the trip thresholds the controller steps down
+// the degradation ladder:
+//
+//	LevelGuided → LevelRelaxed → LevelPassthrough
+//
+// LevelRelaxed keeps gating but selects destination sets with a larger
+// effective Tfactor (more pairs admissible, shorter holds).
+// LevelPassthrough admits everything immediately — the controller keeps
+// following the event stream but stops holding anyone.
+//
+// Re-arm is probing: after RearmWindows consecutive healthy windows the
+// controller steps back up one level. At LevelPassthrough every admit
+// is healthy by construction, so the probe always eventually fires; if
+// the model still mismatches, the next window at the stricter level
+// trips again and the controller settles into a cheap
+// mostly-passthrough duty cycle. If the workload has drifted back into
+// known territory, the probe sticks and full guidance resumes.
+
+// Level is a rung of the degradation ladder.
+type Level int32
+
+// Degradation ladder rungs, in increasing order of degradation.
+const (
+	// LevelGuided is full guidance at the configured Tfactor.
+	LevelGuided Level = iota
+	// LevelRelaxed gates with a RelaxFactor× larger effective Tfactor.
+	LevelRelaxed
+	// LevelPassthrough admits everything immediately.
+	LevelPassthrough
+)
+
+// String renders the level for reports.
+func (l Level) String() string {
+	switch l {
+	case LevelGuided:
+		return "guided"
+	case LevelRelaxed:
+		return "relaxed"
+	case LevelPassthrough:
+		return "passthrough"
+	}
+	return "unknown"
+}
+
+// Health-monitor defaults (see Options).
+const (
+	// DefaultHealthWindow is the number of admits per evaluation window.
+	DefaultHealthWindow = 256
+	// DefaultUnknownTrip is the unknown-state rate that trips the ladder.
+	DefaultUnknownTrip = 0.5
+	// DefaultEscapeTrip is the escape rate that trips the ladder.
+	DefaultEscapeTrip = 0.25
+	// DefaultRelaxFactor is the Tfactor multiplier at LevelRelaxed.
+	DefaultRelaxFactor = 4.0
+	// DefaultRearmWindows is how many consecutive healthy windows
+	// step the ladder back up one level.
+	DefaultRearmWindows = 2
+	// maxThreadCounters bounds the per-thread counter table.
+	maxThreadCounters = 4096
+)
+
+// healthMonitor accumulates one window of decision outcomes. Event
+// recording is atomic (the Admit hot path); window evaluation is
+// serialized by mu.
+type healthMonitor struct {
+	window       uint64
+	unknownTrip  float64
+	escapeTrip   float64
+	rearmWindows int
+
+	admits   atomic.Uint64 // running admit count (window = modulo)
+	unknowns atomic.Uint64 // unknown-state passes this window
+	escapes  atomic.Uint64 // progress escapes this window
+
+	mu      sync.Mutex
+	healthy int // consecutive healthy windows at the current level
+}
+
+// threadCounters tracks one thread's starvation evidence.
+type threadCounters struct {
+	escapes   atomic.Uint64
+	holdNanos atomic.Uint64
+}
+
+// Level returns the controller's current degradation level.
+func (c *Controller) Level() Level {
+	return Level(c.level.Load())
+}
+
+// threadCounter returns the counter slot for the pair's thread.
+func (c *Controller) threadCounter(thread uint16) *threadCounters {
+	return &c.perThread[int(thread)%len(c.perThread)]
+}
+
+// noteOutcome records one finished admit in the current health window
+// and evaluates the ladder when the window fills.
+func (c *Controller) noteOutcome(unknown, escaped bool) {
+	h := c.health
+	if h == nil {
+		return
+	}
+	if unknown {
+		h.unknowns.Add(1)
+	}
+	if escaped {
+		h.escapes.Add(1)
+	}
+	if h.admits.Add(1)%h.window == 0 {
+		c.evaluateWindow()
+	}
+}
+
+// evaluateWindow closes the current window: trip the ladder on bad
+// rates, step back up after enough consecutive healthy windows. Held
+// transactions observe a level change on their next polled re-check.
+func (c *Controller) evaluateWindow() {
+	h := c.health
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	// Swap, don't reset-after-read: outcomes recorded while we hold the
+	// lock land in the next window instead of vanishing.
+	u := float64(h.unknowns.Swap(0)) / float64(h.window)
+	e := float64(h.escapes.Swap(0)) / float64(h.window)
+	lvl := c.Level()
+	if u >= h.unknownTrip || e >= h.escapeTrip {
+		h.healthy = 0
+		if lvl < LevelPassthrough {
+			c.level.Store(int32(lvl + 1))
+			c.degradations.Add(1)
+		}
+		return
+	}
+	h.healthy++
+	if lvl > LevelGuided && h.healthy >= h.rearmWindows {
+		c.level.Store(int32(lvl - 1))
+		c.rearms.Add(1)
+		h.healthy = 0
+	}
+}
+
+// resetHealth clears the window and ladder between runs.
+func (c *Controller) resetHealth() {
+	c.level.Store(int32(LevelGuided))
+	h := c.health
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.unknowns.Store(0)
+	h.escapes.Store(0)
+	h.healthy = 0
+	h.mu.Unlock()
+}

@@ -1,0 +1,181 @@
+package guide
+
+import (
+	"testing"
+	"time"
+
+	"gstm/internal/fault"
+	"gstm/internal/tts"
+)
+
+// tripOpts returns options with a tiny window so ladder transitions
+// happen within a handful of admits.
+func tripOpts() Options {
+	return Options{K: 2, HealthWindow: 8, RearmWindows: 2}
+}
+
+func TestLadderTripsOnUnknownRate(t *testing.T) {
+	c := New(twoStateModel(), tripOpts())
+	// No commits: every admit is an unknown-state pass (rate 1.0 ≥ 0.5).
+	for i := 0; i < 8; i++ {
+		c.Admit(tts.Pair{Tx: 1, Thread: 1})
+	}
+	if got := c.Level(); got != LevelRelaxed {
+		t.Fatalf("after one bad window: level = %v, want relaxed", got)
+	}
+	for i := 0; i < 8; i++ {
+		c.Admit(tts.Pair{Tx: 1, Thread: 1})
+	}
+	if got := c.Level(); got != LevelPassthrough {
+		t.Fatalf("after two bad windows: level = %v, want passthrough", got)
+	}
+	st := c.Stats()
+	if st.Degradations != 2 {
+		t.Errorf("degradations = %d, want 2", st.Degradations)
+	}
+	// At passthrough everything is healthy by construction, so the
+	// probing re-arm must step back up after RearmWindows windows.
+	for i := 0; i < 16; i++ {
+		c.Admit(tts.Pair{Tx: 1, Thread: 1})
+	}
+	st = c.Stats()
+	if st.Rearms == 0 {
+		t.Errorf("probing re-arm never fired: %+v", st)
+	}
+	if st.PassthroughAdmits == 0 {
+		t.Errorf("no passthrough admits recorded: %+v", st)
+	}
+}
+
+func TestLadderTripsOnEscapeRate(t *testing.T) {
+	c := New(twoStateModel(), tripOpts())
+	c.OnCommit(1, tts.Pair{Tx: 0, Thread: 0})
+	// (c,2) is inadmissible in {<a0>}: every admit escapes (rate 1.0).
+	for i := 0; i < 8; i++ {
+		c.Admit(tts.Pair{Tx: 2, Thread: 2})
+	}
+	if got := c.Level(); got != LevelRelaxed {
+		t.Fatalf("escape storm did not trip the ladder: level = %v", got)
+	}
+	if st := c.Stats(); st.Escapes == 0 || st.Degradations != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLadderRearmsWhenHealthy(t *testing.T) {
+	opts := tripOpts()
+	c := New(twoStateModel(), opts)
+	for i := 0; i < 8; i++ {
+		c.Admit(tts.Pair{Tx: 1, Thread: 1}) // unknown: trips to relaxed
+	}
+	if c.Level() != LevelRelaxed {
+		t.Fatal("setup: ladder did not trip")
+	}
+	// Now the workload returns to known territory: admissible pairs in
+	// a known state. Two healthy windows must re-arm full guidance.
+	c.OnCommit(1, tts.Pair{Tx: 0, Thread: 0})
+	for i := 0; i < 16; i++ {
+		c.Admit(tts.Pair{Tx: 1, Thread: 1})
+	}
+	if got := c.Level(); got != LevelGuided {
+		t.Errorf("after healthy windows: level = %v, want guided", got)
+	}
+	if st := c.Stats(); st.Rearms != 1 {
+		t.Errorf("rearms = %d, want 1", st.Rearms)
+	}
+}
+
+func TestRelaxedLevelWidensAdmissibleSet(t *testing.T) {
+	// a0 → b1 (p≈0.99) and a0 → c2 (p≈0.011): at Tfactor 4 the c2 edge
+	// is below Pmax/4, but at RelaxFactor 100 the threshold drops far
+	// enough to include it.
+	c := New(twoStateModel(), Options{K: 2, RelaxFactor: 100, HealthWindow: -1})
+	c.OnCommit(1, tts.Pair{Tx: 0, Thread: 0})
+
+	c.Admit(tts.Pair{Tx: 2, Thread: 2})
+	if st := c.Stats(); st.Escapes != 1 {
+		t.Fatalf("guided level should hold (c,2): %+v", st)
+	}
+
+	c.level.Store(int32(LevelRelaxed))
+	c.Admit(tts.Pair{Tx: 2, Thread: 2})
+	st := c.Stats()
+	if st.Escapes != 1 {
+		t.Errorf("relaxed level should admit (c,2) without escape: %+v", st)
+	}
+	if st.RelaxedAdmits != 1 {
+		t.Errorf("relaxed admits = %d, want 1", st.RelaxedAdmits)
+	}
+}
+
+func TestHealthMonitorDisabled(t *testing.T) {
+	c := New(twoStateModel(), Options{K: 2, HealthWindow: -1})
+	if c.health != nil {
+		t.Fatal("negative HealthWindow must disable the monitor")
+	}
+	for i := 0; i < 1000; i++ {
+		c.Admit(tts.Pair{Tx: 1, Thread: 1}) // unknown storm
+	}
+	if got := c.Level(); got != LevelGuided {
+		t.Errorf("disabled monitor moved the ladder to %v", got)
+	}
+}
+
+func TestPerThreadStarvationCounters(t *testing.T) {
+	c := New(twoStateModel(), Options{K: 2, HealthWindow: -1})
+	c.OnCommit(1, tts.Pair{Tx: 0, Thread: 0})
+	c.Admit(tts.Pair{Tx: 2, Thread: 2}) // held, escapes
+	st := c.Stats()
+	if len(st.ThreadEscapes) != 4 { // twoStateModel is built with 4 threads
+		t.Fatalf("len(ThreadEscapes) = %d, want 4", len(st.ThreadEscapes))
+	}
+	if st.ThreadEscapes[2] != 1 {
+		t.Errorf("thread 2 escapes = %d, want 1", st.ThreadEscapes[2])
+	}
+	if st.ThreadHoldTime[2] <= 0 {
+		t.Errorf("thread 2 hold time = %v, want > 0", st.ThreadHoldTime[2])
+	}
+	if st.MaxHoldRechecks == 0 {
+		t.Error("MaxHoldRechecks = 0 after an escape")
+	}
+}
+
+func TestHoldStallInjection(t *testing.T) {
+	inj := fault.NewInjector(1).Set(fault.HoldStall, fault.Rule{Every: 1, Delay: 100 * time.Microsecond})
+	c := New(twoStateModel(), Options{K: 2, HealthWindow: -1, Inject: inj})
+	c.OnCommit(1, tts.Pair{Tx: 0, Thread: 0})
+	c.Admit(tts.Pair{Tx: 2, Thread: 2}) // held: every re-check stalls
+	if inj.Fired(fault.HoldStall) == 0 {
+		t.Error("hold-stall hook never fired during a hold")
+	}
+	if st := c.Stats(); st.Escapes != 1 {
+		t.Errorf("stalled hold must still escape: %+v", st)
+	}
+}
+
+func TestResetClearsLadder(t *testing.T) {
+	c := New(twoStateModel(), tripOpts())
+	for i := 0; i < 16; i++ {
+		c.Admit(tts.Pair{Tx: 1, Thread: 1})
+	}
+	if c.Level() == LevelGuided {
+		t.Fatal("setup: ladder did not trip")
+	}
+	c.Reset()
+	if got := c.Level(); got != LevelGuided {
+		t.Errorf("Reset left level at %v", got)
+	}
+	if st := c.Stats(); st.Degradations == 0 {
+		t.Error("Reset must keep cumulative counters")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	for lvl, want := range map[Level]string{
+		LevelGuided: "guided", LevelRelaxed: "relaxed", LevelPassthrough: "passthrough", Level(9): "unknown",
+	} {
+		if got := lvl.String(); got != want {
+			t.Errorf("Level(%d).String() = %q, want %q", int32(lvl), got, want)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"gstm/internal/fault"
+	"gstm/internal/guide"
+	"gstm/internal/model"
+	"gstm/internal/stamp"
+	"gstm/internal/tl2"
+	"gstm/internal/trace"
+	"gstm/internal/tts"
+)
+
+// TestFaultMatrix runs the full profile→model→guided pipeline under
+// each injectable fault class and asserts the system degrades
+// gracefully: corrupt persistence is rejected descriptively, timing
+// faults never deadlock the gate, trace faults never crash model
+// building, and a model that does not match reality trips the health
+// ladder to passthrough instead of throttling the run forever.
+func TestFaultMatrix(t *testing.T) {
+	t.Run("CommitAborts", func(t *testing.T) {
+		e := fastExperiment("kmeans", 4)
+		e.Inject = fault.NewInjector(42).
+			Set(fault.CommitAbort, fault.Rule{Every: 7})
+		out, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Inject.Fired(fault.CommitAbort) == 0 {
+			t.Error("no commit aborts injected")
+		}
+		if out.Default.Commits == 0 {
+			t.Error("forced aborts prevented all commits")
+		}
+	})
+
+	t.Run("CommitAndLockDelays", func(t *testing.T) {
+		e := fastExperiment("vacation", 3)
+		e.ProfileRuns, e.MeasureRuns = 2, 2
+		e.Inject = fault.NewInjector(7).
+			Set(fault.CommitDelay, fault.Rule{Every: 11, Delay: 200 * time.Microsecond}).
+			Set(fault.LockReleaseDelay, fault.Rule{Every: 13, Delay: 200 * time.Microsecond})
+		res, err := e.Measure(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Commits == 0 {
+			t.Error("delays prevented all commits")
+		}
+		if e.Inject.Fired(fault.CommitDelay) == 0 || e.Inject.Fired(fault.LockReleaseDelay) == 0 {
+			t.Errorf("delays did not fire: %s", e.Inject.Counts())
+		}
+	})
+
+	t.Run("HoldStalls", func(t *testing.T) {
+		e := fastExperiment("kmeans", 4)
+		e.ProfileRuns, e.MeasureRuns = 2, 2
+		e.K = 2
+		e.Force = true
+		e.Inject = fault.NewInjector(99).
+			Set(fault.HoldStall, fault.Rule{Every: 3, Delay: 100 * time.Microsecond})
+		out, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Compared == nil {
+			t.Fatal("guided measurement did not run")
+		}
+		if out.Guided.Commits == 0 {
+			t.Error("stalled gate prevented all commits")
+		}
+		gs := out.Guided.Guide
+		if gs.Admits != gs.ImmediateAdmits+gs.Holds {
+			t.Errorf("stats inconsistent under stalls: admits=%d immediate=%d holds=%d",
+				gs.Admits, gs.ImmediateAdmits, gs.Holds)
+		}
+	})
+
+	t.Run("TraceDropAndDup", func(t *testing.T) {
+		// Dropped and duplicated trace events must never crash model
+		// building, and the resulting model must still drive a guided
+		// run to completion.
+		inj := fault.NewInjector(5).
+			Set(fault.TraceDrop, fault.Rule{Every: 9}).
+			Set(fault.TraceDup, fault.Rule{Every: 14})
+		m := model.New(4)
+		for run := 0; run < 3; run++ {
+			s := tl2.New(tl2.Options{})
+			col := trace.NewCollector()
+			cfg := stamp.Config{Threads: 4, Size: stamp.Small, Seed: int64(run)}
+			if _, err := stamp.Run(s, NewWorkloadT(t, "kmeans"), cfg, func() {
+				s.SetTracer(fault.Tracer(col, inj))
+			}); err != nil {
+				t.Fatalf("profile run under trace faults: %v", err)
+			}
+			seq, _ := col.Sequence()
+			m.AddRun(seq)
+		}
+		if inj.Fired(fault.TraceDrop) == 0 || inj.Fired(fault.TraceDup) == 0 {
+			t.Errorf("trace faults did not fire: %s", inj.Counts())
+		}
+		e := fastExperiment("kmeans", 4)
+		e.MeasureRuns = 2
+		ctrl := guide.New(m.Prune(4), guide.Options{Tfactor: 4, K: 1})
+		res, err := e.Measure(ctrl)
+		if err != nil {
+			t.Fatalf("guided run on fault-built model: %v", err)
+		}
+		if res.Commits == 0 {
+			t.Error("no commits under fault-built model")
+		}
+	})
+
+	t.Run("CorruptModelFile", func(t *testing.T) {
+		e := fastExperiment("kmeans", 4)
+		e.ProfileRuns = 2
+		m, err := e.Profile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := m.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "state_data")
+		for name, data := range map[string][]byte{
+			"bit-flipped": fault.Corrupt(buf.Bytes(), 1),
+			"truncated":   fault.Truncate(buf.Bytes(), 1),
+		} {
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, derr := model.Decode(f)
+			f.Close()
+			if derr == nil {
+				t.Errorf("%s model accepted", name)
+			} else if !strings.Contains(derr.Error(), "model:") {
+				t.Errorf("%s model error lacks context: %v", name, derr)
+			}
+		}
+	})
+
+	t.Run("CorruptSequenceFile", func(t *testing.T) {
+		seq := []tts.State{
+			{Commit: tts.Pair{Tx: 0, Thread: 0}},
+			{Commit: tts.Pair{Tx: 1, Thread: 1}, Aborts: []tts.Pair{{Tx: 0, Thread: 2}}},
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteSequence(&buf, seq); err != nil {
+			t.Fatal(err)
+		}
+		for name, data := range map[string][]byte{
+			"bit-flipped": fault.Corrupt(buf.Bytes(), 3),
+			"truncated":   fault.Truncate(buf.Bytes(), 3),
+		} {
+			if _, err := trace.ReadSequence(bytes.NewReader(data)); err == nil {
+				t.Errorf("%s sequence accepted", name)
+			}
+		}
+	})
+
+	t.Run("MismatchedModelTripsPassthrough", func(t *testing.T) {
+		// A model trained on states that never occur in the measured
+		// workload makes every admit an unknown-state pass; the health
+		// monitor must walk the ladder to passthrough rather than let
+		// guidance thrash. RearmWindows is huge so the probe cannot
+		// flap the level back down mid-assert.
+		bogus := model.Build(4,
+			[]tts.State{
+				{Commit: tts.Pair{Tx: 1000, Thread: 0}},
+				{Commit: tts.Pair{Tx: 1001, Thread: 1}},
+				{Commit: tts.Pair{Tx: 1000, Thread: 0}},
+			},
+		)
+		e := fastExperiment("kmeans", 4)
+		e.MeasureRuns = 2
+		ctrl := guide.New(bogus.Prune(4), guide.Options{
+			Tfactor:      4,
+			K:            1,
+			HealthWindow: 32,
+			RearmWindows: 1 << 20,
+		})
+		res, err := e.Measure(ctrl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs := res.Guide
+		if gs.Level != guide.LevelPassthrough {
+			t.Errorf("level = %v, want passthrough (unknowns=%d admits=%d)",
+				gs.Level, gs.UnknownPasses, gs.Admits)
+		}
+		if gs.Degradations < 2 {
+			t.Errorf("Degradations = %d, want >= 2 (guided→relaxed→passthrough)", gs.Degradations)
+		}
+		if gs.PassthroughAdmits == 0 {
+			t.Error("no admits recorded at passthrough level")
+		}
+		if res.Commits == 0 {
+			t.Error("mismatched model prevented all commits")
+		}
+	})
+}
+
+// NewWorkloadT is NewWorkload with test-fatal error handling.
+func NewWorkloadT(t *testing.T, name string) stamp.Workload {
+	t.Helper()
+	w, err := NewWorkload(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}

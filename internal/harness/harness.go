@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"gstm/internal/analyze"
+	"gstm/internal/fault"
 	"gstm/internal/guide"
 	"gstm/internal/model"
 	"gstm/internal/stamp"
@@ -82,6 +83,14 @@ type Experiment struct {
 	// CM optionally installs a contention manager on the measured STM
 	// (both modes), for the contention-manager-vs-guidance ablation.
 	CM tl2.ContentionManager
+	// Inject optionally wires a deterministic fault injector into every
+	// STM instance the experiment creates (and, via Run, into the guide's
+	// hold loop) — the robustness harness's chaos knob. Nil means no
+	// faults and no overhead.
+	Inject *fault.Injector
+	// Guide overrides the controller health/ladder options used by Run;
+	// Tfactor, K and Inject are filled from the experiment itself.
+	Guide guide.Options
 }
 
 func (e *Experiment) fill() {
@@ -144,7 +153,7 @@ func (e Experiment) Profile() (*model.TSA, error) {
 	}
 	m := model.New(e.Threads)
 	for run := 0; run < e.ProfileRuns; run++ {
-		s := tl2.New(tl2.Options{})
+		s := tl2.New(tl2.Options{Inject: e.Inject})
 		col := trace.NewCollector()
 		cfg := stamp.Config{Threads: e.Threads, Size: e.ProfileSize, Seed: e.Seed + int64(run)}
 		if _, err := stamp.Run(s, w, cfg, func() { s.SetTracer(col) }); err != nil {
@@ -175,7 +184,7 @@ func (e Experiment) Measure(ctrl *guide.Controller) (ModeResult, error) {
 	var wallSum float64
 
 	for run := 0; run < e.MeasureRuns; run++ {
-		s := tl2.New(tl2.Options{})
+		s := tl2.New(tl2.Options{Inject: e.Inject})
 		col := trace.NewCollector()
 		cfg := stamp.Config{Threads: e.Threads, Size: e.MeasureSize, Seed: e.Seed + 1000 + int64(run)}
 		after := func() {
@@ -309,7 +318,9 @@ func (e Experiment) Run() (Outcome, error) {
 	}
 	if out.Analysis.Fit || e.Force {
 		pruned := m.Prune(e.Tfactor)
-		ctrl := guide.New(pruned, guide.Options{Tfactor: e.Tfactor, K: e.K})
+		gopts := e.Guide
+		gopts.Tfactor, gopts.K, gopts.Inject = e.Tfactor, e.K, e.Inject
+		ctrl := guide.New(pruned, gopts)
 		out.Guided, err = e.Measure(ctrl)
 		if err != nil {
 			return out, err

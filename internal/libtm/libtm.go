@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gstm/internal/fault"
 	"gstm/internal/trace"
 	"gstm/internal/tts"
 )
@@ -118,6 +119,10 @@ type Options struct {
 	// on hosts with fewer cores than threads (see tl2.Options). 0 means
 	// the default (4); negative disables.
 	YieldEvery int
+	// Inject, when non-nil, arms the deterministic fault-injection
+	// hooks in the commit path (fault.CommitAbort, fault.CommitDelay,
+	// fault.LockReleaseDelay); same contract as tl2.Options.Inject.
+	Inject *fault.Injector
 }
 
 // defaultYieldEvery matches tl2's access interval between yields.
@@ -418,6 +423,12 @@ func (tx *Tx) commit() {
 	if tx.stm.opts.YieldEvery > 0 {
 		runtime.Gosched()
 	}
+	if inj := tx.stm.opts.Inject; inj != nil {
+		if inj.Fire(fault.CommitAbort) {
+			tx.abort(0)
+		}
+		inj.Sleep(fault.CommitDelay)
+	}
 	if tx.stm.opts.Mode.Writes == CommitWrites {
 		for _, w := range tx.writes {
 			tx.lockForWrite(w.o)
@@ -443,6 +454,12 @@ func (tx *Tx) commit() {
 		if bad {
 			tx.abort(k)
 		}
+	}
+	// Validation passed and every write lock is held: an injected
+	// stall here starves rivals blocked on those locks — the
+	// worst-case committer.
+	if inj := tx.stm.opts.Inject; inj != nil {
+		inj.Sleep(fault.LockReleaseDelay)
 	}
 	// Publish writes and release write locks.
 	for _, w := range tx.writes {

@@ -1,51 +1,51 @@
 package model
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"sort"
 
+	"gstm/internal/binio"
 	"gstm/internal/tts"
 )
 
-// magic identifies the binary TSA format (the paper stores the guided
-// model "in an efficient bitwise structure", Section VI; this is ours).
-var magic = [8]byte{'G', 'S', 'T', 'M', 'T', 'S', 'A', '1'}
+// The binary TSA format (the paper stores the guided model "in an
+// efficient bitwise structure", Section VI; this is ours). Version 2
+// hardens v1 for untrusted inputs: the 8-byte magic carries the
+// version, a CRC32-Castagnoli trailer seals magic+payload, untrusted
+// count fields are validated against the bytes actually present before
+// any allocation, and decode errors carry the byte offset. v1 files
+// remain readable (no checksum, but the same plausibility caps and a
+// trailing-garbage check).
+var (
+	magicV1 = [8]byte{'G', 'S', 'T', 'M', 'T', 'S', 'A', '1'}
+	magicV2 = [8]byte{'G', 'S', 'T', 'M', 'T', 'S', 'A', '2'}
+)
 
-// Encode writes the model in the compact binary format. Encoding is
+// Encode writes the model in the v2 binary format. Encoding is
 // deterministic: states and edges are emitted in sorted key order.
 func (m *TSA) Encode(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(magic[:]); err != nil {
-		return err
-	}
+	var buf bytes.Buffer
+	buf.Write(magicV2[:])
 	var scratch [4]byte
-	writeU32 := func(x uint32) error {
+	writeU32 := func(x uint32) {
 		binary.BigEndian.PutUint32(scratch[:], x)
-		_, err := bw.Write(scratch[:])
-		return err
+		buf.Write(scratch[:])
 	}
 	writeKey := func(k string) error {
 		if len(k) > 0xffff {
 			return fmt.Errorf("model: state key too long (%d bytes)", len(k))
 		}
 		binary.BigEndian.PutUint16(scratch[:2], uint16(len(k)))
-		if _, err := bw.Write(scratch[:2]); err != nil {
-			return err
-		}
-		_, err := bw.WriteString(k)
-		return err
+		buf.Write(scratch[:2])
+		buf.WriteString(k)
+		return nil
 	}
 
-	if err := writeU32(uint32(m.Threads)); err != nil {
-		return err
-	}
-	if err := writeU32(uint32(len(m.Nodes))); err != nil {
-		return err
-	}
+	writeU32(uint32(m.Threads))
+	writeU32(uint32(len(m.Nodes)))
 	keys := make([]string, 0, len(m.Nodes))
 	for k := range m.Nodes {
 		keys = append(keys, k)
@@ -56,9 +56,7 @@ func (m *TSA) Encode(w io.Writer) error {
 		if err := writeKey(k); err != nil {
 			return err
 		}
-		if err := writeU32(uint32(len(n.Out))); err != nil {
-			return err
-		}
+		writeU32(uint32(len(n.Out)))
 		dests := make([]string, 0, len(n.Out))
 		for d := range n.Out {
 			dests = append(dests, d)
@@ -68,78 +66,113 @@ func (m *TSA) Encode(w io.Writer) error {
 			if err := writeKey(d); err != nil {
 				return err
 			}
-			if err := writeU32(uint32(n.Out[d])); err != nil {
-				return err
-			}
+			writeU32(uint32(n.Out[d]))
 		}
 	}
-	return bw.Flush()
+	if _, err := w.Write(binio.Seal(buf.Bytes())); err != nil {
+		return fmt.Errorf("model: writing encoded model: %w", err)
+	}
+	return nil
 }
 
-// Decode reads a model previously written by Encode.
+// minNodeBytes is the least a node can occupy: a 2-byte key length
+// (empty key) plus a 4-byte edge count. minEdgeBytes likewise: key
+// length plus a 4-byte transition count.
+const (
+	minNodeBytes = 2 + 4
+	minEdgeBytes = 2 + 4
+)
+
+// Decode reads a model previously written by Encode — either format
+// version. The input is buffered (capped at binio.MaxEncoded), v2
+// checksums are verified before parsing, and every error names the
+// failing operation and its byte offset.
 func Decode(r io.Reader) (*TSA, error) {
-	br := bufio.NewReader(r)
-	var got [8]byte
-	if _, err := io.ReadFull(br, got[:]); err != nil {
-		return nil, fmt.Errorf("model: reading magic: %w", err)
+	data, err := binio.ReadAllCapped(r, binio.MaxEncoded)
+	if err != nil {
+		return nil, fmt.Errorf("model: reading encoded model: %w", err)
 	}
-	if got != magic {
-		return nil, fmt.Errorf("model: bad magic %q", got[:])
+	if len(data) < len(magicV2) {
+		return nil, fmt.Errorf("model: input too short (%d bytes) for magic", len(data))
 	}
-	var scratch [4]byte
-	readU32 := func() (uint32, error) {
-		if _, err := io.ReadFull(br, scratch[:]); err != nil {
-			return 0, err
+	switch {
+	case bytes.Equal(data[:8], magicV2[:]):
+		payload, err := binio.Unseal(data)
+		if err != nil {
+			return nil, fmt.Errorf("model: %w", err)
 		}
-		return binary.BigEndian.Uint32(scratch[:]), nil
-	}
-	readKey := func() (string, error) {
-		if _, err := io.ReadFull(br, scratch[:2]); err != nil {
-			return "", err
-		}
-		n := binary.BigEndian.Uint16(scratch[:2])
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return "", err
-		}
-		return string(buf), nil
+		data = payload
+	case bytes.Equal(data[:8], magicV1[:]):
+		// Legacy format: no checksum to verify.
+	default:
+		return nil, fmt.Errorf("model: bad magic %q", data[:8])
 	}
 
-	threads, err := readU32()
-	if err != nil {
-		return nil, fmt.Errorf("model: reading thread count: %w", err)
+	br := binio.NewReader(data)
+	if err := br.Skip(8); err != nil {
+		return nil, fmt.Errorf("model: skipping magic: %w", err)
 	}
-	numNodes, err := readU32()
+	fail := func(what string, err error) error {
+		return fmt.Errorf("model: %s at byte offset %d: %w", what, br.Offset(), err)
+	}
+	readKey := func() (string, error) {
+		n, err := br.U16()
+		if err != nil {
+			return "", err
+		}
+		b, err := br.Bytes(int(n))
+		if err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+
+	threads, err := br.U32()
 	if err != nil {
-		return nil, fmt.Errorf("model: reading node count: %w", err)
+		return nil, fail("reading thread count", err)
+	}
+	numNodes, err := br.U32()
+	if err != nil {
+		return nil, fail("reading node count", err)
+	}
+	if err := br.CheckCount(numNodes, minNodeBytes, "node"); err != nil {
+		return nil, fmt.Errorf("model: %w", err)
 	}
 	m := New(int(threads))
 	for i := uint32(0); i < numNodes; i++ {
 		key, err := readKey()
 		if err != nil {
-			return nil, fmt.Errorf("model: reading state %d key: %w", i, err)
+			return nil, fail(fmt.Sprintf("reading state %d key", i), err)
 		}
 		st, err := tts.ParseKey(key)
 		if err != nil {
-			return nil, fmt.Errorf("model: state %d: %w", i, err)
+			return nil, fail(fmt.Sprintf("parsing state %d key", i), err)
 		}
 		node := m.ensure(key, st)
-		numEdges, err := readU32()
+		numEdges, err := br.U32()
 		if err != nil {
-			return nil, fmt.Errorf("model: reading state %d edge count: %w", i, err)
+			return nil, fail(fmt.Sprintf("reading state %d edge count", i), err)
+		}
+		if err := br.CheckCount(numEdges, minEdgeBytes, "edge"); err != nil {
+			return nil, fmt.Errorf("model: state %d: %w", i, err)
 		}
 		for e := uint32(0); e < numEdges; e++ {
 			dest, err := readKey()
 			if err != nil {
-				return nil, fmt.Errorf("model: reading edge %d of state %d: %w", e, i, err)
+				return nil, fail(fmt.Sprintf("reading edge %d of state %d", e, i), err)
 			}
-			cnt, err := readU32()
+			cnt, err := br.U32()
 			if err != nil {
-				return nil, fmt.Errorf("model: reading edge %d count of state %d: %w", e, i, err)
+				return nil, fail(fmt.Sprintf("reading edge %d count of state %d", e, i), err)
 			}
 			node.Out[dest] += int(cnt)
 			node.Total += int(cnt)
 		}
+	}
+	if br.Remaining() != 0 {
+		// Either the file was corrupted, or a v2 payload is being read
+		// through the v1 path after a damaged version byte.
+		return nil, fmt.Errorf("model: %d bytes of trailing data at byte offset %d", br.Remaining(), br.Offset())
 	}
 	// Destination-only states may not have their own entry if the model
 	// was pruned oddly; materialize them so Node() lookups succeed.
@@ -148,7 +181,7 @@ func Decode(r io.Reader) (*TSA, error) {
 			if m.Nodes[d] == nil {
 				st, err := tts.ParseKey(d)
 				if err != nil {
-					return nil, fmt.Errorf("model: destination key: %w", err)
+					return nil, fmt.Errorf("model: parsing destination key %q: %w", d, err)
 				}
 				m.ensure(d, st)
 			}

@@ -1,0 +1,113 @@
+package model
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"gstm/internal/tts"
+)
+
+// fuzzSeedModel builds a small, representative TSA: several states,
+// abort tuples, and multi-edge fan-out.
+func fuzzSeedModel() *TSA {
+	a := tts.State{Commit: tts.Pair{Tx: 0, Thread: 0}}
+	b := tts.State{Commit: tts.Pair{Tx: 1, Thread: 1},
+		Aborts: []tts.Pair{{Tx: 0, Thread: 2}, {Tx: 2, Thread: 3}}}
+	c := tts.State{Commit: tts.Pair{Tx: 2, Thread: 2}}
+	return Build(4,
+		[]tts.State{a, b, c, a},
+		[]tts.State{a, c, b},
+		[]tts.State{b, a, b},
+	)
+}
+
+func encodeSeed(t testing.TB) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := fuzzSeedModel().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// v1Bytes rewrites a v2 encoding as its legacy v1 equivalent: v1 magic,
+// same payload, no CRC trailer.
+func v1Bytes(v2 []byte) []byte {
+	out := append([]byte(nil), magicV1[:]...)
+	return append(out, v2[8:len(v2)-4]...)
+}
+
+// FuzzModelDecode asserts Decode never panics and never allocates
+// unboundedly on arbitrary input, and that anything it accepts
+// round-trips through Encode.
+func FuzzModelDecode(f *testing.F) {
+	valid := encodeSeed(f)
+	f.Add(valid)
+	f.Add(v1Bytes(valid))
+	f.Add(valid[:len(valid)/2])           // truncated
+	f.Add(valid[:8])                      // magic only
+	f.Add([]byte("GSTMTSA3............")) // future version
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := m.Encode(io.Discard); err != nil {
+			t.Fatalf("decoded model failed to re-encode: %v", err)
+		}
+	})
+}
+
+// TestCorruptOneByteAlwaysErrors is the persistence hardening property:
+// flipping any single bit of a valid v2 encoding must make Decode fail
+// cleanly — the CRC trailer catches payload damage, the magic check
+// catches header damage — and never panic.
+func TestCorruptOneByteAlwaysErrors(t *testing.T) {
+	valid := encodeSeed(t)
+	for off := 0; off < len(valid); off++ {
+		for bit := uint(0); bit < 8; bit++ {
+			bad := append([]byte(nil), valid...)
+			bad[off] ^= 1 << bit
+			if _, err := Decode(bytes.NewReader(bad)); err == nil {
+				t.Fatalf("corruption at byte %d bit %d went undetected", off, bit)
+			}
+		}
+	}
+}
+
+// TestDecodeLegacyV1 keeps the v1 reader working: the same payload
+// under the old magic, without a trailer, must decode to an equal
+// model.
+func TestDecodeLegacyV1(t *testing.T) {
+	want := fuzzSeedModel()
+	m, err := Decode(bytes.NewReader(v1Bytes(encodeSeed(t))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumStates() != want.NumStates() || m.NumEdges() != want.NumEdges() || m.Threads != want.Threads {
+		t.Errorf("v1 decode: %d states %d edges %d threads, want %d/%d/%d",
+			m.NumStates(), m.NumEdges(), m.Threads,
+			want.NumStates(), want.NumEdges(), want.Threads)
+	}
+}
+
+// TestDecodeRejectsHugeCountField is the allocation-cap regression
+// test: a tiny file claiming 2^31 nodes must be rejected up front with
+// an offset-bearing error, not drive a giant allocation.
+func TestDecodeRejectsHugeCountField(t *testing.T) {
+	valid := encodeSeed(t)
+	// Node count lives at bytes 12..16 (magic 8 + threads 4). Claim the
+	// maximum; the CRC would catch this in v2, so attack the v1 path
+	// where only the plausibility cap stands.
+	bad := v1Bytes(valid)
+	bad[12], bad[13], bad[14], bad[15] = 0x7f, 0xff, 0xff, 0xff
+	_, err := Decode(bytes.NewReader(bad))
+	if err == nil {
+		t.Fatal("huge node count accepted")
+	}
+	if !bytes.Contains([]byte(err.Error()), []byte("node count")) {
+		t.Errorf("error does not name the count field: %v", err)
+	}
+}

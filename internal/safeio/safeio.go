@@ -1,0 +1,55 @@
+// Package safeio provides crash-safe file persistence for the model
+// and sequence artifacts: writes go to a temp file in the destination
+// directory, are fsynced, and then renamed over the target, so a crash
+// mid-write can never leave a torn file where a reader expects a valid
+// one — readers see either the old complete file or the new one.
+package safeio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes the output of the write callback to path via
+// temp file + fsync + rename. On any error the temp file is removed
+// and the previous contents of path (if any) are left untouched.
+func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("safeio: creating temp file in %s: %w", dir, err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	bw := bufio.NewWriter(tmp)
+	if err = write(bw); err != nil {
+		return fmt.Errorf("safeio: writing %s: %w", path, err)
+	}
+	if err = bw.Flush(); err != nil {
+		return fmt.Errorf("safeio: flushing %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("safeio: syncing %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("safeio: closing temp file for %s: %w", path, err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("safeio: renaming into %s: %w", path, err)
+	}
+	// Durability of the rename itself needs the directory synced; the
+	// write is already atomic without it, so failures here are ignored
+	// (some filesystems refuse to fsync directories).
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package safeio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileAtomicCreatesAndReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.bin")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("first"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "first" {
+		t.Fatalf("content = %q", got)
+	}
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("second"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "second" {
+		t.Fatalf("after replace: content = %q", got)
+	}
+}
+
+func TestWriteFileAtomicKeepsOldFileOnWriteError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := os.WriteFile(path, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, _ = w.Write([]byte("partial garbage"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Errorf("error does not name the path: %v", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "precious" {
+		t.Errorf("old file clobbered: %q", got)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Errorf("temp file leaked: %d entries in dir", len(ents))
+	}
+}
+
+func TestWriteFileAtomicBadDirectory(t *testing.T) {
+	err := WriteFileAtomic(filepath.Join(t.TempDir(), "missing", "out.bin"),
+		func(w io.Writer) error { return nil })
+	if err == nil {
+		t.Error("missing directory must error")
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gstm/internal/fault"
 	"gstm/internal/trace"
 	"gstm/internal/tts"
 )
@@ -109,6 +110,11 @@ type Options struct {
 	// single P run whole transactions atomically and conflicts vanish.
 	// 0 means the default (4); negative disables yielding.
 	YieldEvery int
+	// Inject, when non-nil, arms the deterministic fault-injection
+	// hooks in the commit path (fault.CommitAbort, fault.CommitDelay,
+	// fault.LockReleaseDelay). Nil — the default — costs one pointer
+	// check per commit.
+	Inject *fault.Injector
 }
 
 // defaultYieldEvery is the access interval between scheduler yields.
@@ -340,6 +346,12 @@ func (tx *Tx) commit() {
 	if tx.stm.opts.YieldEvery > 0 {
 		runtime.Gosched()
 	}
+	if inj := tx.stm.opts.Inject; inj != nil {
+		if inj.Fire(fault.CommitAbort) {
+			tx.abort(0)
+		}
+		inj.Sleep(fault.CommitDelay)
+	}
 	if len(tx.writes) == 0 {
 		// Read-only fast path: per-read validation against rv already
 		// guarantees a consistent snapshot at rv.
@@ -359,6 +371,11 @@ func (tx *Tx) commit() {
 		w.prevWho = w.v.who.Load()
 		w.v.who.Store(tx.instance)
 		locked++
+	}
+	// With the whole write set locked, an injected stall here starves
+	// every rival spinning on those locks — the worst-case committer.
+	if inj := s.opts.Inject; inj != nil {
+		inj.Sleep(fault.LockReleaseDelay)
 	}
 	wv := s.clock.Add(1)
 	if wv > tx.rv+1 {

@@ -1,106 +1,149 @@
 package trace
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
 
+	"gstm/internal/binio"
 	"gstm/internal/tts"
 )
 
 // The paper's artifact materializes each profiled run's transaction
 // sequence to a file ("the modified STM ... generate[s] a bitwise
 // transaction sequence") and builds the model offline. WriteSequence
-// and ReadSequence implement that interchange format: a magic header,
-// the state count, then each thread transactional state as its commit
-// pair followed by its abort pairs.
+// and ReadSequence implement that interchange format: a versioned
+// magic header, the state count, then each thread transactional state
+// as its commit pair followed by its abort pairs. Version 2 seals
+// magic+payload under a CRC32-Castagnoli trailer and validates count
+// fields against the bytes actually present, so corrupt or adversarial
+// files are rejected with an offset-bearing error instead of driving
+// unbounded allocations; v1 files remain readable.
+var (
+	seqMagicV1 = [8]byte{'G', 'S', 'T', 'M', 'T', 'S', 'Q', '1'}
+	seqMagicV2 = [8]byte{'G', 'S', 'T', 'M', 'T', 'S', 'Q', '2'}
+)
 
-var seqMagic = [8]byte{'G', 'S', 'T', 'M', 'T', 'S', 'Q', '1'}
+// minStateBytes is the least one encoded state occupies: a 4-byte
+// commit pair plus a 2-byte abort count. pairBytes is one encoded pair.
+const (
+	minStateBytes = 4 + 2
+	pairBytes     = 4
+)
 
-// WriteSequence writes a transaction sequence in the binary
+// WriteSequence writes a transaction sequence in the v2 binary
 // interchange format.
 func WriteSequence(w io.Writer, seq []tts.State) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(seqMagic[:]); err != nil {
-		return err
-	}
+	var buf bytes.Buffer
+	buf.Write(seqMagicV2[:])
 	var scratch [4]byte
 	binary.BigEndian.PutUint32(scratch[:], uint32(len(seq)))
-	if _, err := bw.Write(scratch[:]); err != nil {
-		return err
-	}
-	writePair := func(p tts.Pair) error {
+	buf.Write(scratch[:])
+	writePair := func(p tts.Pair) {
 		binary.BigEndian.PutUint16(scratch[:2], p.Tx)
 		binary.BigEndian.PutUint16(scratch[2:], p.Thread)
-		_, err := bw.Write(scratch[:4])
-		return err
+		buf.Write(scratch[:4])
 	}
 	for i := range seq {
 		st := seq[i]
 		if len(st.Aborts) > 0xffff {
 			return fmt.Errorf("trace: state %d has %d aborts, too many to encode", i, len(st.Aborts))
 		}
-		if err := writePair(st.Commit); err != nil {
-			return err
-		}
+		writePair(st.Commit)
 		binary.BigEndian.PutUint16(scratch[:2], uint16(len(st.Aborts)))
-		if _, err := bw.Write(scratch[:2]); err != nil {
-			return err
-		}
+		buf.Write(scratch[:2])
 		for _, a := range st.Aborts {
-			if err := writePair(a); err != nil {
-				return err
-			}
+			writePair(a)
 		}
 	}
-	return bw.Flush()
+	if _, err := w.Write(binio.Seal(buf.Bytes())); err != nil {
+		return fmt.Errorf("trace: writing sequence: %w", err)
+	}
+	return nil
 }
 
-// ReadSequence reads a sequence written by WriteSequence.
+// ReadSequence reads a sequence written by WriteSequence — either
+// format version. The input is buffered (capped at binio.MaxEncoded),
+// v2 checksums are verified before parsing, and every error names the
+// failing operation and its byte offset.
 func ReadSequence(r io.Reader) ([]tts.State, error) {
-	br := bufio.NewReader(r)
-	var got [8]byte
-	if _, err := io.ReadFull(br, got[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	data, err := binio.ReadAllCapped(r, binio.MaxEncoded)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading encoded sequence: %w", err)
 	}
-	if got != seqMagic {
-		return nil, fmt.Errorf("trace: bad sequence magic %q", got[:])
+	if len(data) < len(seqMagicV2) {
+		return nil, fmt.Errorf("trace: input too short (%d bytes) for magic", len(data))
 	}
-	var scratch [4]byte
-	if _, err := io.ReadFull(br, scratch[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading count: %w", err)
+	switch {
+	case bytes.Equal(data[:8], seqMagicV2[:]):
+		payload, err := binio.Unseal(data)
+		if err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		data = payload
+	case bytes.Equal(data[:8], seqMagicV1[:]):
+		// Legacy format: no checksum to verify.
+	default:
+		return nil, fmt.Errorf("trace: bad sequence magic %q", data[:8])
 	}
-	n := binary.BigEndian.Uint32(scratch[:])
+
+	br := binio.NewReader(data)
+	if err := br.Skip(8); err != nil {
+		return nil, fmt.Errorf("trace: skipping magic: %w", err)
+	}
+	fail := func(what string, err error) error {
+		return fmt.Errorf("trace: %s at byte offset %d: %w", what, br.Offset(), err)
+	}
 	readPair := func() (tts.Pair, error) {
-		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+		b, err := br.Bytes(pairBytes)
+		if err != nil {
 			return tts.Pair{}, err
 		}
 		return tts.Pair{
-			Tx:     binary.BigEndian.Uint16(scratch[:2]),
-			Thread: binary.BigEndian.Uint16(scratch[2:]),
+			Tx:     binary.BigEndian.Uint16(b[:2]),
+			Thread: binary.BigEndian.Uint16(b[2:]),
 		}, nil
+	}
+
+	n, err := br.U32()
+	if err != nil {
+		return nil, fail("reading state count", err)
+	}
+	if err := br.CheckCount(n, minStateBytes, "state"); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
 	}
 	seq := make([]tts.State, 0, n)
 	for i := uint32(0); i < n; i++ {
 		commit, err := readPair()
 		if err != nil {
-			return nil, fmt.Errorf("trace: state %d commit: %w", i, err)
+			return nil, fail(fmt.Sprintf("reading state %d commit", i), err)
 		}
-		if _, err := io.ReadFull(br, scratch[:2]); err != nil {
-			return nil, fmt.Errorf("trace: state %d abort count: %w", i, err)
+		na, err := br.U16()
+		if err != nil {
+			return nil, fail(fmt.Sprintf("reading state %d abort count", i), err)
 		}
-		na := binary.BigEndian.Uint16(scratch[:2])
+		if err := br.CheckCount(uint32(na), pairBytes, "abort"); err != nil {
+			return nil, fmt.Errorf("trace: state %d: %w", i, err)
+		}
 		st := tts.State{Commit: commit}
+		if na > 0 {
+			st.Aborts = make([]tts.Pair, 0, na)
+		}
 		for a := uint16(0); a < na; a++ {
 			p, err := readPair()
 			if err != nil {
-				return nil, fmt.Errorf("trace: state %d abort %d: %w", i, a, err)
+				return nil, fail(fmt.Sprintf("reading state %d abort %d", i, a), err)
 			}
 			st.Aborts = append(st.Aborts, p)
 		}
 		st.Canonicalize()
 		seq = append(seq, st)
+	}
+	if br.Remaining() != 0 {
+		// Either the file was corrupted, or a v2 payload is being read
+		// through the v1 path after a damaged version byte.
+		return nil, fmt.Errorf("trace: %d bytes of trailing data at byte offset %d", br.Remaining(), br.Offset())
 	}
 	return seq, nil
 }

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"gstm/internal/tts"
+)
+
+func fuzzSeedSeq() []tts.State {
+	return []tts.State{
+		{Commit: tts.Pair{Tx: 0, Thread: 0}},
+		{Commit: tts.Pair{Tx: 1, Thread: 1},
+			Aborts: []tts.Pair{{Tx: 0, Thread: 2}, {Tx: 2, Thread: 3}}},
+		{Commit: tts.Pair{Tx: 2, Thread: 2},
+			Aborts: []tts.Pair{{Tx: 1, Thread: 0}}},
+	}
+}
+
+func encodeSeedSeq(t testing.TB) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteSequence(&buf, fuzzSeedSeq()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// v1SeqBytes rewrites a v2 encoding as its legacy v1 equivalent.
+func v1SeqBytes(v2 []byte) []byte {
+	out := append([]byte(nil), seqMagicV1[:]...)
+	return append(out, v2[8:len(v2)-4]...)
+}
+
+// FuzzReadSequence asserts ReadSequence never panics and never
+// allocates unboundedly on arbitrary input, and that anything it
+// accepts round-trips through WriteSequence.
+func FuzzReadSequence(f *testing.F) {
+	valid := encodeSeedSeq(f)
+	f.Add(valid)
+	f.Add(v1SeqBytes(valid))
+	f.Add(valid[:len(valid)/2])           // truncated
+	f.Add(valid[:8])                      // magic only
+	f.Add([]byte("GSTMTSQ9............")) // future version
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seq, err := ReadSequence(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := WriteSequence(io.Discard, seq); err != nil {
+			t.Fatalf("decoded sequence failed to re-encode: %v", err)
+		}
+	})
+}
+
+// TestSequenceCorruptOneByteAlwaysErrors mirrors the model-side
+// property: any single-bit corruption of a valid v2 file must be
+// rejected cleanly, never panic, never silently parse.
+func TestSequenceCorruptOneByteAlwaysErrors(t *testing.T) {
+	valid := encodeSeedSeq(t)
+	for off := 0; off < len(valid); off++ {
+		for bit := uint(0); bit < 8; bit++ {
+			bad := append([]byte(nil), valid...)
+			bad[off] ^= 1 << bit
+			if _, err := ReadSequence(bytes.NewReader(bad)); err == nil {
+				t.Fatalf("corruption at byte %d bit %d went undetected", off, bit)
+			}
+		}
+	}
+}
+
+// TestReadSequenceLegacyV1 keeps the v1 reader working.
+func TestReadSequenceLegacyV1(t *testing.T) {
+	got, err := ReadSequence(bytes.NewReader(v1SeqBytes(encodeSeedSeq(t))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fuzzSeedSeq()
+	if len(got) != len(want) {
+		t.Fatalf("v1 decode: %d states, want %d", len(got), len(want))
+	}
+	for i := range want {
+		want[i].Canonicalize()
+		if !got[i].Equal(want[i]) {
+			t.Errorf("state %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestReadSequenceRejectsHugeCountField: a tiny v1 file claiming 2^31
+// states must be rejected by the plausibility cap with an
+// offset-bearing error, not drive a multi-gigabyte allocation.
+func TestReadSequenceRejectsHugeCountField(t *testing.T) {
+	bad := v1SeqBytes(encodeSeedSeq(t))
+	bad[8], bad[9], bad[10], bad[11] = 0x7f, 0xff, 0xff, 0xff
+	_, err := ReadSequence(bytes.NewReader(bad))
+	if err == nil {
+		t.Fatal("huge state count accepted")
+	}
+	if !strings.Contains(err.Error(), "state count") || !strings.Contains(err.Error(), "offset") {
+		t.Errorf("error lacks count/offset context: %v", err)
+	}
+}

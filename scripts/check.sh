@@ -3,11 +3,14 @@
 #
 # Runs, in order: formatting, go vet (including the -copylocks guard
 # backing tl2.Var/libtm.Obj's no-copy contract), build + full test
-# suite, the race detector over both STM runtimes, and gstmlint (the
-# STM-aware transaction-safety linter, checks gstm001..gstm007,
-# including the interprocedural gstm006 over the module-wide call
-# graph). Exits non-zero on the first failure. CI runs this same
-# script (.github/workflows/ci.yml).
+# suite, the race detector over both STM runtimes plus the fault
+# matrix (injected aborts/stalls must never deadlock the gate), a
+# fuzz smoke over both binary decoders, and gstmlint (the STM-aware
+# transaction-safety linter, checks gstm001..gstm007, including the
+# interprocedural gstm006 over the module-wide call graph). Exits
+# non-zero on the first failure. CI runs this same script
+# (.github/workflows/ci.yml). Set GSTM_FUZZTIME to lengthen the fuzz
+# smoke (default 10s per target).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,8 +29,14 @@ echo "== build + tests =="
 go build ./...
 go test ./...
 
-echo "== race detector (STM runtimes) =="
+echo "== race detector (STM runtimes + fault matrix) =="
 go test -race ./internal/tl2 ./internal/libtm
+go test -race -run TestFaultMatrix ./internal/harness
+
+echo "== fuzz smoke (binary decoders) =="
+FUZZTIME="${GSTM_FUZZTIME:-10s}"
+go test -run='^$' -fuzz=FuzzModelDecode -fuzztime="$FUZZTIME" ./internal/model
+go test -run='^$' -fuzz=FuzzReadSequence -fuzztime="$FUZZTIME" ./internal/trace
 
 echo "== gstmlint =="
 go run ./cmd/gstmlint ./...
