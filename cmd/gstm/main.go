@@ -22,12 +22,16 @@
 // fault.ParseSpec; e.g. "commit-abort:50,hold-stall:~10:1ms"),
 // -fault-seed fixes the injection schedule, and -health-window /
 // -relax-factor / -rearm-windows tune the guided controller's
-// degradation ladder. Model and trace files are written atomically
-// (temp file + fsync + rename). Exit codes: 1 unexpected, 2 usage,
-// 3 file I/O, 4 pipeline failure.
+// degradation ladder. Progress knobs: -deadline bounds every Atomic
+// call, -escalate-after sets the irrevocable-escalation abort
+// threshold, -watchdog-window tunes the livelock watchdog. Model and
+// trace files are written atomically (temp file + fsync + rename).
+// Exit codes: 1 unexpected, 2 usage, 3 file I/O, 4 pipeline failure,
+// 5 transaction deadline exceeded.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -53,6 +57,7 @@ const (
 	exitUsage    = 2
 	exitIO       = 3
 	exitPipeline = 4
+	exitDeadline = 5
 )
 
 func main() {
@@ -72,6 +77,9 @@ func main() {
 		healthWindow = flag.Int("health-window", 0, "health monitor window in admits (0 = default, <0 = disable)")
 		relaxFactor  = flag.Float64("relax-factor", 0, "Tfactor multiplier at the relaxed ladder level (0 = default)")
 		rearmWindows = flag.Int("rearm-windows", 0, "healthy windows before re-arming a tripped ladder (0 = default)")
+		deadline     = flag.Duration("deadline", 0, "per-Atomic-call deadline (0 = none); a miss exits with code 5")
+		escAfter     = flag.Int("escalate-after", 0, "aborts before irrevocable escalation (0 = default, <0 = disable)")
+		watchdogWin  = flag.Duration("watchdog-window", 0, "livelock watchdog sampling window (0 = default, <0 = disable)")
 	)
 	flag.Parse()
 
@@ -94,15 +102,18 @@ func main() {
 	}
 
 	e := harness.Experiment{
-		Workload:    *bench,
-		Threads:     *threads,
-		ProfileRuns: *runs,
-		MeasureRuns: *runs,
-		Tfactor:     *freq,
-		K:           *k,
-		Seed:        *seed,
-		Inject:      inj,
-		Guide:       gopts,
+		Workload:       *bench,
+		Threads:        *threads,
+		ProfileRuns:    *runs,
+		MeasureRuns:    *runs,
+		Tfactor:        *freq,
+		K:              *k,
+		Seed:           *seed,
+		Inject:         inj,
+		Guide:          gopts,
+		TxDeadline:     *deadline,
+		EscalateAfter:  *escAfter,
+		WatchdogWindow: *watchdogWin,
 	}
 	if *sizeFlag != "" {
 		sz, err := stamp.ParseSize(*sizeFlag)
@@ -170,14 +181,15 @@ func main() {
 		ctrl := guide.New(m.Prune(*freq), g)
 		res, err := e.Measure(ctrl)
 		if err != nil {
-			fatalf(exitPipeline, "guided run: %v", err)
+			fatalf(measureExitCode(err), "guided run: %v", err)
 		}
 		printSummary("guided", *bench, res, *op == "ND_mcmc")
 		gs := res.Guide
-		fmt.Printf("gate: %d admits, %d holds, %d escapes, %d unknown-state passes\n",
-			gs.Admits, gs.Holds, gs.Escapes, gs.UnknownPasses)
+		fmt.Printf("gate: %d admits, %d holds, %d escapes, %d unknown-state passes, %d irrevocable admits\n",
+			gs.Admits, gs.Holds, gs.Escapes, gs.UnknownPasses, gs.IrrevocableAdmits)
 		fmt.Printf("health: level %s, %d degradations, %d re-arms, %d relaxed admits, %d passthrough admits\n",
 			gs.Level, gs.Degradations, gs.Rearms, gs.RelaxedAdmits, gs.PassthroughAdmits)
+		harness.RenderStarvation(os.Stdout, gs)
 		if inj != nil {
 			fmt.Printf("faults: %s\n", inj.Counts())
 		}
@@ -185,7 +197,7 @@ func main() {
 	case "default", "orig", "ND_only":
 		res, err := e.Measure(nil)
 		if err != nil {
-			fatalf(exitPipeline, "default run: %v", err)
+			fatalf(measureExitCode(err), "default run: %v", err)
 		}
 		printSummary("default", *bench, res, *op == "ND_only")
 		if inj != nil {
@@ -233,9 +245,20 @@ func loadModel(path string) *model.TSA {
 // printSummary mimics the artifact's AvgSummary files: per-thread mean
 // and standard deviation of execution time, plus (for the ND ops) the
 // state count and abort distribution.
+// measureExitCode distinguishes a transaction deadline miss (exit 5)
+// from other pipeline failures (exit 4), so driver scripts can tell
+// "the workload starved past -deadline" from "the run broke".
+func measureExitCode(err error) int {
+	if errors.Is(err, tl2.ErrDeadline) {
+		return exitDeadline
+	}
+	return exitPipeline
+}
+
 func printSummary(mode, bench string, res harness.ModeResult, nd bool) {
 	fmt.Printf("%s %s: %d commits, %d aborts, mean wall %.6fs\n",
 		bench, mode, res.Commits, res.Aborts, res.MeanWall)
+	harness.RenderProgress(os.Stdout, res, 8)
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "thread\tmean(s)\tstddev(s)")
 	sds := res.ThreadStdDevs()

@@ -1,0 +1,81 @@
+package gstm
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"gstm/internal/fault"
+	"gstm/internal/libtm"
+	"gstm/internal/tl2"
+)
+
+// TestSentinelIdentity pins the façade sentinels to the runtime ones:
+// errors.Is must match through the re-export, so callers can depend on
+// the façade without importing the internal packages.
+func TestSentinelIdentity(t *testing.T) {
+	if !errors.Is(ErrRetryLimit, tl2.ErrRetryLimit) {
+		t.Error("gstm.ErrRetryLimit does not match tl2.ErrRetryLimit")
+	}
+	if !errors.Is(ErrDeadline, tl2.ErrDeadline) {
+		t.Error("gstm.ErrDeadline does not match tl2.ErrDeadline")
+	}
+	// The two runtimes keep distinct sentinels — a libtm retry-limit
+	// error must not satisfy a tl2 check, and vice versa.
+	if errors.Is(libtm.ErrRetryLimit, tl2.ErrRetryLimit) {
+		t.Error("libtm.ErrRetryLimit unexpectedly matches tl2.ErrRetryLimit")
+	}
+	if errors.Is(libtm.ErrDeadline, tl2.ErrDeadline) {
+		t.Error("libtm.ErrDeadline unexpectedly matches tl2.ErrDeadline")
+	}
+}
+
+// TestRetryLimitSentinelRoundTrip drives a real MaxRetries failure
+// (every commit force-aborted, escalation disabled) and checks the
+// returned error matches the façade sentinel.
+func TestRetryLimitSentinelRoundTrip(t *testing.T) {
+	inj := fault.NewInjector(1).Set(fault.CommitAbort, fault.Rule{Every: 1})
+	s := New(Options{Inject: inj, MaxRetries: 3, EscalateAfter: -1, WatchdogWindow: -1})
+	v := NewVar(0)
+	err := s.Atomic(0, 0, func(tx *Tx) error {
+		tx.Write(v, tx.Read(v)+1)
+		return nil
+	})
+	if !errors.Is(err, ErrRetryLimit) {
+		t.Fatalf("err = %v, want gstm.ErrRetryLimit", err)
+	}
+	if !errors.Is(err, tl2.ErrRetryLimit) {
+		t.Fatalf("err = %v, want tl2.ErrRetryLimit through the façade", err)
+	}
+	if v.Value() != 0 {
+		t.Errorf("value = %d, want 0 after retry-limit failure", v.Value())
+	}
+}
+
+// TestDeadlineSentinelRoundTrip drives a real deadline miss through the
+// façade and checks the error matches both the façade sentinel and the
+// context error it wraps.
+func TestDeadlineSentinelRoundTrip(t *testing.T) {
+	inj := fault.NewInjector(1).Set(fault.CommitAbort, fault.Rule{Every: 1})
+	s := New(Options{Inject: inj, EscalateAfter: -1, WatchdogWindow: -1})
+	v := NewVar(0)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err := s.AtomicCtx(ctx, 0, 0, func(tx *Tx) error {
+		tx.Write(v, tx.Read(v)+1)
+		return nil
+	})
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want gstm.ErrDeadline", err)
+	}
+	if !errors.Is(err, tl2.ErrDeadline) {
+		t.Fatalf("err = %v, want tl2.ErrDeadline through the façade", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want to wrap context.DeadlineExceeded", err)
+	}
+	if errors.Is(err, ErrRetryLimit) {
+		t.Fatalf("err = %v, must not match ErrRetryLimit", err)
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"gstm/internal/analyze"
 	"gstm/internal/guide"
 	"gstm/internal/model"
+	"gstm/internal/progress"
 	"gstm/internal/tl2"
 	"gstm/internal/trace"
 	"gstm/internal/tts"
@@ -99,9 +100,32 @@ type (
 	Tracer = trace.Tracer
 )
 
+// Progress-guarantee types (see internal/progress): STM.AtomicCtx adds
+// deadlines and cancellation, escalation falls back to an irrevocable
+// serial path, and a livelock watchdog adapts the escalation threshold.
+type (
+	// ProgressStats is the snapshot returned by (*STM).ProgressStats:
+	// escalations, deadline misses, watchdog trips and the effective
+	// escalation threshold.
+	ProgressStats = progress.Stats
+	// LatencyRecorder collects per-(tx,thread) Atomic call latencies;
+	// attach with (*STM).SetLatencyRecorder.
+	LatencyRecorder = progress.LatencyRecorder
+	// PairLatency is one pair's latency percentile summary.
+	PairLatency = progress.PairLatency
+)
+
+// NewLatencyRecorder returns an empty Atomic latency recorder.
+func NewLatencyRecorder() *LatencyRecorder { return progress.NewLatencyRecorder() }
+
 // ErrRetryLimit is returned by Atomic when Options.MaxRetries is
 // exceeded.
 var ErrRetryLimit = tl2.ErrRetryLimit
+
+// ErrDeadline is returned by AtomicCtx (and by Atomic under
+// Options.DefaultDeadline) when the context expires before the
+// transaction commits; the returned error also wraps ctx.Err().
+var ErrDeadline = tl2.ErrDeadline
 
 // DefaultTfactor is the paper's recommended guidance threshold divisor.
 const DefaultTfactor = model.DefaultTfactor

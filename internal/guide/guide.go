@@ -92,6 +92,9 @@ type Stats struct {
 	// UnknownPasses were admitted because the current state was not in
 	// the model (or had no outbound guidance).
 	UnknownPasses uint64
+	// IrrevocableAdmits passed through AdmitIrrevocable — escalated
+	// transactions the gate must never hold.
+	IrrevocableAdmits uint64
 
 	// RelaxedAdmits passed a first check against the relaxed
 	// (RelaxFactor× Tfactor) destination sets at LevelRelaxed.
@@ -146,6 +149,7 @@ type Controller struct {
 	perThread []threadCounters
 
 	admits          atomic.Uint64
+	irrevAdmits     atomic.Uint64
 	immediateAdmits atomic.Uint64
 	holds           atomic.Uint64
 	escapes         atomic.Uint64
@@ -256,6 +260,7 @@ func (c *Controller) Stats() Stats {
 		Holds:             c.holds.Load(),
 		Escapes:           c.escapes.Load(),
 		UnknownPasses:     c.unknownPasses.Load(),
+		IrrevocableAdmits: c.irrevAdmits.Load(),
 		RelaxedAdmits:     c.relaxedAdmits.Load(),
 		PassthroughAdmits: c.passAdmits.Load(),
 		Degradations:      c.degradations.Load(),
@@ -424,6 +429,22 @@ func (c *Controller) Admit(p tts.Pair) {
 		}
 	}
 	held(true, false)
+}
+
+// AdmitIrrevocable implements the runtimes' IrrevocableGate: an
+// escalated (irrevocable serial) transaction is admitted immediately,
+// whatever the model says. Holding it would be a deadlock — it owns the
+// irrevocability token every committer quiesces on — and the hold
+// loop's fault.HoldStall injection site must not be reachable either,
+// so this path deliberately shares no code with Admit. The outcome
+// still feeds the counters (as an immediate admit, preserving
+// Admits == ImmediateAdmits + Holds) and the health window: a burst of
+// escalations is exactly the distress the ladder should see.
+func (c *Controller) AdmitIrrevocable(p tts.Pair) {
+	c.admits.Add(1)
+	c.irrevAdmits.Add(1)
+	c.immediateAdmits.Add(1)
+	c.noteOutcome(false, false)
 }
 
 // admissible reports whether the pair may proceed under snapshot s at

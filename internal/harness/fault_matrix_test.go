@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -166,6 +167,86 @@ func TestFaultMatrix(t *testing.T) {
 			if _, err := trace.ReadSequence(bytes.NewReader(data)); err == nil {
 				t.Errorf("%s sequence accepted", name)
 			}
+		}
+	})
+
+	t.Run("CommitAbortStormTerminates", func(t *testing.T) {
+		// Force-abort every commit. With escalation armed, every Atomic
+		// call must still terminate — rescued by the irrevocable serial
+		// path — so the measured run completes with commits and a
+		// nonzero escalation count instead of hanging.
+		e := fastExperiment("kmeans", 4)
+		e.MeasureRuns = 1
+		e.Inject = fault.NewInjector(11).
+			Set(fault.CommitAbort, fault.Rule{Every: 1})
+		e.TxDeadline = time.Minute
+		e.EscalateAfter = 3
+		res, err := e.Measure(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Commits == 0 {
+			t.Error("storm prevented all commits despite escalation")
+		}
+		if res.Progress.Escalations == 0 {
+			t.Error("no escalations recorded under a total commit-abort storm")
+		}
+		if res.Progress.DeadlineExceeded != 0 {
+			t.Errorf("DeadlineExceeded = %d, want 0 (escalation should beat the deadline)",
+				res.Progress.DeadlineExceeded)
+		}
+	})
+
+	t.Run("CommitAbortStormHitsDeadline", func(t *testing.T) {
+		// The other half of the progress guarantee: with escalation and
+		// the watchdog disabled, the same storm must end every call with
+		// ErrDeadline — bounded failure, not a hang.
+		e := fastExperiment("kmeans", 4)
+		e.MeasureRuns = 1
+		e.Inject = fault.NewInjector(11).
+			Set(fault.CommitAbort, fault.Rule{Every: 1})
+		e.TxDeadline = 50 * time.Millisecond
+		e.EscalateAfter = -1
+		e.WatchdogWindow = -1
+		_, err := e.Measure(nil)
+		if err == nil {
+			t.Fatal("measure succeeded under a total storm with escalation disabled")
+		}
+		if !errors.Is(err, tl2.ErrDeadline) {
+			t.Fatalf("err = %v, want tl2.ErrDeadline", err)
+		}
+	})
+
+	t.Run("GuidedEscalation", func(t *testing.T) {
+		// Escalation under guided execution: the controller must admit
+		// irrevocable transactions immediately (no hold, no stall) and
+		// count them, and the run must complete. The profile phase runs
+		// fault-free; the storm is armed for the measured phase only.
+		e := fastExperiment("kmeans", 4)
+		e.ProfileRuns, e.MeasureRuns = 2, 1
+		m, err := e.Profile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Inject = fault.NewInjector(23).
+			Set(fault.CommitAbort, fault.Rule{PerMille: 600})
+		e.TxDeadline = time.Minute
+		e.EscalateAfter = 2
+		ctrl := guide.New(m.Prune(4), guide.Options{Tfactor: 4, K: 1, Inject: e.Inject})
+		res, err := e.Measure(ctrl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Commits == 0 {
+			t.Error("no commits under guided escalation")
+		}
+		gs := res.Guide
+		if gs.IrrevocableAdmits == 0 {
+			t.Errorf("no irrevocable admits recorded (escalations=%d)", res.Progress.Escalations)
+		}
+		if gs.Admits != gs.ImmediateAdmits+gs.Holds {
+			t.Errorf("gate stats inconsistent under escalation: admits=%d immediate=%d holds=%d",
+				gs.Admits, gs.ImmediateAdmits, gs.Holds)
 		}
 	})
 

@@ -15,6 +15,7 @@ import (
 	"gstm/internal/fault"
 	"gstm/internal/guide"
 	"gstm/internal/model"
+	"gstm/internal/progress"
 	"gstm/internal/stamp"
 	"gstm/internal/stamp/genome"
 	"gstm/internal/stamp/intruder"
@@ -91,6 +92,26 @@ type Experiment struct {
 	// Guide overrides the controller health/ladder options used by Run;
 	// Tfactor, K and Inject are filled from the experiment itself.
 	Guide guide.Options
+	// TxDeadline, when positive, bounds every Atomic call in the
+	// measured workloads (tl2.Options.DefaultDeadline); calls that miss
+	// it surface as run errors wrapping tl2.ErrDeadline.
+	TxDeadline time.Duration
+	// EscalateAfter is the irrevocable-escalation abort threshold
+	// passed to the STM (0 = runtime default, negative disables).
+	EscalateAfter int
+	// WatchdogWindow is the livelock watchdog's sampling window
+	// (0 = runtime default, negative disables).
+	WatchdogWindow time.Duration
+}
+
+// stmOptions builds the tl2 options every experiment-created STM uses.
+func (e *Experiment) stmOptions() tl2.Options {
+	return tl2.Options{
+		Inject:          e.Inject,
+		DefaultDeadline: e.TxDeadline,
+		EscalateAfter:   e.EscalateAfter,
+		WatchdogWindow:  e.WatchdogWindow,
+	}
 }
 
 func (e *Experiment) fill() {
@@ -132,6 +153,13 @@ type ModeResult struct {
 	MeanWall float64
 	// Guide holds controller decision counters (guided mode only).
 	Guide guide.Stats
+	// Progress accumulates the STMs' progress-guarantee counters
+	// (escalations, deadline misses, watchdog trips) over all runs; the
+	// threshold field reports the last run's effective value.
+	Progress progress.Stats
+	// Latency holds the per-(tx,thread) Atomic latency percentile
+	// summaries across all runs, worst P99 first.
+	Latency []progress.PairLatency
 }
 
 // ThreadStdDevs returns the per-thread execution-time standard
@@ -153,16 +181,29 @@ func (e Experiment) Profile() (*model.TSA, error) {
 	}
 	m := model.New(e.Threads)
 	for run := 0; run < e.ProfileRuns; run++ {
-		s := tl2.New(tl2.Options{Inject: e.Inject})
+		s := tl2.New(e.stmOptions())
 		col := trace.NewCollector()
 		cfg := stamp.Config{Threads: e.Threads, Size: e.ProfileSize, Seed: e.Seed + int64(run)}
 		if _, err := stamp.Run(s, w, cfg, func() { s.SetTracer(col) }); err != nil {
-			return nil, fmt.Errorf("harness: profile run %d: %w", run, err)
+			return nil, wrapRunErr("profile", run, s, err)
 		}
 		seq, _ := col.Sequence()
 		m.AddRun(seq)
 	}
 	return m, nil
+}
+
+// wrapRunErr attaches phase/run context to a stamp.Run failure. The
+// STAMP workload threads drop per-call Atomic errors by design, so a
+// deadline miss inside a workload surfaces as a validation failure; if
+// the STM counted deadline misses, re-attach tl2.ErrDeadline so callers
+// (and cmd/gstm's exit code 5) can tell starvation from breakage.
+func wrapRunErr(phase string, run int, s *tl2.STM, err error) error {
+	if ps := s.ProgressStats(); ps.DeadlineExceeded > 0 {
+		return fmt.Errorf("harness: %s run %d: %w (%d calls missed the deadline): %w",
+			phase, run, tl2.ErrDeadline, ps.DeadlineExceeded, err)
+	}
+	return fmt.Errorf("harness: %s run %d: %w", phase, run, err)
 }
 
 // Measure runs the measurement phase in default mode (ctrl nil) or
@@ -182,12 +223,14 @@ func (e Experiment) Measure(ctrl *guide.Controller) (ModeResult, error) {
 	}
 	var allKeys []string
 	var wallSum float64
+	rec := progress.NewLatencyRecorder()
 
 	for run := 0; run < e.MeasureRuns; run++ {
-		s := tl2.New(tl2.Options{Inject: e.Inject})
+		s := tl2.New(e.stmOptions())
 		col := trace.NewCollector()
 		cfg := stamp.Config{Threads: e.Threads, Size: e.MeasureSize, Seed: e.Seed + 1000 + int64(run)}
 		after := func() {
+			s.SetLatencyRecorder(rec)
 			if e.CM != nil {
 				s.SetContentionManager(e.CM)
 			}
@@ -201,7 +244,7 @@ func (e Experiment) Measure(ctrl *guide.Controller) (ModeResult, error) {
 		}
 		r, err := stamp.Run(s, w, cfg, after)
 		if err != nil {
-			return res, fmt.Errorf("harness: measure run %d: %w", run, err)
+			return res, wrapRunErr("measure", run, s, err)
 		}
 		for t := 0; t < e.Threads; t++ {
 			res.ThreadTimes[t] = append(res.ThreadTimes[t], r.ThreadTimes[t].Seconds())
@@ -216,8 +259,14 @@ func (e Experiment) Measure(ctrl *guide.Controller) (ModeResult, error) {
 		allKeys = append(allKeys, trace.Keys(seq)...)
 		res.Commits += s.Commits()
 		res.Aborts += s.Aborts()
+		ps := s.ProgressStats()
+		res.Progress.Escalations += ps.Escalations
+		res.Progress.DeadlineExceeded += ps.DeadlineExceeded
+		res.Progress.WatchdogTrips += ps.WatchdogTrips
+		res.Progress.EscalateThreshold = ps.EscalateThreshold
 		wallSum += r.Wall.Seconds()
 	}
+	res.Latency = rec.Summaries()
 	res.DistinctStates = stats.DistinctStates(allKeys)
 	res.MeanWall = wallSum / float64(e.MeasureRuns)
 	if ctrl != nil {

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"text/tabwriter"
 
+	"gstm/internal/guide"
 	"gstm/internal/stamp"
 )
 
@@ -288,6 +289,62 @@ func (r SuiteResult) RenderFigure9(w io.Writer) {
 		}
 		fmt.Fprintln(tw)
 	}
+	tw.Flush()
+}
+
+// RenderProgress writes the mode's progress-guarantee summary: the
+// escalation/deadline/watchdog counters and the per-(tx,thread) Atomic
+// latency percentiles, worst tails first. maxPairs bounds the latency
+// table (≤ 0 means 8); pairs beyond it are summarized, not hidden.
+func RenderProgress(w io.Writer, res ModeResult, maxPairs int) {
+	fmt.Fprintln(w, res.Progress)
+	if len(res.Latency) == 0 {
+		return
+	}
+	if maxPairs <= 0 {
+		maxPairs = 8
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "tx\tthread\tcalls\tp50(µs)\tp95(µs)\tp99(µs)")
+	shown := 0
+	for _, pl := range res.Latency {
+		if shown == maxPairs {
+			fmt.Fprintf(tw, "…\t(%d more pairs)\t\t\t\t\n", len(res.Latency)-shown)
+			break
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%.1f\t%.1f\t%.1f\n",
+			pl.Pair.Tx, pl.Pair.Thread, pl.Count,
+			pl.P50*1e6, pl.P95*1e6, pl.P99*1e6)
+		shown++
+	}
+	tw.Flush()
+}
+
+// RenderStarvation writes the guide's per-thread starvation forensics —
+// progress escapes and cumulative hold time per thread — so a starving
+// thread is visible in the run summary without a debugger. Threads with
+// no evidence are skipped; if none have any, one quiet line says so.
+func RenderStarvation(w io.Writer, gs guide.Stats) {
+	any := false
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "thread\tescapes\theld")
+	for t := range gs.ThreadEscapes {
+		esc := gs.ThreadEscapes[t]
+		var held float64
+		if t < len(gs.ThreadHoldTime) {
+			held = gs.ThreadHoldTime[t].Seconds()
+		}
+		if esc == 0 && held == 0 {
+			continue
+		}
+		any = true
+		fmt.Fprintf(tw, "%d\t%d\t%.6fs\n", t, esc, held)
+	}
+	if !any {
+		fmt.Fprintln(w, "starvation: no holds or escapes recorded")
+		return
+	}
+	fmt.Fprintln(w, "starvation forensics (per-thread escapes and hold time):")
 	tw.Flush()
 }
 

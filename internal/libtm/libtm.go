@@ -19,6 +19,8 @@
 package libtm
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -27,6 +29,7 @@ import (
 	"time"
 
 	"gstm/internal/fault"
+	"gstm/internal/progress"
 	"gstm/internal/trace"
 	"gstm/internal/tts"
 )
@@ -103,6 +106,14 @@ type Gate interface {
 	Admit(p tts.Pair)
 }
 
+// IrrevocableGate is the optional non-blocking admission surface for
+// escalated (irrevocable serial) transactions; same contract as
+// tl2.IrrevocableGate. Gates that do not implement it are bypassed for
+// escalated transactions.
+type IrrevocableGate interface {
+	AdmitIrrevocable(p tts.Pair)
+}
+
 // Options configures an STM instance.
 type Options struct {
 	// Mode selects detection and resolution. The zero value is
@@ -123,10 +134,28 @@ type Options struct {
 	// hooks in the commit path (fault.CommitAbort, fault.CommitDelay,
 	// fault.LockReleaseDelay); same contract as tl2.Options.Inject.
 	Inject *fault.Injector
+	// EscalateAfter is the abort count at which an Atomic call falls
+	// back to the irrevocable serial path; 0 means the default
+	// (DefaultEscalateAfter), negative disables escalation. Same
+	// contract as tl2.Options.EscalateAfter.
+	EscalateAfter int
+	// EscalateTime escalates a call retrying for at least this long
+	// (0 disables time-based escalation).
+	EscalateTime time.Duration
+	// DefaultDeadline, when positive, bounds every plain Atomic call
+	// with a context.WithTimeout of this duration.
+	DefaultDeadline time.Duration
+	// WatchdogWindow is the livelock watchdog's sampling window: 0
+	// means progress.DefaultWatchdogWindow, negative disables.
+	WatchdogWindow time.Duration
 }
 
 // defaultYieldEvery matches tl2's access interval between yields.
 const defaultYieldEvery = 4
+
+// DefaultEscalateAfter is the escalation abort threshold when
+// Options.EscalateAfter is zero (same value as tl2's).
+const DefaultEscalateAfter = 256
 
 // STM is a LibTM transactional memory domain.
 type STM struct {
@@ -136,10 +165,20 @@ type STM struct {
 	aborts    atomic.Uint64
 	tracer    atomic.Pointer[tracerBox]
 	gate      atomic.Pointer[gateBox]
+
+	irrevocable irrevocableState
+
+	// Progress-guarantee state, mirroring tl2 (see internal/progress).
+	escalations  atomic.Uint64
+	deadlineMiss atomic.Uint64
+	escThreshold atomic.Int64
+	watchdog     *progress.Watchdog
+	lat          atomic.Pointer[latBox]
 }
 
 type tracerBox struct{ t trace.Tracer }
 type gateBox struct{ g Gate }
+type latBox struct{ r *progress.LatencyRecorder }
 
 // New returns an STM with the given options.
 func New(opts Options) *STM {
@@ -150,8 +189,25 @@ func New(opts Options) *STM {
 		opts.YieldEvery = defaultYieldEvery
 	}
 	s := &STM{opts: opts}
+	s.escThreshold.Store(configuredThreshold(opts.EscalateAfter))
+	if opts.WatchdogWindow >= 0 {
+		s.watchdog = progress.NewWatchdog(opts.WatchdogWindow)
+	}
 	s.SetTracer(trace.Nop{})
 	return s
+}
+
+// configuredThreshold maps Options.EscalateAfter to the effective
+// escalation threshold (0 → default, negative → disabled as -1).
+func configuredThreshold(after int) int64 {
+	switch {
+	case after == 0:
+		return DefaultEscalateAfter
+	case after < 0:
+		return -1
+	default:
+		return int64(after)
+	}
 }
 
 // Mode returns the configured mode.
@@ -239,7 +295,12 @@ func (o *Obj) StoreFloat(f float64) {
 type abortSignal struct{ killer uint64 }
 
 // ErrRetryLimit is returned when Options.MaxRetries is exceeded.
-var ErrRetryLimit = fmt.Errorf("libtm: transaction exceeded retry limit")
+var ErrRetryLimit = errors.New("libtm: transaction exceeded retry limit")
+
+// ErrDeadline is returned by AtomicCtx when the context expires before
+// the transaction commits; the returned error wraps both ErrDeadline
+// and the context's own error.
+var ErrDeadline = errors.New("libtm: transaction deadline exceeded")
 
 type readEntry struct {
 	o   *Obj
@@ -269,6 +330,24 @@ type Tx struct {
 
 	// ops counts transactional accesses for YieldEvery interleaving.
 	ops int
+	// done is the AtomicCtx context's Done channel (nil = no deadline).
+	done <-chan struct{}
+	// irrev marks an escalated (irrevocable serial) attempt: reads and
+	// writes take write locks at encounter time and cannot abort.
+	irrev bool
+}
+
+// ctxDone reports whether the transaction's deadline has expired.
+func (tx *Tx) ctxDone() bool {
+	if tx.done == nil {
+		return false
+	}
+	select {
+	case <-tx.done:
+		return true
+	default:
+		return false
+	}
 }
 
 // maybeYield emulates multicore interleaving of transactional code on
@@ -314,6 +393,16 @@ func (tx *Tx) Read(o *Obj) int64 {
 	if v, ok := tx.lookupWrite(o); ok {
 		return v
 	}
+	if tx.irrev {
+		// Escalated: reads take the write lock (two-phase locking), so
+		// no invisible read can be invalidated and no visible-reader
+		// registration can be doomed — the attempt cannot abort.
+		tx.lockIrrev(o)
+		o.mu.Lock()
+		v := o.val
+		o.mu.Unlock()
+		return v
+	}
 	o.mu.Lock()
 	if o.writerInst != 0 && o.writerTx != tx {
 		k := o.writerInst
@@ -338,7 +427,11 @@ func (tx *Tx) Read(o *Obj) int64 {
 func (tx *Tx) Write(o *Obj, x int64) {
 	tx.maybeYield()
 	tx.checkDoomed()
-	if tx.stm.opts.Mode.Writes == EncounterWrites {
+	if tx.irrev {
+		// Escalated: lock at encounter time regardless of mode, but
+		// keep the store buffered so a user error rolls back cleanly.
+		tx.lockIrrev(o)
+	} else if tx.stm.opts.Mode.Writes == EncounterWrites {
 		tx.lockForWrite(o)
 	}
 	for i := len(tx.writes) - 1; i >= 0; i-- {
@@ -364,6 +457,12 @@ func (tx *Tx) WriteFloat(o *Obj, f float64) {
 // visible readers per the configured policy. Aborts self on
 // writer-writer conflict.
 func (tx *Tx) lockForWrite(o *Obj) {
+	// Quiesce against an active irrevocable transaction before taking
+	// the first write lock (and only the first: lock holders must never
+	// block on the token or the irrevocable spin-acquire deadlocks).
+	if len(tx.locked) == 0 {
+		tx.stm.irrevocable.quiesce()
+	}
 	for spin := 0; ; spin++ {
 		o.mu.Lock()
 		if o.writerTx == tx {
@@ -406,7 +505,11 @@ func (tx *Tx) lockForWrite(o *Obj) {
 			return
 		case WaitForReaders:
 			o.mu.Unlock()
-			if spin >= tx.stm.opts.WaitSpin {
+			// The wait observes the deadline and the irrevocable flag: a
+			// cancelled transaction stops waiting, and a lock holder must
+			// not out-wait an irrevocable transaction that needs its locks.
+			if spin >= tx.stm.opts.WaitSpin || tx.ctxDone() ||
+				(len(tx.locked) > 0 && tx.stm.irrevocable.active.Load()) {
 				tx.abort(0) // readers did not drain: self-abort, unknown killer
 			}
 			runtime.Gosched()
@@ -500,11 +603,58 @@ func (tx *Tx) releaseVisibleReads() {
 
 // Atomic executes fn transactionally as static transaction txID on the
 // given thread, retrying on conflicts. A non-nil error from fn rolls
-// back and returns without retry.
+// back and returns without retry. When Options.DefaultDeadline is set
+// the call is bounded by that duration and may return ErrDeadline;
+// otherwise it delegates to AtomicCtx with a background context.
 func (s *STM) Atomic(thread, txID uint16, fn func(*Tx) error) error {
-	tx := &Tx{stm: s, pair: tts.Pair{Tx: txID, Thread: thread}}
+	ctx := context.Background()
+	if d := s.opts.DefaultDeadline; d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	return s.AtomicCtx(ctx, thread, txID, fn)
+}
+
+// AtomicCtx is Atomic with a deadline: the retry loop, backoff sleeps,
+// the WaitForReaders spin and escalation token acquisition all observe
+// ctx.Done(), returning an error wrapping ErrDeadline and ctx.Err()
+// when the context expires first. Once the abort count reaches the
+// (watchdog-adjusted) escalation threshold or the call outlives
+// Options.EscalateTime, the transaction re-runs on the irrevocable
+// serial path and is guaranteed to commit. A nil ctx behaves like
+// context.Background().
+func (s *STM) AtomicCtx(ctx context.Context, thread, txID uint16, fn func(*Tx) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	tx := &Tx{stm: s, pair: tts.Pair{Tx: txID, Thread: thread}, done: ctx.Done()}
+
+	var t0 time.Time
+	var rec *progress.LatencyRecorder
+	if lb := s.lat.Load(); lb != nil {
+		rec = lb.r
+	}
+	if rec != nil || s.opts.EscalateTime > 0 {
+		t0 = time.Now()
+	}
+	err := s.atomicCtx(ctx, tx, fn, t0)
+	if rec != nil {
+		rec.Record(tx.pair, time.Since(t0))
+	}
+	return err
+}
+
+// atomicCtx is the retry loop behind AtomicCtx.
+func (s *STM) atomicCtx(ctx context.Context, tx *Tx, fn func(*Tx) error, t0 time.Time) error {
 	attempts := 0
 	for {
+		if tx.ctxDone() {
+			return s.deadlineErr(ctx)
+		}
+		if attempts > 0 && s.shouldEscalate(attempts, t0) {
+			return s.runEscalated(ctx, tx, fn)
+		}
 		if gb := s.gate.Load(); gb != nil {
 			gb.g.Admit(tx.pair)
 		}
@@ -530,8 +680,74 @@ func (s *STM) Atomic(thread, txID uint16, fn func(*Tx) error) error {
 		if s.opts.MaxRetries > 0 && attempts > s.opts.MaxRetries {
 			return ErrRetryLimit
 		}
-		backoff(attempts)
+		s.observeWatchdog()
+		backoff(tx.done, attempts)
 	}
+}
+
+// deadlineErr counts and builds the ErrDeadline-wrapping error.
+func (s *STM) deadlineErr(ctx context.Context) error {
+	s.deadlineMiss.Add(1)
+	return fmt.Errorf("%w: %w", ErrDeadline, ctx.Err())
+}
+
+// shouldEscalate reports whether the retrying call exhausted its
+// escalation budget (aborts against the watchdog-adjusted threshold,
+// or age against Options.EscalateTime).
+func (s *STM) shouldEscalate(attempts int, t0 time.Time) bool {
+	if th := s.escThreshold.Load(); th > 0 && int64(attempts) >= th {
+		return true
+	}
+	if et := s.opts.EscalateTime; et > 0 && !t0.IsZero() && time.Since(t0) >= et {
+		return true
+	}
+	return false
+}
+
+// observeWatchdog feeds the livelock watchdog from the abort path and
+// applies its verdict, mirroring tl2: trip → halve the effective
+// escalation threshold (floor 1, arming it even when configured off);
+// healthy → restore the configured value.
+func (s *STM) observeWatchdog() {
+	if s.watchdog == nil {
+		return
+	}
+	switch s.watchdog.Observe(time.Now(), s.commits.Load(), s.aborts.Load()) {
+	case progress.VerdictTrip:
+		if th := s.escThreshold.Load(); th > 1 {
+			half := th / 2
+			if half < 1 {
+				half = 1
+			}
+			s.escThreshold.CompareAndSwap(th, half)
+		} else if th <= 0 {
+			s.escThreshold.CompareAndSwap(th, DefaultEscalateAfter)
+		}
+	case progress.VerdictHealthy:
+		if th, want := s.escThreshold.Load(), configuredThreshold(s.opts.EscalateAfter); th != want {
+			s.escThreshold.CompareAndSwap(th, want)
+		}
+	}
+}
+
+// ProgressStats snapshots the progress-guarantee counters.
+func (s *STM) ProgressStats() progress.Stats {
+	return progress.Stats{
+		Escalations:       s.escalations.Load(),
+		DeadlineExceeded:  s.deadlineMiss.Load(),
+		WatchdogTrips:     s.watchdog.Trips(),
+		EscalateThreshold: s.escThreshold.Load(),
+	}
+}
+
+// SetLatencyRecorder attaches (nil detaches) a per-(tx,thread) Atomic
+// latency recorder; off by default, same contract as tl2's.
+func (s *STM) SetLatencyRecorder(r *progress.LatencyRecorder) {
+	if r == nil {
+		s.lat.Store(nil)
+		return
+	}
+	s.lat.Store(&latBox{r})
 }
 
 func (s *STM) runAttempt(tx *Tx, fn func(*Tx) error) (killer uint64, userErr error, committed bool) {
@@ -553,8 +769,9 @@ func (s *STM) runAttempt(tx *Tx, fn func(*Tx) error) (killer uint64, userErr err
 	return 0, nil, true
 }
 
-// backoff damps retry livelock.
-func backoff(attempts int) {
+// backoff damps retry livelock; sleeps observe the deadline so a
+// cancelled transaction is noticed promptly.
+func backoff(done <-chan struct{}, attempts int) {
 	if attempts < 4 {
 		for i := 0; i < attempts; i++ {
 			runtime.Gosched()
@@ -565,5 +782,15 @@ func backoff(attempts int) {
 	if d > 32 {
 		d = 32
 	}
-	time.Sleep(d * time.Microsecond)
+	d *= time.Microsecond
+	if done == nil {
+		time.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-done:
+	}
 }

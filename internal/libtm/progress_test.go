@@ -1,0 +1,271 @@
+package libtm
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gstm/internal/fault"
+	"gstm/internal/progress"
+	"gstm/internal/tts"
+)
+
+// abortStorm builds an injector that force-aborts every commit.
+func abortStorm(seed uint64) *fault.Injector {
+	return fault.NewInjector(seed).Set(fault.CommitAbort, fault.Rule{Every: 1})
+}
+
+func TestAtomicCtxExpiredContextAllModes(t *testing.T) {
+	for _, m := range allModes() {
+		t.Run(m.String(), func(t *testing.T) {
+			s := New(Options{Mode: m, EscalateAfter: -1})
+			o := NewObj(0)
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			err := s.AtomicCtx(ctx, 0, 0, func(tx *Tx) error {
+				tx.Write(o, 1)
+				return nil
+			})
+			if !errors.Is(err, ErrDeadline) {
+				t.Fatalf("err = %v, want ErrDeadline", err)
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want to wrap context.Canceled", err)
+			}
+			if o.Value() != 0 {
+				t.Errorf("cancelled transaction wrote: value = %d", o.Value())
+			}
+			if ps := s.ProgressStats(); ps.DeadlineExceeded != 1 {
+				t.Errorf("DeadlineExceeded = %d, want 1", ps.DeadlineExceeded)
+			}
+		})
+	}
+}
+
+func TestAtomicCtxDeadlineUnderAbortStorm(t *testing.T) {
+	// Escalation disabled + every commit force-aborted: the call must
+	// terminate with ErrDeadline rather than hang.
+	s := New(Options{Inject: abortStorm(1), EscalateAfter: -1, WatchdogWindow: -1})
+	o := NewObj(0)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := s.AtomicCtx(ctx, 0, 0, func(tx *Tx) error {
+		tx.Write(o, tx.Read(o)+1)
+		return nil
+	})
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want to wrap context.DeadlineExceeded", err)
+	}
+}
+
+func TestEscalationCommitsThroughAbortStormAllModes(t *testing.T) {
+	for _, m := range allModes() {
+		t.Run(m.String(), func(t *testing.T) {
+			s := New(Options{Mode: m, Inject: abortStorm(1), EscalateAfter: 3})
+			o := NewObj(0)
+			if err := s.AtomicCtx(context.Background(), 0, 0, func(tx *Tx) error {
+				tx.Write(o, tx.Read(o)+1)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if o.Value() != 1 {
+				t.Errorf("value = %d, want 1", o.Value())
+			}
+			if ps := s.ProgressStats(); ps.Escalations != 1 {
+				t.Errorf("Escalations = %d, want 1", ps.Escalations)
+			}
+			// The escalated commit must leave the object unlocked: a
+			// fresh transaction succeeds immediately.
+			if err := s.Atomic(1, 1, func(tx *Tx) error {
+				tx.Write(o, tx.Read(o)+1)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestEscalatedUserErrorRollsBackAllModes(t *testing.T) {
+	boom := errors.New("boom")
+	for _, m := range allModes() {
+		t.Run(m.String(), func(t *testing.T) {
+			s := New(Options{Mode: m, Inject: abortStorm(1), EscalateAfter: 2})
+			o := NewObj(5)
+			calls := 0
+			err := s.AtomicCtx(context.Background(), 0, 0, func(tx *Tx) error {
+				calls++
+				tx.Write(o, 99)
+				if calls <= 2 {
+					return nil // aborted by the injector; retried
+				}
+				return boom // escalated attempt: user error must roll back
+			})
+			if !errors.Is(err, boom) {
+				t.Fatalf("err = %v, want boom", err)
+			}
+			if o.Value() != 5 {
+				t.Errorf("escalated rollback failed: value = %d, want 5", o.Value())
+			}
+			// Locks released: a fresh transaction on the same object works.
+			if err := s.Atomic(1, 1, func(tx *Tx) error {
+				tx.Write(o, 6)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if o.Value() != 6 {
+				t.Errorf("post-rollback write failed: %d", o.Value())
+			}
+		})
+	}
+}
+
+func TestWatchdogArmsEscalationWhenDisabled(t *testing.T) {
+	s := New(Options{Inject: abortStorm(1), EscalateAfter: -1,
+		WatchdogWindow: time.Millisecond})
+	o := NewObj(0)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.AtomicCtx(ctx, 0, 0, func(tx *Tx) error {
+		tx.Write(o, tx.Read(o)+1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ps := s.ProgressStats()
+	if ps.WatchdogTrips == 0 {
+		t.Error("watchdog never tripped under a zero-commit storm")
+	}
+	if ps.Escalations != 1 {
+		t.Errorf("Escalations = %d, want 1", ps.Escalations)
+	}
+	if ps.EscalateThreshold <= 0 || ps.EscalateThreshold > DefaultEscalateAfter {
+		t.Errorf("threshold = %d, want armed in (0, %d]", ps.EscalateThreshold, DefaultEscalateAfter)
+	}
+}
+
+// libtmIrrevProbe records irrevocable admissions.
+type libtmIrrevProbe struct {
+	admits      atomic.Uint64
+	irrevAdmits atomic.Uint64
+}
+
+func (g *libtmIrrevProbe) Admit(tts.Pair)            { g.admits.Add(1) }
+func (g *libtmIrrevProbe) AdmitIrrevocable(tts.Pair) { g.irrevAdmits.Add(1) }
+
+func TestEscalationConsultsIrrevocableGate(t *testing.T) {
+	s := New(Options{Inject: abortStorm(1), EscalateAfter: 2})
+	g := &libtmIrrevProbe{}
+	s.SetGate(g)
+	o := NewObj(0)
+	if err := s.AtomicCtx(context.Background(), 0, 0, func(tx *Tx) error {
+		tx.Write(o, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if g.irrevAdmits.Load() != 1 {
+		t.Errorf("AdmitIrrevocable called %d times, want 1", g.irrevAdmits.Load())
+	}
+}
+
+func TestStarvationLongTxEscalates(t *testing.T) {
+	// One long read-modify-write transaction over many objects vs short
+	// writers on the same objects, across the pessimistic and
+	// optimistic corners: escalation must get the long transaction
+	// through within its deadline, in every mode.
+	for _, m := range []Mode{FullyOptimistic, FullyPessimistic} {
+		t.Run(m.String(), func(t *testing.T) {
+			const nobjs = 32
+			s := New(Options{Mode: m, EscalateAfter: 8})
+			objs := make([]*Obj, nobjs)
+			for i := range objs {
+				objs[i] = NewObj(0)
+			}
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					i := 0
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						i++
+						o := objs[(w*13+i)%nobjs]
+						ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+						err := s.AtomicCtx(ctx, uint16(1+w), 1, func(tx *Tx) error {
+							tx.Write(o, tx.Read(o)+1)
+							return nil
+						})
+						cancel()
+						if err != nil && !errors.Is(err, ErrDeadline) {
+							t.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			err := s.AtomicCtx(ctx, 0, 0, func(tx *Tx) error {
+				for _, o := range objs {
+					tx.Write(o, tx.Read(o)+1)
+				}
+				return nil
+			})
+			close(stop)
+			wg.Wait()
+			if err != nil {
+				t.Fatalf("long transaction missed its deadline: %v", err)
+			}
+			// All locks released and state consistent afterwards.
+			if err := s.Atomic(0, 2, func(tx *Tx) error {
+				for _, o := range objs {
+					tx.Read(o)
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestLatencyRecorderCapturesPairs(t *testing.T) {
+	s := New(Options{})
+	rec := progress.NewLatencyRecorder()
+	s.SetLatencyRecorder(rec)
+	o := NewObj(0)
+	for i := 0; i < 10; i++ {
+		if err := s.Atomic(4, 6, func(tx *Tx) error {
+			tx.Write(o, tx.Read(o)+1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.SetLatencyRecorder(nil)
+	sums := rec.Summaries()
+	if len(sums) != 1 {
+		t.Fatalf("got %d pair summaries, want 1", len(sums))
+	}
+	if sums[0].Pair != (tts.Pair{Tx: 6, Thread: 4}) {
+		t.Errorf("pair = %+v, want {Tx:6 Thread:4}", sums[0].Pair)
+	}
+	if sums[0].Count != 10 {
+		t.Errorf("count = %d, want 10", sums[0].Count)
+	}
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func init() { Register(ctxAtomic{}) }
+
+// ctxAtomic is gstm008: a function that receives a context.Context but
+// calls Atomic instead of AtomicCtx.
+//
+// Atomic retries until commit with no way to stop; a caller that was
+// handed a context has promised its own caller that cancellation and
+// deadlines propagate, and a plain Atomic call silently breaks that
+// promise — under a commit-abort storm the call outlives the context
+// by an unbounded amount. AtomicCtx threads the context through the
+// retry loop, backoff sleeps and contention-manager waits, and returns
+// ErrDeadline when the context expires first.
+//
+// Only calls lexically inside the context-receiving function body are
+// flagged; nested function literals are judged by their own signatures
+// (a literal is often a transaction body or a goroutine with its own
+// lifetime rules). AtomicCtx and AtomicIrrevocable calls are not
+// flagged, and the STM implementation packages are exempt.
+type ctxAtomic struct{}
+
+func (ctxAtomic) ID() string   { return "gstm008" }
+func (ctxAtomic) Name() string { return "ctx-dropped-cancel" }
+func (ctxAtomic) Doc() string {
+	return "flags plain Atomic calls inside functions that receive a context.Context: " +
+		"Atomic retries until commit and ignores cancellation, silently dropping the " +
+		"caller's deadline; use AtomicCtx(ctx, ...) so the retry loop observes ctx.Done()"
+}
+
+func (c ctxAtomic) Check(p *Pass) {
+	if isSTMImplPackage(p.Pkg.Path) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				ft, body = n.Type, n.Body
+			case *ast.FuncLit:
+				ft, body = n.Type, n.Body
+			default:
+				return true
+			}
+			if body == nil || !p.hasContextParam(ft) {
+				return true
+			}
+			c.checkBody(p, body)
+			return true
+		})
+	}
+}
+
+// checkBody flags plain Atomic calls directly inside body, stopping at
+// nested function literals (each is judged by its own signature).
+func (c ctxAtomic) checkBody(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := p.calleeFunc(call)
+		if fn == nil || fn.Name() != "Atomic" {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return true
+		}
+		if name, isSTM := namedSTMType(sig.Recv().Type()); !isSTM || name != "STM" {
+			return true
+		}
+		p.Reportf(call.Pos(), "Atomic called in a function that receives a context.Context: the retry loop ignores cancellation and can outlive the caller's deadline; use AtomicCtx(ctx, ...)")
+		return true
+	})
+}
+
+// hasContextParam reports whether the function type declares a
+// context.Context parameter.
+func (p *Pass) hasContextParam(ft *ast.FuncType) bool {
+	if ft == nil || ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := p.Pkg.Info.Types[field.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Context" &&
+		obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -10,7 +10,7 @@
 // the model is built from. Package lint makes those patterns
 // unwritable at build time: a registry of STM-aware checkers walks
 // type-checked packages and reports diagnostics with stable check IDs
-// (gstm001..gstm005) that CI gates on via cmd/gstmlint.
+// (gstm001..gstm008) that CI gates on via cmd/gstmlint.
 //
 // Diagnostics can be suppressed with an inline directive:
 //

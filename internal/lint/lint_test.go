@@ -18,6 +18,7 @@ var fixtureDirs = []string{
 	"droppederr",
 	"transitive",
 	"deadread",
+	"ctxatomic",
 	"clean",
 }
 

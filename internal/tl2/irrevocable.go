@@ -1,8 +1,10 @@
 package tl2
 
 import (
+	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Irrevocable transactions (Sreeram & Pande, IPDPS'12 — the paper's
@@ -25,9 +27,51 @@ import (
 // variance tool — using it to suppress rollbacks serializes execution
 // (measurable with the ablation benchmarks).
 
-// irrevocableState is the per-STM token and bookkeeping.
+// irrevocableState is the per-STM token and bookkeeping. active is the
+// committers' fast-path flag: it is set only while a transaction holds
+// the token, so the common case (no irrevocable activity) costs one
+// relaxed load per commit.
 type irrevocableState struct {
-	token sync.Mutex
+	token  sync.Mutex
+	active atomic.Bool
+}
+
+// acquire takes the token and raises the active flag, spinning with
+// cancellation checks (the current holder is guaranteed to finish, so
+// the spin is bounded by serial commit latency). Returns false if ctx
+// expired first.
+func (ir *irrevocableState) acquire(ctx context.Context) bool {
+	done := ctx.Done()
+	for !ir.token.TryLock() {
+		if done != nil {
+			select {
+			case <-done:
+				return false
+			default:
+			}
+		}
+		runtime.Gosched()
+	}
+	ir.active.Store(true)
+	return true
+}
+
+// release lowers the active flag and returns the token.
+func (ir *irrevocableState) release() {
+	ir.active.Store(false)
+	ir.token.Unlock()
+}
+
+// quiesce blocks a committer until the active irrevocable transaction
+// (if any) finishes. MUST only be called while holding zero write
+// locks; see the deadlock-freedom comment at the call site in commit.
+func (ir *irrevocableState) quiesce() {
+	if !ir.active.Load() {
+		return
+	}
+	ir.token.Lock()
+	//nolint:staticcheck // gate-only acquisition: waiting is the point.
+	ir.token.Unlock()
 }
 
 // IrrevTx is the access handle inside AtomicIrrevocable. It intentionally
@@ -92,7 +136,8 @@ func (tx *IrrevTx) WriteFloat(v *Var, f float64) {
 // rollback; callers needing all-or-nothing must use Atomic).
 func (s *STM) AtomicIrrevocable(thread, txID uint16, fn func(*IrrevTx) error) error {
 	s.irrevocable.token.Lock()
-	defer s.irrevocable.token.Unlock()
+	s.irrevocable.active.Store(true)
+	defer s.irrevocable.release()
 
 	tx := &IrrevTx{stm: s, instance: s.instances.Add(1)}
 	err := fn(tx)
@@ -114,4 +159,118 @@ func (s *STM) AtomicIrrevocable(thread, txID uint16, fn func(*IrrevTx) error) er
 		s.tracer.Load().t.OnCommit(tx.instance, pairOfIDs(txID, thread))
 	}
 	return err
+}
+
+// ---------------------------------------------------------------------------
+// Escalated execution: the irrevocable serial fallback AtomicCtx takes
+// after exhausting its escalation threshold. Unlike AtomicIrrevocable,
+// the escalated path runs the caller's ordinary func(*Tx) body — reads
+// and writes lock Vars at encounter time (Tx.irrev), stores stay
+// buffered so a user error still rolls back, and publish bumps the
+// clock once. Holding the token plus quiesce-before-locking on the
+// regular commit path makes the body guaranteed to commit.
+
+// runEscalated executes fn once on the irrevocable serial path.
+func (s *STM) runEscalated(ctx context.Context, tx *Tx, fn func(*Tx) error) error {
+	if !s.irrevocable.acquire(ctx) {
+		return s.deadlineErr(ctx)
+	}
+	defer s.irrevocable.release()
+
+	// The guide gate must not hold an irrevocable transaction (its
+	// hold loop and the fault.HoldStall hook both stall, and every
+	// committer is about to quiesce behind us) — consult it only
+	// through the non-blocking IrrevocableGate surface.
+	if gb := s.gate.Load(); gb != nil {
+		if ig, ok := gb.g.(IrrevocableGate); ok {
+			ig.AdmitIrrevocable(tx.pair)
+		}
+	}
+
+	tx.reset(s.clock.Load(), s.instances.Add(1))
+	tx.irrev = true
+	committed := false
+	defer func() {
+		// Runs on user error and on panics out of fn alike: every
+		// acquired lock is restored before the token is released.
+		tx.irrev = false
+		if !committed {
+			tx.rollbackIrrev()
+		}
+	}()
+
+	if err := fn(tx); err != nil {
+		return err
+	}
+	tx.publishIrrev()
+	committed = true
+	s.commits.Add(1)
+	s.escalations.Add(1)
+	s.tracer.Load().t.OnCommit(tx.instance, tx.pair)
+	return nil
+}
+
+// lockIrrev spin-acquires v's write lock for an escalated transaction
+// (idempotently), saving the pre-lock word and owner for publish or
+// rollback. Regular transactions never block on locks — they abort and
+// retry — and committers quiesce before locking, so the spin only ever
+// waits out an in-flight commit's writeback.
+func (tx *Tx) lockIrrev(v *Var) {
+	if v.who.Load() == tx.instance {
+		// who can be stale on unlocked vars; the ilocked list is
+		// authoritative.
+		for _, o := range tx.ilocked {
+			if o == v {
+				return
+			}
+		}
+	}
+	for {
+		l := v.lock.Load()
+		if l&lockedBit == 0 && v.lock.CompareAndSwap(l, l|lockedBit) {
+			tx.iprev = append(tx.iprev, l)
+			tx.iprevWho = append(tx.iprevWho, v.who.Load())
+			v.who.Store(tx.instance)
+			tx.ilocked = append(tx.ilocked, v)
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// publishIrrev writes back the buffered stores under the held locks,
+// stamps written Vars with one new clock version, and restores
+// read-only Vars' pre-lock words (their values never changed).
+func (tx *Tx) publishIrrev() {
+	var newLock uint64
+	if len(tx.writes) > 0 {
+		for i := range tx.writes {
+			w := &tx.writes[i]
+			w.v.val.Store(w.val)
+		}
+		newLock = tx.stm.clock.Add(1) << 1
+	}
+	for i, v := range tx.ilocked {
+		if _, ok := tx.lookupWrite(v); ok {
+			v.lock.Store(newLock)
+		} else {
+			v.who.Store(tx.iprevWho[i])
+			v.lock.Store(tx.iprev[i])
+		}
+	}
+	tx.ilocked = tx.ilocked[:0]
+	tx.iprev = tx.iprev[:0]
+	tx.iprevWho = tx.iprevWho[:0]
+}
+
+// rollbackIrrev releases every encounter-time lock untouched (stores
+// were buffered, so restoring the pre-lock words undoes everything).
+func (tx *Tx) rollbackIrrev() {
+	for i, v := range tx.ilocked {
+		v.who.Store(tx.iprevWho[i])
+		v.lock.Store(tx.iprev[i])
+	}
+	tx.ilocked = tx.ilocked[:0]
+	tx.iprev = tx.iprev[:0]
+	tx.iprevWho = tx.iprevWho[:0]
 }

@@ -21,6 +21,8 @@
 package tl2
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -28,6 +30,7 @@ import (
 	"time"
 
 	"gstm/internal/fault"
+	"gstm/internal/progress"
 	"gstm/internal/trace"
 	"gstm/internal/tts"
 )
@@ -91,6 +94,17 @@ type Gate interface {
 	Admit(p tts.Pair)
 }
 
+// IrrevocableGate is an optional Gate extension consulted when a
+// transaction escalates to the irrevocable serial path. Implementations
+// must return without holding — an irrevocable transaction owns the
+// global token, and stalling it (the gate's hold loop, or an injected
+// fault.HoldStall) would stall every committer quiescing against it.
+// Gates that do not implement this interface are bypassed entirely for
+// escalated transactions.
+type IrrevocableGate interface {
+	AdmitIrrevocable(p tts.Pair)
+}
+
 // Options configures an STM instance.
 type Options struct {
 	// MaxRetries bounds conflict retries per Atomic call; 0 means
@@ -115,10 +129,34 @@ type Options struct {
 	// fault.LockReleaseDelay). Nil — the default — costs one pointer
 	// check per commit.
 	Inject *fault.Injector
+	// EscalateAfter is the abort count at which an Atomic call falls
+	// back to the irrevocable serial path (guaranteed to commit). 0
+	// means the default (DefaultEscalateAfter); negative disables
+	// escalation. The livelock watchdog may lower the effective
+	// threshold at runtime; see ProgressStats.
+	EscalateAfter int
+	// EscalateTime escalates an Atomic call that has been retrying for
+	// at least this long, regardless of its abort count. 0 disables
+	// time-based escalation.
+	EscalateTime time.Duration
+	// DefaultDeadline, when positive, bounds every plain Atomic call
+	// with a context.WithTimeout of this duration (AtomicCtx callers
+	// manage their own deadlines).
+	DefaultDeadline time.Duration
+	// WatchdogWindow is the livelock watchdog's sampling window. 0
+	// means progress.DefaultWatchdogWindow; negative disables the
+	// watchdog.
+	WatchdogWindow time.Duration
 }
 
 // defaultYieldEvery is the access interval between scheduler yields.
 const defaultYieldEvery = 4
+
+// DefaultEscalateAfter is the abort threshold for irrevocable
+// escalation when Options.EscalateAfter is zero. High enough that
+// ordinary contention never reaches it; a transaction that aborts this
+// many times in a row is starving.
+const DefaultEscalateAfter = 256
 
 func (o *Options) fill() {
 	if o.LockSpin <= 0 {
@@ -146,17 +184,45 @@ type STM struct {
 	opts      Options
 
 	irrevocable irrevocableState
+
+	// Progress-guarantee state (see internal/progress): escalation and
+	// deadline counters, the watchdog-adjusted effective escalation
+	// threshold, and the optional latency recorder.
+	escalations  atomic.Uint64
+	deadlineMiss atomic.Uint64
+	escThreshold atomic.Int64
+	watchdog     *progress.Watchdog
+	lat          atomic.Pointer[latBox]
 }
 
 type tracerBox struct{ t trace.Tracer }
 type gateBox struct{ g Gate }
+type latBox struct{ r *progress.LatencyRecorder }
 
 // New returns an STM with the given options.
 func New(opts Options) *STM {
 	opts.fill()
 	s := &STM{opts: opts}
+	s.escThreshold.Store(configuredThreshold(opts.EscalateAfter))
+	if opts.WatchdogWindow >= 0 {
+		s.watchdog = progress.NewWatchdog(opts.WatchdogWindow)
+	}
 	s.SetTracer(trace.Nop{})
 	return s
+}
+
+// configuredThreshold maps Options.EscalateAfter to the effective
+// threshold stored in escThreshold: 0 → default, negative → disabled
+// (stored as -1).
+func configuredThreshold(after int) int64 {
+	switch {
+	case after == 0:
+		return DefaultEscalateAfter
+	case after < 0:
+		return -1
+	default:
+		return int64(after)
+	}
 }
 
 // SetTracer installs the event sink for commit/abort events. Passing
@@ -198,7 +264,12 @@ type abortSignal struct {
 
 // ErrRetryLimit is returned by Atomic when Options.MaxRetries was
 // exceeded.
-var ErrRetryLimit = fmt.Errorf("tl2: transaction exceeded retry limit")
+var ErrRetryLimit = errors.New("tl2: transaction exceeded retry limit")
+
+// ErrDeadline is returned by AtomicCtx when the context expires before
+// the transaction commits. The returned error wraps both ErrDeadline
+// and the context's own error, so errors.Is works against either.
+var ErrDeadline = errors.New("tl2: transaction deadline exceeded")
 
 type writeEntry struct {
 	v   *Var
@@ -222,6 +293,33 @@ type Tx struct {
 	writeIdx map[*Var]int
 	// ops counts transactional accesses for YieldEvery interleaving.
 	ops int
+	// done is the AtomicCtx context's Done channel (nil when the call
+	// has no deadline); spin loops and backoff sleeps observe it.
+	done <-chan struct{}
+	// rng is per-transaction xorshift state for backoff jitter, seeded
+	// lazily once per pooled Tx (replaces a time.Now call per abort).
+	rng uint64
+	// irrev marks an escalated (irrevocable serial) attempt: reads and
+	// writes lock Vars at encounter time and cannot abort. ilocked,
+	// iprev and iprevWho track the acquired locks and their pre-lock
+	// words for publish/rollback (see irrevocable.go).
+	irrev    bool
+	ilocked  []*Var
+	iprev    []uint64
+	iprevWho []uint64
+}
+
+// ctxDone reports whether the transaction's deadline has expired.
+func (tx *Tx) ctxDone() bool {
+	if tx.done == nil {
+		return false
+	}
+	select {
+	case <-tx.done:
+		return true
+	default:
+		return false
+	}
 }
 
 // maybeYield emulates multicore interleaving of transactional code on
@@ -245,6 +343,9 @@ func (tx *Tx) reset(rv uint64, instance uint64) {
 	tx.ops = 0
 	tx.reads = tx.reads[:0]
 	tx.writes = tx.writes[:0]
+	tx.ilocked = tx.ilocked[:0]
+	tx.iprev = tx.iprev[:0]
+	tx.iprevWho = tx.iprevWho[:0]
 	if tx.writeIdx != nil {
 		clear(tx.writeIdx)
 	}
@@ -281,9 +382,13 @@ func (tx *Tx) Read(v *Var) int64 {
 	if x, ok := tx.lookupWrite(v); ok {
 		return x
 	}
+	if tx.irrev {
+		tx.lockIrrev(v)
+		return v.val.Load()
+	}
 	l1 := v.lock.Load()
 	for attempt := 0; l1&lockedBit != 0; attempt++ {
-		if !tx.consultCM(v, attempt) {
+		if tx.ctxDone() || !tx.consultCM(v, attempt) {
 			tx.abort(v.who.Load())
 		}
 		l1 = v.lock.Load()
@@ -301,6 +406,11 @@ func (tx *Tx) Read(v *Var) int64 {
 // memory is untouched until commit).
 func (tx *Tx) Write(v *Var, x int64) {
 	tx.maybeYield()
+	if tx.irrev {
+		// Escalated: lock at encounter time, but still buffer the store
+		// so a user error from fn rolls back cleanly (Atomic's contract).
+		tx.lockIrrev(v)
+	}
 	if tx.writeIdx != nil && len(tx.writes) >= writeIdxThreshold {
 		if i, ok := tx.writeIdx[v]; ok {
 			tx.writes[i].val = x
@@ -358,11 +468,20 @@ func (tx *Tx) commit() {
 		return
 	}
 	s := tx.stm
+	// Quiesce against an active irrevocable transaction before taking
+	// any write locks. The ordering is the deadlock-freedom argument:
+	// committers only ever block on the token while holding zero locks,
+	// and lock holders never block on the token, so the irrevocable
+	// transaction's encounter-time spin-acquires always terminate.
+	s.irrevocable.quiesce()
 	locked := 0
 	for i := range tx.writes {
 		w := &tx.writes[i]
 		for attempt := 0; !tx.tryLock(w.v); attempt++ {
-			if !tx.consultCM(w.v, attempt) {
+			// While an irrevocable transaction is active, waiting here
+			// (holding locks it may need) would deadlock its spin —
+			// abort immediately instead of consulting the manager.
+			if tx.ctxDone() || s.irrevocable.active.Load() || !tx.consultCM(w.v, attempt) {
 				killer := w.v.who.Load()
 				tx.unlockPrefix(locked)
 				tx.abort(killer)
@@ -447,14 +566,69 @@ func (tx *Tx) unlockPrefix(n int) {
 // non-nil error the transaction is rolled back (its writes discarded)
 // and the error is returned without retrying — the caller-level abort
 // idiom. Returns ErrRetryLimit if Options.MaxRetries is exceeded.
+// When Options.DefaultDeadline is set, the call is bounded by that
+// duration and may return ErrDeadline; otherwise it delegates to
+// AtomicCtx with a background context.
 func (s *STM) Atomic(thread, txID uint16, fn func(*Tx) error) error {
+	ctx := context.Background()
+	if d := s.opts.DefaultDeadline; d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	return s.AtomicCtx(ctx, thread, txID, fn)
+}
+
+// AtomicCtx is Atomic with a deadline: the retry loop, backoff sleeps,
+// contention-manager waits and escalation token acquisition all observe
+// ctx.Done(), and when the context expires before the transaction
+// commits the call returns an error wrapping both ErrDeadline and
+// ctx.Err(). A nil ctx behaves like context.Background().
+//
+// Progress guarantee: once an attempt's abort count reaches the
+// escalation threshold (Options.EscalateAfter, adaptively lowered by
+// the livelock watchdog) or its age exceeds Options.EscalateTime, the
+// transaction re-runs on the irrevocable serial path and is guaranteed
+// to commit — so with a deadline set, every AtomicCtx call terminates
+// with a commit, a user error, ErrRetryLimit or ErrDeadline.
+func (s *STM) AtomicCtx(ctx context.Context, thread, txID uint16, fn func(*Tx) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	tx := txPool.Get().(*Tx)
 	defer txPool.Put(tx)
 	tx.stm = s
 	tx.pair = tts.Pair{Tx: txID, Thread: thread}
+	tx.done = ctx.Done()
 
+	var t0 time.Time
+	var rec *progress.LatencyRecorder
+	if lb := s.lat.Load(); lb != nil {
+		rec = lb.r
+	}
+	if rec != nil || s.opts.EscalateTime > 0 {
+		// time.Now is kept off the uncontended fast path unless a
+		// feature that needs it is armed.
+		t0 = time.Now()
+	}
+	err := s.atomicCtx(ctx, tx, fn, t0)
+	if rec != nil {
+		rec.Record(tx.pair, time.Since(t0))
+	}
+	tx.done = nil
+	return err
+}
+
+// atomicCtx is the retry loop behind AtomicCtx.
+func (s *STM) atomicCtx(ctx context.Context, tx *Tx, fn func(*Tx) error, t0 time.Time) error {
 	attempts := 0
 	for {
+		if tx.ctxDone() {
+			return s.deadlineErr(ctx)
+		}
+		if attempts > 0 && s.shouldEscalate(attempts, t0) {
+			return s.runEscalated(ctx, tx, fn)
+		}
 		if gb := s.gate.Load(); gb != nil {
 			gb.g.Admit(tx.pair)
 		}
@@ -483,8 +657,80 @@ func (s *STM) Atomic(thread, txID uint16, fn func(*Tx) error) error {
 		if s.opts.MaxRetries > 0 && attempts > s.opts.MaxRetries {
 			return ErrRetryLimit
 		}
-		s.backoff(attempts)
+		s.observeWatchdog()
+		tx.backoff(attempts)
 	}
+}
+
+// deadlineErr counts and builds the ErrDeadline-wrapping error.
+func (s *STM) deadlineErr(ctx context.Context) error {
+	s.deadlineMiss.Add(1)
+	return fmt.Errorf("%w: %w", ErrDeadline, ctx.Err())
+}
+
+// shouldEscalate reports whether a retrying Atomic call has exhausted
+// its escalation budget (abort count against the watchdog-adjusted
+// threshold, or elapsed time against Options.EscalateTime).
+func (s *STM) shouldEscalate(attempts int, t0 time.Time) bool {
+	if th := s.escThreshold.Load(); th > 0 && int64(attempts) >= th {
+		return true
+	}
+	if et := s.opts.EscalateTime; et > 0 && !t0.IsZero() && time.Since(t0) >= et {
+		return true
+	}
+	return false
+}
+
+// observeWatchdog feeds the livelock watchdog from the abort path and
+// applies its verdict: a zero-commit window halves the effective
+// escalation threshold (floor 1) so starving transactions reach the
+// serial path sooner; a healthy window restores the configured value.
+func (s *STM) observeWatchdog() {
+	if s.watchdog == nil {
+		return
+	}
+	switch s.watchdog.Observe(time.Now(), s.commits.Load(), s.aborts.Load()) {
+	case progress.VerdictTrip:
+		if th := s.escThreshold.Load(); th > 1 {
+			s.escThreshold.CompareAndSwap(th, max64(th/2, 1))
+		} else if th <= 0 {
+			// Even with escalation disabled by configuration, a tripped
+			// watchdog arms it: liveness over configuration.
+			s.escThreshold.CompareAndSwap(th, DefaultEscalateAfter)
+		}
+	case progress.VerdictHealthy:
+		if th, want := s.escThreshold.Load(), configuredThreshold(s.opts.EscalateAfter); th != want {
+			s.escThreshold.CompareAndSwap(th, want)
+		}
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ProgressStats snapshots the progress-guarantee counters.
+func (s *STM) ProgressStats() progress.Stats {
+	return progress.Stats{
+		Escalations:       s.escalations.Load(),
+		DeadlineExceeded:  s.deadlineMiss.Load(),
+		WatchdogTrips:     s.watchdog.Trips(),
+		EscalateThreshold: s.escThreshold.Load(),
+	}
+}
+
+// SetLatencyRecorder attaches (or with nil detaches) a per-(tx,thread)
+// Atomic latency recorder. Recording adds a clock read plus a mutex
+// acquisition per Atomic call, so it is off by default.
+func (s *STM) SetLatencyRecorder(r *progress.LatencyRecorder) {
+	if r == nil {
+		s.lat.Store(nil)
+		return
+	}
+	s.lat.Store(&latBox{r})
 }
 
 // runAttempt runs one attempt of fn, converting the internal abort
@@ -507,17 +753,15 @@ func (s *STM) runAttempt(tx *Tx, fn func(*Tx) error) (killer uint64, userErr err
 }
 
 // backoff applies randomized exponential backoff after an abort to damp
-// livelock, capped at 64x the base.
-func (s *STM) backoff(attempts int) {
+// livelock, capped at 64x the base. Sleeps observe the transaction's
+// deadline so an expiring context is noticed promptly.
+func (tx *Tx) backoff(attempts int) {
 	shift := attempts
 	if shift > 6 {
 		shift = 6
 	}
-	d := s.opts.BackoffBase << uint(shift)
-	// Cheap xorshift jitter off the clock to avoid lockstep retries.
-	j := uint64(time.Now().UnixNano())
-	j ^= j << 13
-	j ^= j >> 7
+	d := tx.stm.opts.BackoffBase << uint(shift)
+	j := tx.nextRand()
 	d = time.Duration(uint64(d)/2 + j%uint64(d))
 	if d < time.Microsecond {
 		for i := 0; i <= shift; i++ {
@@ -525,7 +769,54 @@ func (s *STM) backoff(attempts int) {
 		}
 		return
 	}
-	time.Sleep(d)
+	sleepCtx(tx.done, d)
+}
+
+// rngSeedCounter feeds seedRand; every pooled Tx draws a distinct
+// stream from it exactly once.
+var rngSeedCounter atomic.Uint64
+
+// seedRand derives a well-mixed nonzero xorshift seed (splitmix64
+// finalizer over a Weyl sequence).
+func seedRand() uint64 {
+	x := rngSeedCounter.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x | 1
+}
+
+// nextRand steps the per-Tx xorshift64 state, seeding it on first use.
+// State persists across pool reuse — it is jitter, not randomness that
+// needs independence — so the steady-state cost is three shifts, where
+// the previous implementation paid a time.Now call per abort.
+func (tx *Tx) nextRand() uint64 {
+	x := tx.rng
+	if x == 0 {
+		x = seedRand()
+	}
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	tx.rng = x
+	return x
+}
+
+// sleepCtx sleeps for d, returning early if done fires. A nil done
+// channel (no deadline) takes the timer-free path.
+func sleepCtx(done <-chan struct{}, d time.Duration) {
+	if done == nil {
+		time.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-done:
+	}
 }
 
 var txPool = newTxPool()

@@ -6,7 +6,7 @@
 # suite, the race detector over both STM runtimes plus the fault
 # matrix (injected aborts/stalls must never deadlock the gate), a
 # fuzz smoke over both binary decoders, and gstmlint (the STM-aware
-# transaction-safety linter, checks gstm001..gstm007, including the
+# transaction-safety linter, checks gstm001..gstm008, including the
 # interprocedural gstm006 over the module-wide call graph). Exits
 # non-zero on the first failure. CI runs this same script
 # (.github/workflows/ci.yml). Set GSTM_FUZZTIME to lengthen the fuzz
