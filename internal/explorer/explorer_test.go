@@ -1,0 +1,151 @@
+package explorer
+
+import (
+	"testing"
+
+	"gstm/internal/libtm"
+	"gstm/internal/sched"
+)
+
+// budget scales a schedule count down under -short so the CI smoke
+// stage and race runs stay fast while full runs meet the ≥5000
+// schedules-per-runtime bar.
+func budget(t *testing.T, n int) int {
+	t.Helper()
+	if testing.Short() {
+		n /= 20
+		if n < 25 {
+			n = 25
+		}
+	}
+	return n
+}
+
+// runStock explores n schedules of a stock (unmutated) program and
+// requires zero violations and zero stuck schedules.
+func runStock(t *testing.T, strat sched.Strategy, n int, build func(func()) sched.Program) int {
+	t.Helper()
+	res := sched.Explore(sched.ExploreOptions{Strategy: strat, Schedules: n}, build)
+	if res.Err != nil {
+		t.Fatalf("stock runtime violated its oracle:\n%v", res.Err)
+	}
+	if res.Stuck != 0 {
+		t.Fatalf("%d stuck schedules: a wait is invisible to the scheduler (instrumentation gap)", res.Stuck)
+	}
+	t.Logf("%d schedules explored (%d overflowed to free concurrency)", res.Schedules, res.Overflows)
+	return res.Schedules
+}
+
+// stockCase is one exploration sub-budget; the per-runtime suites sum
+// their explored counts and enforce the 5000-schedule floor.
+type stockCase struct {
+	name  string
+	strat sched.Strategy
+	n     int
+}
+
+// TestTL2StockPassesExploration drives the stock TL2 runtime through
+// random-walk, PCT and bounded-exhaustive DFS exploration across the
+// plain, irrevocable-escalation and guided-admission paths, checking
+// every history at the Opacity level.
+func TestTL2StockPassesExploration(t *testing.T) {
+	cases := []struct {
+		stockCase
+		cfg TL2Config
+	}{
+		{stockCase{"plain/random", &sched.RandomWalk{Seed: 1}, budget(t, 2600)},
+			TL2Config{Workload: WorkloadMix}},
+		{stockCase{"plain/pct", &sched.PCT{Seed: 2, Depth: 3}, budget(t, 1400)},
+			TL2Config{Workload: WorkloadMix}},
+		{stockCase{"plain/dfs", &sched.DFS{SwitchBound: 1}, budget(t, 600)},
+			TL2Config{Workload: WorkloadIncrement, Rounds: 1}},
+		{stockCase{"escalation/random", &sched.RandomWalk{Seed: 3}, budget(t, 600)},
+			TL2Config{Path: PathEscalation, Workload: WorkloadMix}},
+		{stockCase{"guided/random", &sched.RandomWalk{Seed: 4}, budget(t, 600)},
+			TL2Config{Path: PathGuided, Workload: WorkloadMix}},
+	}
+	total := 0
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			total += runStock(t, c.strat, c.n, TL2Program(c.cfg))
+		})
+	}
+	if !testing.Short() && total < 5000 {
+		t.Errorf("explored %d schedules across the TL2 suites, want >= 5000", total)
+	}
+}
+
+// TestLibTMStockPassesExploration mirrors the TL2 suite over LibTM:
+// the fully optimistic mode at StrictSerializability (its invisible
+// reads deliberately run zombies), the fully pessimistic mode at
+// Opacity, plus escalation and guided paths.
+func TestLibTMStockPassesExploration(t *testing.T) {
+	opt, pess := libtm.FullyOptimistic, libtm.FullyPessimistic
+	cases := []struct {
+		stockCase
+		cfg LibTMConfig
+	}{
+		{stockCase{"optimistic/random", &sched.RandomWalk{Seed: 11}, budget(t, 2200)},
+			LibTMConfig{Mode: opt, Workload: WorkloadMix}},
+		{stockCase{"optimistic/pct", &sched.PCT{Seed: 12, Depth: 3}, budget(t, 1200)},
+			LibTMConfig{Mode: opt, Workload: WorkloadMix}},
+		{stockCase{"pessimistic/random", &sched.RandomWalk{Seed: 13}, budget(t, 1200)},
+			LibTMConfig{Mode: pess, Workload: WorkloadMix}},
+		{stockCase{"pessimistic/dfs", &sched.DFS{SwitchBound: 1}, budget(t, 400)},
+			LibTMConfig{Mode: pess, Workload: WorkloadIncrement, Rounds: 1}},
+		{stockCase{"escalation/random", &sched.RandomWalk{Seed: 14}, budget(t, 500)},
+			LibTMConfig{Mode: opt, Path: PathEscalation, Workload: WorkloadMix}},
+		{stockCase{"guided/random", &sched.RandomWalk{Seed: 15}, budget(t, 500)},
+			LibTMConfig{Mode: opt, Path: PathGuided, Workload: WorkloadMix}},
+	}
+	total := 0
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			total += runStock(t, c.strat, c.n, LibTMProgram(c.cfg))
+		})
+	}
+	if !testing.Short() && total < 5000 {
+		t.Errorf("explored %d schedules across the LibTM suites, want >= 5000", total)
+	}
+}
+
+// TestExplorationDeterministic: the whole stack — runtime, guide-free
+// scheduling, recorder — is deterministic under a fixed seed: same
+// seed gives an identical schedule fingerprint, different seeds
+// diverge.
+func TestExplorationDeterministic(t *testing.T) {
+	builders := []struct {
+		name  string
+		build func(func()) sched.Program
+	}{
+		{"tl2", TL2Program(TL2Config{Workload: WorkloadMix})},
+		{"libtm", LibTMProgram(LibTMConfig{Mode: libtm.FullyOptimistic, Workload: WorkloadMix})},
+	}
+	for _, b := range builders {
+		b := b
+		t.Run(b.name, func(t *testing.T) {
+			run := func(seed uint64) sched.ExploreResult {
+				res := sched.Explore(sched.ExploreOptions{
+					Strategy:  &sched.RandomWalk{Seed: seed},
+					Schedules: budget(t, 150),
+				}, b.build)
+				if res.Err != nil {
+					t.Fatalf("violation: %v", res.Err)
+				}
+				if res.Stuck != 0 {
+					t.Fatalf("stuck schedules: %d", res.Stuck)
+				}
+				return res
+			}
+			a, b2, c := run(7), run(7), run(8)
+			if a.Fingerprint != b2.Fingerprint {
+				t.Errorf("same seed, different fingerprints: %x vs %x", a.Fingerprint, b2.Fingerprint)
+			}
+			if a.Fingerprint == c.Fingerprint {
+				t.Errorf("different seeds, same fingerprint: %x", a.Fingerprint)
+			}
+		})
+	}
+}

@@ -76,6 +76,11 @@ type Options struct {
 	// Inject, when non-nil, arms the fault.HoldStall injection hook
 	// inside the hold loop (deterministic thread-stall testing).
 	Inject *fault.Injector
+	// Yield, when non-nil, replaces runtime.Gosched in the hold loop so
+	// a deterministic scheduler (internal/sched) can serialize held
+	// admissions with the transactions they wait on. Same contract as
+	// tl2.Options.Yield / libtm.Options.Yield.
+	Yield func()
 }
 
 // Stats counts controller decisions, for reporting and tests.
@@ -137,6 +142,7 @@ type Controller struct {
 	k              int
 	holdDelay      time.Duration
 	inject         *fault.Injector
+	yield          func()
 
 	mu  sync.Mutex // serializes state updates
 	cur atomic.Pointer[snapshot]
@@ -197,6 +203,7 @@ func New(m *model.TSA, opts Options) *Controller {
 		k:              k,
 		holdDelay:      hd,
 		inject:         opts.Inject,
+		yield:          opts.Yield,
 		perThread:      make([]threadCounters, threads),
 	}
 	if opts.HealthWindow >= 0 {
@@ -400,7 +407,11 @@ func (c *Controller) Admit(p tts.Pair) {
 		// Once the yields stop producing state changes the system is
 		// quiet (e.g. everyone is at a barrier) and the stale counter
 		// runs up to k, releasing us — the paper's progress escape.
-		runtime.Gosched()
+		if c.yield != nil {
+			c.yield()
+		} else {
+			runtime.Gosched()
+		}
 		c.inject.Sleep(fault.HoldStall)
 		if c.holdDelay > 0 && stale == c.k/2 {
 			// Politeness valve: one sleep per hold so configured

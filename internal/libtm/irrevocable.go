@@ -25,8 +25,9 @@ type irrevocableState struct {
 
 // acquire takes the token and raises the active flag, spinning with
 // cancellation checks (the current holder finishes in bounded time).
+// yield, when non-nil, replaces runtime.Gosched (see Options.Yield).
 // Returns false if ctx expired first.
-func (ir *irrevocableState) acquire(ctx context.Context) bool {
+func (ir *irrevocableState) acquire(ctx context.Context, yield func()) bool {
 	done := ctx.Done()
 	for !ir.token.TryLock() {
 		if done != nil {
@@ -36,7 +37,11 @@ func (ir *irrevocableState) acquire(ctx context.Context) bool {
 			default:
 			}
 		}
-		runtime.Gosched()
+		if yield != nil {
+			yield()
+		} else {
+			runtime.Gosched()
+		}
 	}
 	ir.active.Store(true)
 	return true
@@ -50,9 +55,19 @@ func (ir *irrevocableState) release() {
 
 // quiesce blocks a committer until the active irrevocable transaction
 // (if any) finishes. MUST only be called while holding zero write
-// locks; see the deadlock-freedom comment in lockForWrite.
-func (ir *irrevocableState) quiesce() {
+// locks; see the deadlock-freedom comment in lockForWrite. Under a
+// deterministic scheduler (yield non-nil) the wait spins on the active
+// flag through the yield hook instead of parking on the mutex — a
+// blocked goroutine would be invisible to the cooperative scheduler
+// and deadlock the exploration.
+func (ir *irrevocableState) quiesce(yield func()) {
 	if !ir.active.Load() {
+		return
+	}
+	if yield != nil {
+		for ir.active.Load() {
+			yield()
+		}
 		return
 	}
 	ir.token.Lock()
@@ -61,7 +76,7 @@ func (ir *irrevocableState) quiesce() {
 
 // runEscalated executes fn once on the irrevocable serial path.
 func (s *STM) runEscalated(ctx context.Context, tx *Tx, fn func(*Tx) error) error {
-	if !s.irrevocable.acquire(ctx) {
+	if !s.irrevocable.acquire(ctx, s.opts.Yield) {
 		return s.deadlineErr(ctx)
 	}
 	defer s.irrevocable.release()
@@ -82,6 +97,10 @@ func (s *STM) runEscalated(ctx context.Context, tx *Tx, fn func(*Tx) error) erro
 	tx.doomed.Store(false)
 	tx.killer.Store(0)
 	tx.irrev = true
+	tx.mon = s.monLoad()
+	if tx.mon != nil {
+		tx.mon.OnTxBegin(tx.instance, tx.pair)
+	}
 	committed := false
 	defer func() {
 		// Runs on user error and on panics out of fn alike: stores were
@@ -93,6 +112,9 @@ func (s *STM) runEscalated(ctx context.Context, tx *Tx, fn func(*Tx) error) erro
 	}()
 
 	if err := fn(tx); err != nil {
+		if tx.mon != nil {
+			tx.mon.OnTxAbort(tx.instance)
+		}
 		return err
 	}
 	tx.commitIrrev()
@@ -100,6 +122,9 @@ func (s *STM) runEscalated(ctx context.Context, tx *Tx, fn func(*Tx) error) erro
 	s.commits.Add(1)
 	s.escalations.Add(1)
 	s.tracer.Load().t.OnCommit(tx.instance, tx.pair)
+	if tx.mon != nil {
+		tx.mon.OnTxCommit(tx.instance)
+	}
 	return nil
 }
 
@@ -117,7 +142,7 @@ func (tx *Tx) lockIrrev(o *Obj) {
 		}
 		if o.writerInst != 0 {
 			o.mu.Unlock()
-			runtime.Gosched()
+			tx.stm.yield()
 			continue
 		}
 		for r := range o.readers {

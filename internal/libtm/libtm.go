@@ -148,6 +148,33 @@ type Options struct {
 	// WatchdogWindow is the livelock watchdog's sampling window: 0
 	// means progress.DefaultWatchdogWindow, negative disables.
 	WatchdogWindow time.Duration
+	// Yield, when non-nil, replaces runtime.Gosched at every suspension
+	// point (YieldEvery interleaving, lock spins, backoff, quiesce), so
+	// a deterministic scheduler (internal/sched) can serialize the
+	// runtime's interleavings. Waits that would park a goroutine on a
+	// mutex become spins through this hook instead — a parked goroutine
+	// is invisible to a cooperative scheduler. nil (the default) keeps
+	// the stock Gosched behavior.
+	Yield func()
+	// Mutate enables deliberate correctness knockouts for the opacity
+	// oracle's mutation harness (internal/oracle); see Mutations. All
+	// fields false (the default) leaves the runtime stock.
+	Mutate Mutations
+}
+
+// Mutations are deliberate, test-only correctness knockouts used to
+// prove the opacity oracle can detect real bugs (ISSUE 5's mutation
+// harness). They are plain Options fields rather than build tags so the
+// explorer can run stock and mutated instances in one process.
+type Mutations struct {
+	// SkipReaderWait makes a writer take the write lock immediately even
+	// when foreign visible readers are registered, without dooming or
+	// waiting for them — breaking the visible-read protection both
+	// resolution policies provide.
+	SkipReaderWait bool
+	// SkipReadValidation disables commit-time validation of invisible
+	// reads, letting a transaction commit on top of a torn snapshot.
+	SkipReadValidation bool
 }
 
 // defaultYieldEvery matches tl2's access interval between yields.
@@ -157,6 +184,19 @@ const defaultYieldEvery = 4
 // Options.EscalateAfter is zero (same value as tl2's).
 const DefaultEscalateAfter = 256
 
+// Monitor observes every transactional operation with its value, for
+// the opacity oracle (internal/oracle). The structurally identical
+// interface exists in package tl2 so one recorder serves both runtimes.
+// Implementations must be safe for concurrent use. loc is the *Obj the
+// operation touched.
+type Monitor interface {
+	OnTxBegin(instance uint64, p tts.Pair)
+	OnTxRead(instance uint64, loc any, val int64)
+	OnTxWrite(instance uint64, loc any, val int64)
+	OnTxCommit(instance uint64)
+	OnTxAbort(instance uint64)
+}
+
 // STM is a LibTM transactional memory domain.
 type STM struct {
 	opts      Options
@@ -165,6 +205,7 @@ type STM struct {
 	aborts    atomic.Uint64
 	tracer    atomic.Pointer[tracerBox]
 	gate      atomic.Pointer[gateBox]
+	mon       atomic.Pointer[monBox]
 
 	irrevocable irrevocableState
 
@@ -179,6 +220,7 @@ type STM struct {
 type tracerBox struct{ t trace.Tracer }
 type gateBox struct{ g Gate }
 type latBox struct{ r *progress.LatencyRecorder }
+type monBox struct{ m Monitor }
 
 // New returns an STM with the given options.
 func New(opts Options) *STM {
@@ -228,6 +270,34 @@ func (s *STM) SetGate(g Gate) {
 		return
 	}
 	s.gate.Store(&gateBox{g})
+}
+
+// SetMonitor installs (or removes, with nil) the operation monitor.
+// The nil fast path costs one atomic pointer load per transaction.
+func (s *STM) SetMonitor(m Monitor) {
+	if m == nil {
+		s.mon.Store(nil)
+		return
+	}
+	s.mon.Store(&monBox{m})
+}
+
+// monLoad returns the installed monitor, or nil.
+func (s *STM) monLoad() Monitor {
+	if mb := s.mon.Load(); mb != nil {
+		return mb.m
+	}
+	return nil
+}
+
+// yield is the runtime's single suspension primitive: Options.Yield
+// when armed, runtime.Gosched otherwise.
+func (s *STM) yield() {
+	if y := s.opts.Yield; y != nil {
+		y()
+		return
+	}
+	runtime.Gosched()
 }
 
 // Commits returns the number of committed transactions.
@@ -335,6 +405,8 @@ type Tx struct {
 	// irrev marks an escalated (irrevocable serial) attempt: reads and
 	// writes take write locks at encounter time and cannot abort.
 	irrev bool
+	// mon is the per-attempt monitor snapshot (nil = no monitoring).
+	mon Monitor
 }
 
 // ctxDone reports whether the transaction's deadline has expired.
@@ -359,7 +431,7 @@ func (tx *Tx) maybeYield() {
 	}
 	tx.ops++
 	if tx.ops%ye == 0 {
-		runtime.Gosched()
+		tx.stm.yield()
 	}
 }
 
@@ -386,11 +458,19 @@ func (tx *Tx) lookupWrite(o *Obj) (int64, bool) {
 	return 0, false
 }
 
+// monRead reports a completed transactional read to the monitor.
+func (tx *Tx) monRead(o *Obj, v int64) {
+	if tx.mon != nil {
+		tx.mon.OnTxRead(tx.instance, o, v)
+	}
+}
+
 // Read returns the transactional value of o.
 func (tx *Tx) Read(o *Obj) int64 {
 	tx.maybeYield()
 	tx.checkDoomed()
 	if v, ok := tx.lookupWrite(o); ok {
+		tx.monRead(o, v)
 		return v
 	}
 	if tx.irrev {
@@ -401,6 +481,7 @@ func (tx *Tx) Read(o *Obj) int64 {
 		o.mu.Lock()
 		v := o.val
 		o.mu.Unlock()
+		tx.monRead(o, v)
 		return v
 	}
 	o.mu.Lock()
@@ -419,6 +500,7 @@ func (tx *Tx) Read(o *Obj) int64 {
 		tx.invReads = append(tx.invReads, readEntry{o, o.version})
 	}
 	o.mu.Unlock()
+	tx.monRead(o, v)
 	return v
 }
 
@@ -437,10 +519,16 @@ func (tx *Tx) Write(o *Obj, x int64) {
 	for i := len(tx.writes) - 1; i >= 0; i-- {
 		if tx.writes[i].o == o {
 			tx.writes[i].val = x
+			if tx.mon != nil {
+				tx.mon.OnTxWrite(tx.instance, o, x)
+			}
 			return
 		}
 	}
 	tx.writes = append(tx.writes, writeEntry{o, x})
+	if tx.mon != nil {
+		tx.mon.OnTxWrite(tx.instance, o, x)
+	}
 }
 
 // ReadFloat reads o as a float64.
@@ -461,7 +549,7 @@ func (tx *Tx) lockForWrite(o *Obj) {
 	// the first write lock (and only the first: lock holders must never
 	// block on the token or the irrevocable spin-acquire deadlocks).
 	if len(tx.locked) == 0 {
-		tx.stm.irrevocable.quiesce()
+		tx.stm.irrevocable.quiesce(tx.stm.opts.Yield)
 	}
 	for spin := 0; ; spin++ {
 		o.mu.Lock()
@@ -481,7 +569,7 @@ func (tx *Tx) lockForWrite(o *Obj) {
 				others++
 			}
 		}
-		if others == 0 {
+		if others == 0 || tx.stm.opts.Mutate.SkipReaderWait {
 			o.writerInst = tx.instance
 			o.writerTx = tx
 			tx.locked = append(tx.locked, o)
@@ -512,7 +600,7 @@ func (tx *Tx) lockForWrite(o *Obj) {
 				(len(tx.locked) > 0 && tx.stm.irrevocable.active.Load()) {
 				tx.abort(0) // readers did not drain: self-abort, unknown killer
 			}
-			runtime.Gosched()
+			tx.stm.yield()
 		}
 	}
 }
@@ -524,7 +612,7 @@ func (tx *Tx) commit() {
 	// Options.YieldEvery): guarantees overlap windows for short
 	// transactions on under-provisioned hosts.
 	if tx.stm.opts.YieldEvery > 0 {
-		runtime.Gosched()
+		tx.stm.yield()
 	}
 	if inj := tx.stm.opts.Inject; inj != nil {
 		if inj.Fire(fault.CommitAbort) {
@@ -539,23 +627,27 @@ func (tx *Tx) commit() {
 	}
 	tx.checkDoomed()
 	// Validate invisible reads: version unchanged and no foreign writer.
-	for _, r := range tx.invReads {
-		r.o.mu.Lock()
-		bad := r.o.version != r.ver || (r.o.writerInst != 0 && r.o.writerTx != tx)
-		var k uint64
-		if bad {
-			if r.o.writerInst != 0 && r.o.writerTx != tx {
-				k = r.o.writerInst // a foreign writer holds the lock
-			} else {
-				// The version moved (possibly while we hold our own
-				// commit-time lock): the culprit is the committer that
-				// bumped it, never ourselves.
-				k = r.o.lastWriter
+	// The mutation knockout (oracle sensitivity harness) skips this loop
+	// wholesale, committing on top of whatever snapshot the reads saw.
+	if !tx.stm.opts.Mutate.SkipReadValidation {
+		for _, r := range tx.invReads {
+			r.o.mu.Lock()
+			bad := r.o.version != r.ver || (r.o.writerInst != 0 && r.o.writerTx != tx)
+			var k uint64
+			if bad {
+				if r.o.writerInst != 0 && r.o.writerTx != tx {
+					k = r.o.writerInst // a foreign writer holds the lock
+				} else {
+					// The version moved (possibly while we hold our own
+					// commit-time lock): the culprit is the committer that
+					// bumped it, never ourselves.
+					k = r.o.lastWriter
+				}
 			}
-		}
-		r.o.mu.Unlock()
-		if bad {
-			tx.abort(k)
+			r.o.mu.Unlock()
+			if bad {
+				tx.abort(k)
+			}
 		}
 	}
 	// Validation passed and every write lock is held: an injected
@@ -664,12 +756,22 @@ func (s *STM) atomicCtx(ctx context.Context, tx *Tx, fn func(*Tx) error, t0 time
 		tx.ops = 0
 		tx.doomed.Store(false)
 		tx.killer.Store(0)
+		tx.mon = s.monLoad()
+		if tx.mon != nil {
+			tx.mon.OnTxBegin(tx.instance, tx.pair)
+		}
 
 		killer, userErr, committed := s.runAttempt(tx, fn)
 		if committed {
+			if tx.mon != nil {
+				tx.mon.OnTxCommit(tx.instance)
+			}
 			s.commits.Add(1)
 			s.tracer.Load().t.OnCommit(tx.instance, tx.pair)
 			return nil
+		}
+		if tx.mon != nil {
+			tx.mon.OnTxAbort(tx.instance)
 		}
 		if userErr != nil {
 			return userErr
@@ -681,7 +783,14 @@ func (s *STM) atomicCtx(ctx context.Context, tx *Tx, fn func(*Tx) error, t0 time
 			return ErrRetryLimit
 		}
 		s.observeWatchdog()
-		backoff(tx.done, attempts)
+		if y := s.opts.Yield; y != nil {
+			// Under the deterministic scheduler real-time sleeps are both
+			// nondeterministic and useless (one goroutine runs at a time);
+			// a single yield point stands in for the whole backoff.
+			y()
+		} else {
+			backoff(tx.done, attempts)
+		}
 	}
 }
 

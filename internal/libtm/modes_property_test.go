@@ -1,6 +1,7 @@
 package libtm
 
 import (
+	"gstm/internal/proptest"
 	"testing"
 	"testing/quick"
 )
@@ -53,7 +54,7 @@ func TestModeEquivalenceProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+	if err := quick.Check(f, proptest.Config(t, 30)); err != nil {
 		t.Error(err)
 	}
 }
@@ -92,7 +93,7 @@ func TestUserAbortLeavesNoTraceProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+	if err := quick.Check(f, proptest.Config(t, 25)); err != nil {
 		t.Error(err)
 	}
 }

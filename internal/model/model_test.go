@@ -2,6 +2,7 @@ package model
 
 import (
 	"bytes"
+	"gstm/internal/proptest"
 	"math"
 	"math/rand"
 	"strings"
@@ -107,7 +108,7 @@ func TestProbInvariantsProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+	if err := quick.Check(f, proptest.Config(t, 60)); err != nil {
 		t.Error(err)
 	}
 }
@@ -162,7 +163,7 @@ func TestHighProbDestsMonotoneProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+	if err := quick.Check(f, proptest.Config(t, 40)); err != nil {
 		t.Error(err)
 	}
 }

@@ -1,0 +1,318 @@
+package oracle
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Level selects how much of the history the witness must explain.
+type Level int
+
+// Checking levels.
+const (
+	// Opacity requires every transaction — aborted attempts included —
+	// to have observed a consistent snapshot: the committed witness must
+	// contain, for each aborted attempt, a real-time-feasible prefix
+	// whose memory state explains all of its reads. This is the property
+	// TL2 (per-read validation) and LibTM's fully-pessimistic mode
+	// (two-phase visible reads with writer waits) provide.
+	Opacity Level = iota
+	// StrictSerializability checks committed transactions only.
+	// LibTM's invisible-read modes deliberately run doomed attempts on
+	// stale snapshots ("zombies") until the next doom check, so their
+	// aborted reads are allowed to be inconsistent; the mode is still
+	// strictly serializable because commit-time validation kills any
+	// attempt whose snapshot tore.
+	StrictSerializability
+)
+
+// String renders the level.
+func (l Level) String() string {
+	if l == Opacity {
+		return "opacity"
+	}
+	return "strict-serializability"
+}
+
+// CheckOptions configures a Check call.
+type CheckOptions struct {
+	// Level is the property to check (default Opacity).
+	Level Level
+	// Final, when non-nil, constrains the witness's final memory state:
+	// loc index → value observed non-transactionally after the run.
+	// This pins the witness to the state the program actually left
+	// behind, rejecting serializations that explain the reads but not
+	// the outcome.
+	Final map[int]int64
+	// Budget bounds the number of search nodes (0 = DefaultBudget).
+	// Exhausting it returns ErrBudget, never a verdict.
+	Budget int
+}
+
+// DefaultBudget is the node budget when CheckOptions.Budget is zero —
+// generous for explorer-sized histories (≤ ~12 transactions).
+const DefaultBudget = 1 << 22
+
+// ErrBudget reports an inconclusive search: the node budget ran out
+// before the space of candidate witnesses was covered.
+var ErrBudget = errors.New("oracle: witness search budget exhausted")
+
+// ErrTooLarge reports a history beyond the checker's 64-committed-
+// transaction bitmask bound.
+var ErrTooLarge = errors.New("oracle: history exceeds 64 committed transactions")
+
+// Violation describes a history with no legal sequential witness.
+type Violation struct {
+	// Level the check ran at.
+	Level Level
+	// Reason is the human-readable diagnosis.
+	Reason string
+	// BestOrder is the deepest legal prefix of committed transactions
+	// the search constructed (indices into History.Txs) before the
+	// failure in Reason, for the counterexample printer.
+	BestOrder []int
+	// FailTx is the index into History.Txs of the transaction that
+	// could not be explained at the deepest point, or -1.
+	FailTx int
+	// Explored is the number of search nodes visited.
+	Explored int
+}
+
+// checker carries the DFS state.
+type checker struct {
+	h         *History
+	opts      CheckOptions
+	committed []int
+	aborted   []int
+	// rtBefore[a] is the bitmask (over positions in committed) of
+	// transactions that finished before committed[a] began and so must
+	// precede it in any witness.
+	rtBefore []uint64
+	budget   int
+	explored int
+
+	// Deepest-failure tracking for the counterexample.
+	bestDepth  int
+	bestOrder  []int
+	bestReason string
+	bestFail   int
+}
+
+// Check searches for a legal sequential witness over h. It returns nil
+// when one exists (the history satisfies opts.Level), a *Violation when
+// the search space is exhausted without one, and an error when the
+// search is inconclusive (budget) or the history too large.
+func Check(h *History, opts CheckOptions) (*Violation, error) {
+	c := &checker{
+		h:         h,
+		opts:      opts,
+		committed: h.Committed(),
+		budget:    opts.Budget,
+		bestFail:  -1,
+	}
+	if c.budget <= 0 {
+		c.budget = DefaultBudget
+	}
+	if len(c.committed) > 64 {
+		return nil, ErrTooLarge
+	}
+	if opts.Level == Opacity {
+		c.aborted = h.Aborted()
+	}
+
+	// Real-time precedence over committed transactions.
+	c.rtBefore = make([]uint64, len(c.committed))
+	for a, ia := range c.committed {
+		for b, ib := range c.committed {
+			if h.Txs[ib].End < h.Txs[ia].Begin {
+				c.rtBefore[a] |= 1 << b
+			}
+		}
+	}
+
+	state := make([]int64, len(h.Locs))
+	for i := range h.Locs {
+		state[i] = h.Locs[i].Init
+	}
+	ok, err := c.search(0, make([]int, 0, len(c.committed)), state)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		return nil, nil
+	}
+	v := &Violation{
+		Level:     opts.Level,
+		Reason:    c.bestReason,
+		BestOrder: c.bestOrder,
+		FailTx:    c.bestFail,
+		Explored:  c.explored,
+	}
+	if v.Reason == "" {
+		v.Reason = "no legal sequential witness exists"
+	}
+	return v, nil
+}
+
+// search extends the witness prefix (mask = bitmask over committed
+// positions, order = the prefix itself, state = memory after it).
+// Returns true when a full witness (including aborted placements and
+// the Final constraint) exists.
+func (c *checker) search(mask uint64, order []int, state []int64) (bool, error) {
+	c.explored++
+	if c.explored > c.budget {
+		return false, ErrBudget
+	}
+
+	if len(order) == len(c.committed) {
+		// Full committed order: place aborted attempts, check Final.
+		if reason, fail := c.placeAborted(order); reason != "" {
+			c.noteFailure(len(order), order, reason, fail)
+			return false, nil
+		}
+		if reason := c.checkFinal(state); reason != "" {
+			c.noteFailure(len(order), order, reason, -1)
+			return false, nil
+		}
+		return true, nil
+	}
+
+	for pos, ti := range c.committed {
+		bit := uint64(1) << pos
+		if mask&bit != 0 {
+			continue
+		}
+		if c.rtBefore[pos]&^mask != 0 {
+			continue // a real-time predecessor is not yet placed
+		}
+		next, reason := applyTx(c.h, &c.h.Txs[ti], state)
+		if reason != "" {
+			c.noteFailure(len(order), order, reason, ti)
+			continue
+		}
+		ok, err := c.search(mask|bit, append(order, ti), next)
+		if ok || err != nil {
+			return ok, err
+		}
+	}
+	return false, nil
+}
+
+// applyTx replays tx against state. If every read is explained it
+// returns the post-state; otherwise it returns a diagnosis of the
+// first unexplained read.
+func applyTx(h *History, tx *TxRecord, state []int64) ([]int64, string) {
+	var overlay map[int]int64
+	for i := range tx.Ops {
+		op := &tx.Ops[i]
+		switch op.Kind {
+		case OpWrite:
+			if overlay == nil {
+				overlay = make(map[int]int64)
+			}
+			overlay[op.Loc] = op.Val
+		case OpRead:
+			want, own := state[op.Loc], false
+			if v, ok := overlay[op.Loc]; ok {
+				want, own = v, true
+			}
+			if op.Val != want {
+				src := "the state here"
+				if own {
+					src = "its own earlier write"
+				}
+				return nil, fmt.Sprintf("read %s=%d contradicts %s (%d)",
+					h.LocName(op.Loc), op.Val, src, want)
+			}
+		}
+	}
+	if overlay == nil {
+		return state, ""
+	}
+	next := append([]int64(nil), state...)
+	for l, v := range overlay {
+		next[l] = v
+	}
+	return next, ""
+}
+
+// placeAborted verifies each aborted attempt observes a consistent
+// snapshot at some real-time-feasible prefix of the witness. Aborted
+// attempts write nothing to the shared state, so each places
+// independently. Returns a diagnosis and the failing tx index, or "".
+func (c *checker) placeAborted(order []int) (string, int) {
+	if len(c.aborted) == 0 {
+		return "", -1
+	}
+	// States after each prefix of the witness.
+	states := make([][]int64, len(order)+1)
+	st := make([]int64, len(c.h.Locs))
+	for i := range c.h.Locs {
+		st[i] = c.h.Locs[i].Init
+	}
+	states[0] = st
+	for i, ti := range order {
+		next, _ := applyTx(c.h, &c.h.Txs[ti], st) // committed prefix already validated
+		states[i+1] = next
+		st = next
+	}
+
+	for _, ai := range c.aborted {
+		a := &c.h.Txs[ai]
+		if len(a.Ops) == 0 {
+			continue
+		}
+		// Real-time feasibility: the snapshot must include every
+		// committed tx that finished before a began, and exclude every
+		// committed tx that began after a ended.
+		lo, hi := 0, len(order)
+		for i, ti := range order {
+			t := &c.h.Txs[ti]
+			if t.End < a.Begin && i+1 > lo {
+				lo = i + 1
+			}
+			if t.Begin > a.End && i < hi {
+				hi = i
+			}
+		}
+		placed := false
+		for k := lo; k <= hi; k++ {
+			if _, reason := applyTx(c.h, a, states[k]); reason == "" {
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			_, reason := applyTx(c.h, a, states[lo])
+			return fmt.Sprintf("aborted attempt observed no consistent snapshot "+
+				"(at its earliest feasible position: %s)", reason), ai
+		}
+	}
+	return "", -1
+}
+
+// checkFinal compares the witness's final state to the observed one.
+func (c *checker) checkFinal(state []int64) string {
+	for l, want := range c.opts.Final {
+		if state[l] != want {
+			return fmt.Sprintf("witness leaves %s=%d but the run observed %d",
+				c.h.LocName(l), state[l], want)
+		}
+	}
+	return ""
+}
+
+// noteFailure records the deepest point the search failed at, keeping
+// the first diagnosis seen at that depth.
+func (c *checker) noteFailure(depth int, order []int, reason string, fail int) {
+	if depth < c.bestDepth && c.bestReason != "" {
+		return
+	}
+	if depth == c.bestDepth && c.bestReason != "" {
+		return
+	}
+	c.bestDepth = depth
+	c.bestOrder = append([]int(nil), order...)
+	c.bestReason = reason
+	c.bestFail = fail
+}

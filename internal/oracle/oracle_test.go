@@ -1,0 +1,249 @@
+package oracle
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"gstm/internal/tts"
+)
+
+// hb builds histories for checker tests: sequence numbers are assigned
+// in the order events are declared, mirroring the recorder.
+type hb struct {
+	h   History
+	seq uint64
+}
+
+func newHB(locs ...Loc) *hb {
+	return &hb{h: History{Locs: locs}}
+}
+
+func (b *hb) next() uint64 { b.seq++; return b.seq }
+
+// tx opens a transaction, applies the ops (kind, loc, val triples) and
+// closes it, all with consecutive sequence numbers (no interleaving).
+func (b *hb) tx(committed bool, ops ...Op) *hb {
+	t := TxRecord{
+		Instance:  uint64(len(b.h.Txs) + 1),
+		Pair:      tts.Pair{Tx: uint16(len(b.h.Txs)), Thread: uint16(len(b.h.Txs))},
+		Begin:     b.next(),
+		Committed: committed,
+	}
+	for _, op := range ops {
+		op.Seq = b.next()
+		t.Ops = append(t.Ops, op)
+	}
+	t.End = b.next()
+	b.h.Txs = append(b.h.Txs, t)
+	return b
+}
+
+func read(loc int, val int64) Op  { return Op{Kind: OpRead, Loc: loc, Val: val} }
+func write(loc int, val int64) Op { return Op{Kind: OpWrite, Loc: loc, Val: val} }
+
+func mustPass(t *testing.T, h *History, opts CheckOptions) {
+	t.Helper()
+	v, err := Check(h, opts)
+	if err != nil {
+		t.Fatalf("Check error: %v", err)
+	}
+	if v != nil {
+		t.Fatalf("unexpected violation:\n%s", v.Render(h))
+	}
+}
+
+func mustFail(t *testing.T, h *History, opts CheckOptions) *Violation {
+	t.Helper()
+	v, err := Check(h, opts)
+	if err != nil {
+		t.Fatalf("Check error: %v", err)
+	}
+	if v == nil {
+		t.Fatalf("expected a violation, got a witness")
+	}
+	return v
+}
+
+func TestSerialHistoryPasses(t *testing.T) {
+	b := newHB(Loc{Name: "x"}, Loc{Name: "y"})
+	b.tx(true, read(0, 0), write(0, 1)).
+		tx(true, read(0, 1), write(1, 7)).
+		tx(true, read(1, 7))
+	mustPass(t, &b.h, CheckOptions{})
+}
+
+func TestOutOfOrderWitnessFound(t *testing.T) {
+	// T0 commits x=1 but T1 (concurrent: both begin before either
+	// ends — build manually) reads x=0. Legal: witness T1 -> T0.
+	h := History{Locs: []Loc{{Name: "x"}}}
+	h.Txs = []TxRecord{
+		{Instance: 1, Begin: 1, End: 6, Committed: true,
+			Ops: []Op{{Kind: OpWrite, Loc: 0, Val: 1, Seq: 3}}},
+		{Instance: 2, Begin: 2, End: 5, Committed: true,
+			Ops: []Op{{Kind: OpRead, Loc: 0, Val: 0, Seq: 4}}},
+	}
+	mustPass(t, &h, CheckOptions{})
+}
+
+func TestRealTimeEdgeRejectsStaleRead(t *testing.T) {
+	// T0 commits x=1 strictly before T1 begins, yet T1 reads x=0:
+	// the only explaining order (T1 -> T0) violates real time.
+	b := newHB(Loc{Name: "x"})
+	b.tx(true, read(0, 0), write(0, 1)).
+		tx(true, read(0, 0))
+	v := mustFail(t, &b.h, CheckOptions{})
+	if v.FailTx != 1 {
+		t.Fatalf("FailTx = %d, want 1\n%s", v.FailTx, v.Render(&b.h))
+	}
+}
+
+func TestLostUpdateRejected(t *testing.T) {
+	// Two concurrent increments both read 0 and both commit: no serial
+	// order explains the second read.
+	h := History{Locs: []Loc{{Name: "x"}}}
+	h.Txs = []TxRecord{
+		{Instance: 1, Begin: 1, End: 7, Committed: true,
+			Ops: []Op{{Kind: OpRead, Loc: 0, Val: 0, Seq: 3}, {Kind: OpWrite, Loc: 0, Val: 1, Seq: 4}}},
+		{Instance: 2, Begin: 2, End: 8, Committed: true,
+			Ops: []Op{{Kind: OpRead, Loc: 0, Val: 0, Seq: 5}, {Kind: OpWrite, Loc: 0, Val: 1, Seq: 6}}},
+	}
+	v := mustFail(t, &h, CheckOptions{})
+	if !strings.Contains(v.Reason, "contradicts") {
+		t.Fatalf("Reason = %q", v.Reason)
+	}
+}
+
+func TestAbortedInconsistentReadOpacityOnly(t *testing.T) {
+	// A committed writer sets x=1,y=1 (atomically). A concurrent
+	// aborted attempt read x=0 but y=1 — a torn snapshot no prefix
+	// explains. Opacity rejects it; strict serializability (committed
+	// txs only) accepts.
+	h := History{Locs: []Loc{{Name: "x"}, {Name: "y"}}}
+	h.Txs = []TxRecord{
+		{Instance: 1, Begin: 1, End: 8, Committed: true,
+			Ops: []Op{{Kind: OpWrite, Loc: 0, Val: 1, Seq: 3}, {Kind: OpWrite, Loc: 1, Val: 1, Seq: 4}}},
+		{Instance: 2, Begin: 2, End: 9, Committed: false,
+			Ops: []Op{{Kind: OpRead, Loc: 0, Val: 0, Seq: 5}, {Kind: OpRead, Loc: 1, Val: 1, Seq: 6}}},
+	}
+	v := mustFail(t, &h, CheckOptions{Level: Opacity})
+	if v.FailTx != 1 {
+		t.Fatalf("FailTx = %d, want aborted tx 1\n%s", v.FailTx, v.Render(&h))
+	}
+	mustPass(t, &h, CheckOptions{Level: StrictSerializability})
+}
+
+func TestAbortedConsistentReadPlacedByRealTime(t *testing.T) {
+	// The aborted attempt runs entirely after the writer commits and
+	// reads the new values: it must place after the writer, and can.
+	b := newHB(Loc{Name: "x"}, Loc{Name: "y"})
+	b.tx(true, write(0, 1), write(1, 1)).
+		tx(false, read(0, 1), read(1, 1))
+	mustPass(t, &b.h, CheckOptions{Level: Opacity})
+
+	// But reading the OLD values after the writer committed is a
+	// violation: real time forbids the pre-writer placement.
+	b2 := newHB(Loc{Name: "x"}, Loc{Name: "y"})
+	b2.tx(true, write(0, 1), write(1, 1)).
+		tx(false, read(0, 0), read(1, 0))
+	mustFail(t, &b2.h, CheckOptions{Level: Opacity})
+}
+
+func TestFinalStateConstraint(t *testing.T) {
+	// Blind writes x=1 and x=2 by concurrent txs: both orders are
+	// legal witnesses, but the run observed x=2, so only one survives.
+	h := History{Locs: []Loc{{Name: "x"}}}
+	h.Txs = []TxRecord{
+		{Instance: 1, Begin: 1, End: 5, Committed: true,
+			Ops: []Op{{Kind: OpWrite, Loc: 0, Val: 1, Seq: 3}}},
+		{Instance: 2, Begin: 2, End: 6, Committed: true,
+			Ops: []Op{{Kind: OpWrite, Loc: 0, Val: 2, Seq: 4}}},
+	}
+	mustPass(t, &h, CheckOptions{Final: map[int]int64{0: 2}})
+	mustPass(t, &h, CheckOptions{Final: map[int]int64{0: 1}})
+	v := mustFail(t, &h, CheckOptions{Final: map[int]int64{0: 9}})
+	if !strings.Contains(v.Reason, "observed 9") {
+		t.Fatalf("Reason = %q", v.Reason)
+	}
+}
+
+func TestReadOwnWriteOverlay(t *testing.T) {
+	b := newHB(Loc{Name: "x"})
+	b.tx(true, read(0, 0), write(0, 5), read(0, 5), write(0, 6)).
+		tx(true, read(0, 6))
+	mustPass(t, &b.h, CheckOptions{})
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	// Enough concurrent blind-writing txs that a 1-node budget cannot
+	// finish.
+	h := History{Locs: []Loc{{Name: "x"}}}
+	for i := 0; i < 6; i++ {
+		h.Txs = append(h.Txs, TxRecord{
+			Instance: uint64(i + 1), Begin: 1, End: 100, Committed: true,
+			Ops: []Op{{Kind: OpWrite, Loc: 0, Val: int64(i), Seq: uint64(10 + i)}},
+		})
+	}
+	_, err := Check(&h, CheckOptions{Budget: 1})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestRecorderRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	var x, y int
+	r.Register(&x, "x", 10)
+	r.Register(&y, "y", 20)
+
+	r.OnTxBegin(1, tts.Pair{Tx: 3, Thread: 1})
+	r.OnTxRead(1, &x, 10)
+	r.OnTxWrite(1, &y, 21)
+	r.OnTxCommit(1)
+
+	r.OnTxBegin(2, tts.Pair{Tx: 4, Thread: 2})
+	r.OnTxRead(2, &y, 21)
+	r.OnTxAbort(2)
+
+	h := r.History()
+	if len(h.Txs) != 2 || len(h.Locs) != 2 {
+		t.Fatalf("history shape: %d txs, %d locs", len(h.Txs), len(h.Locs))
+	}
+	t0, t1 := h.Txs[0], h.Txs[1]
+	if !t0.Committed || t1.Committed {
+		t.Fatalf("commit flags: %v %v", t0.Committed, t1.Committed)
+	}
+	if t0.Begin >= t0.Ops[0].Seq || t0.Ops[1].Seq >= t0.End || t0.End >= t1.Begin {
+		t.Fatalf("sequence numbers not monotone: %+v %+v", t0, t1)
+	}
+	if h.Locs[0] != (Loc{Name: "x", Init: 10}) {
+		t.Fatalf("loc 0 = %+v", h.Locs[0])
+	}
+	mustPass(t, h, CheckOptions{Level: Opacity})
+}
+
+func TestRecorderAutoRegisters(t *testing.T) {
+	r := NewRecorder()
+	var x int
+	r.OnTxBegin(1, tts.Pair{})
+	r.OnTxWrite(1, &x, 5)
+	r.OnTxCommit(1)
+	h := r.History()
+	if len(h.Locs) != 1 || h.Locs[0].Init != 0 {
+		t.Fatalf("auto-registration: %+v", h.Locs)
+	}
+	mustPass(t, h, CheckOptions{})
+}
+
+func TestViolationRender(t *testing.T) {
+	b := newHB(Loc{Name: "x"})
+	b.tx(true, read(0, 0), write(0, 1)).
+		tx(true, read(0, 0))
+	v := mustFail(t, &b.h, CheckOptions{})
+	out := v.Render(&b.h)
+	for _, want := range []string{"OPACITY VIOLATION", "witness prefix", "seq=", "read  x = 0", "commit"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

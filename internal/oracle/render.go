@@ -1,0 +1,75 @@
+package oracle
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Render prints the history as a globally ordered event log — the
+// interleaving the recorder actually observed — one line per event:
+//
+//	seq=07 T3 tx2@th1  read  x = 5
+//
+// Tn numbers transactions by their position in h.Txs.
+func (h *History) Render() string {
+	type line struct {
+		seq  uint64
+		text string
+	}
+	var lines []line
+	for i := range h.Txs {
+		t := &h.Txs[i]
+		id := fmt.Sprintf("T%d tx%d@th%d", i, t.Pair.Tx, t.Pair.Thread)
+		lines = append(lines, line{t.Begin, fmt.Sprintf("%-16s begin", id)})
+		for _, op := range t.Ops {
+			lines = append(lines, line{op.Seq, fmt.Sprintf("%-16s %-5s %s = %d",
+				id, op.Kind, h.LocName(op.Loc), op.Val)})
+		}
+		end := "abort"
+		if t.Committed {
+			end = "commit"
+		}
+		lines = append(lines, line{t.End, fmt.Sprintf("%-16s %s", id, end)})
+	}
+	sort.Slice(lines, func(a, b int) bool { return lines[a].seq < lines[b].seq })
+
+	var b strings.Builder
+	for i := range h.Locs {
+		fmt.Fprintf(&b, "init %s = %d\n", h.LocName(i), h.Locs[i].Init)
+	}
+	for _, l := range lines {
+		fmt.Fprintf(&b, "seq=%02d %s\n", l.seq, l.text)
+	}
+	return b.String()
+}
+
+// Render prints the violation with the interleaving that produced it:
+// the verdict, the deepest legal witness prefix the search reached,
+// the transaction it could not explain, and the full recorded event
+// log. This is the counterexample a failing explorer test emits.
+func (v *Violation) Render(h *History) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s VIOLATION: %s\n", strings.ToUpper(v.Level.String()), v.Reason)
+	if len(v.BestOrder) > 0 {
+		parts := make([]string, len(v.BestOrder))
+		for i, ti := range v.BestOrder {
+			parts[i] = fmt.Sprintf("T%d", ti)
+		}
+		fmt.Fprintf(&b, "deepest legal witness prefix: %s\n", strings.Join(parts, " -> "))
+	} else {
+		b.WriteString("deepest legal witness prefix: (empty)\n")
+	}
+	if v.FailTx >= 0 && v.FailTx < len(h.Txs) {
+		t := &h.Txs[v.FailTx]
+		fate := "aborted"
+		if t.Committed {
+			fate = "committed"
+		}
+		fmt.Fprintf(&b, "unexplained transaction: T%d tx%d@th%d (%s, instance %d)\n",
+			v.FailTx, t.Pair.Tx, t.Pair.Thread, fate, t.Instance)
+	}
+	fmt.Fprintf(&b, "search explored %d nodes\nrecorded interleaving:\n%s",
+		v.Explored, h.Render())
+	return b.String()
+}

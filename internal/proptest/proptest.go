@@ -1,0 +1,53 @@
+// Package proptest pins testing/quick's randomness. A quick.Config
+// with a nil Rand is seeded from the wall clock, so a property-test
+// failure seen once in CI may be unreproducible locally. Every
+// property test in this repo draws its corpus through Config instead:
+// the seed is fixed (deterministic CI, byte-identical corpora across
+// runs) but overridable via GSTM_PROP_SEED for corpus variation, and
+// a failing test logs the seed it ran under so the exact corpus can
+// be replayed.
+package proptest
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+// DefaultSeed is the corpus seed when GSTM_PROP_SEED is unset.
+const DefaultSeed int64 = 0x675374 // "gSt"
+
+// seedEnv is the environment override for the corpus seed.
+const seedEnv = "GSTM_PROP_SEED"
+
+// Seed returns the property-corpus seed for this process.
+func Seed(t testing.TB) int64 {
+	s := os.Getenv(seedEnv)
+	if s == "" {
+		return DefaultSeed
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		t.Fatalf("proptest: bad %s=%q: %v", seedEnv, s, err)
+	}
+	return v
+}
+
+// Config returns a quick.Config drawing its corpus from the pinned
+// seed. maxCount ≤ 0 keeps testing/quick's default count. On failure
+// the seed is logged for replay.
+func Config(t testing.TB, maxCount int) *quick.Config {
+	seed := Seed(t)
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("property corpus seed %d (replay with GSTM_PROP_SEED=%d; vary it to widen the corpus)", seed, seed)
+		}
+	})
+	cfg := &quick.Config{Rand: rand.New(rand.NewSource(seed))}
+	if maxCount > 0 {
+		cfg.MaxCount = maxCount
+	}
+	return cfg
+}

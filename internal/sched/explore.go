@@ -1,0 +1,101 @@
+package sched
+
+import (
+	"fmt"
+	"time"
+)
+
+// Program is one schedule's worth of work: fresh bodies (over a fresh
+// STM instance) and an invariant check to run after they finish.
+type Program struct {
+	// Bodies are the worker functions, one per worker.
+	Bodies []func()
+	// Check, when non-nil, runs after the schedule completes (in the
+	// scheduler goroutine, workers quiescent); a non-nil error is a
+	// violation and aborts the exploration.
+	Check func(r RunResult) error
+}
+
+// ExploreOptions configures an exploration.
+type ExploreOptions struct {
+	// Strategy drives the interleaving choices (required).
+	Strategy Strategy
+	// Schedules caps how many schedules run; exhaustive strategies may
+	// stop earlier (Begin returning false).
+	Schedules int
+	// MaxSteps and StuckTimeout are per-schedule Runner bounds.
+	MaxSteps     int
+	StuckTimeout time.Duration
+}
+
+// ExploreResult summarizes an exploration.
+type ExploreResult struct {
+	// Schedules is how many schedules actually ran.
+	Schedules int
+	// Overflows and Stuck count degenerate schedules (completed under
+	// free concurrency after MaxSteps / a scheduling-invisible wait).
+	Overflows int
+	// Stuck schedules indicate an instrumentation gap; explorer tests
+	// assert zero.
+	Stuck int
+	// Fingerprint hashes every schedule's trace (FNV-1a): two
+	// explorations with the same seed must produce the same value —
+	// the determinism check.
+	Fingerprint uint64
+	// Err is the first violation (annotated with the schedule number),
+	// or nil.
+	Err error
+	// FailSchedule and FailTrace identify the violating interleaving
+	// for replay (strategy Replay{Trace: FailTrace}).
+	FailSchedule int
+	FailTrace    []int
+}
+
+// Explore runs up to opts.Schedules schedules: for each, build is
+// handed the schedule's Yield hook and returns a fresh Program (fresh
+// STM with Options.Yield set, fresh locations, fresh recorder).
+// Exploration stops at the first violation.
+func Explore(opts ExploreOptions, build func(yield func()) Program) ExploreResult {
+	res := ExploreResult{Fingerprint: 1469598103934665603, FailSchedule: -1} // FNV offset basis
+	for n := 0; n < opts.Schedules; n++ {
+		if !opts.Strategy.Begin(n) {
+			break
+		}
+		// The Runner needs the worker count from the Program, but the
+		// Program needs the Runner's Yield: hand build a forwarding
+		// closure that binds to the runner once it exists (build only
+		// constructs bodies; nothing yields until Run).
+		var r *Runner
+		p := build(func() {
+			if r != nil {
+				r.Yield()
+			}
+		})
+		r = New(Options{
+			Workers:      len(p.Bodies),
+			MaxSteps:     opts.MaxSteps,
+			StuckTimeout: opts.StuckTimeout,
+		})
+		run := r.Run(opts.Strategy, p.Bodies)
+		res.Schedules++
+		if run.Overflow {
+			res.Overflows++
+		}
+		if run.Stuck {
+			res.Stuck++
+		}
+		for _, w := range run.Trace {
+			res.Fingerprint = (res.Fingerprint ^ uint64(w)) * 1099511628211
+		}
+		res.Fingerprint = (res.Fingerprint ^ 0xff) * 1099511628211 // schedule separator
+		if p.Check != nil {
+			if err := p.Check(run); err != nil {
+				res.Err = fmt.Errorf("schedule %d (trace %v): %w", n, run.Trace, err)
+				res.FailSchedule = n
+				res.FailTrace = run.Trace
+				return res
+			}
+		}
+	}
+	return res
+}

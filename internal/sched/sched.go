@@ -1,0 +1,242 @@
+// Package sched is a deterministic schedule explorer: it serializes a
+// set of worker goroutines so that exactly one runs at a time, with
+// context switches permitted only at instrumented yield points (the
+// runtimes' Options.Yield hook), and drives the interleaving choice
+// from a pluggable, seeded Strategy. Together with internal/oracle it
+// implements the systematic-testing approach of the STM-verification
+// literature (Popovic et al.'s scheduler checking; Wehrheim's bounded
+// model checking): enumerate or sample bounded interleavings of a
+// small transactional program and check every resulting history
+// against an opacity oracle, instead of hoping the race detector
+// stumbles onto the bad schedule.
+//
+// The cooperative protocol: each worker parks on its own resume
+// channel; the scheduler picks one runnable worker, signals its
+// channel, and blocks on a shared report channel until that worker
+// either yields (parks again) or finishes. A worker's Yield call is
+// therefore a rendezvous — the scheduler's choice sequence IS the
+// interleaving, and replaying the same choices reproduces it exactly
+// (given deterministic bodies: fixed seeds, no wall-clock branching,
+// watchdog and time-based escalation disabled).
+//
+// Two escape hatches keep a bad schedule from wedging the process:
+// MaxSteps bounds the cooperative steps per schedule (a livelocking
+// interleaving overflows and the run is completed under free
+// concurrency), and StuckTimeout bounds the wall-clock wait for the
+// running worker to report (a worker blocked anywhere other than a
+// yield point — a scheduling-invisible wait, i.e. an instrumentation
+// bug — trips it). Both release every parked worker and let the
+// schedule finish nondeterministically; the result is flagged so the
+// caller can discount it.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures a Runner.
+type Options struct {
+	// Workers is the number of worker goroutines (required).
+	Workers int
+	// MaxSteps bounds cooperative scheduling steps per schedule;
+	// exceeding it completes the schedule under free concurrency and
+	// flags Overflow. 0 means DefaultMaxSteps.
+	MaxSteps int
+	// StuckTimeout is the wall-clock bound on one worker step; a
+	// worker silent for this long means a scheduling-invisible wait.
+	// 0 means DefaultStuckTimeout.
+	StuckTimeout time.Duration
+}
+
+// DefaultMaxSteps bounds one schedule's cooperative steps.
+const DefaultMaxSteps = 1 << 14
+
+// DefaultStuckTimeout flags a worker blocked outside a yield point.
+const DefaultStuckTimeout = 10 * time.Second
+
+// event is a worker→scheduler report.
+type event struct {
+	worker int
+	done   bool
+}
+
+// Runner serializes one schedule. A Runner is single-use: build one
+// per schedule (Explore does this for you).
+type Runner struct {
+	opts    Options
+	resume  []chan struct{}
+	report  chan event
+	current int
+	freeRun atomic.Bool
+	trace   []int
+}
+
+// RunResult describes one executed schedule.
+type RunResult struct {
+	// Steps is the number of cooperative scheduling decisions taken.
+	Steps int
+	// Trace is the sequence of worker indices scheduled; replaying it
+	// (strategy Replay) reproduces the interleaving.
+	Trace []int
+	// Overflow is set when MaxSteps ran out and the schedule finished
+	// under free concurrency.
+	Overflow bool
+	// Stuck is set when a worker stopped reporting (blocked outside a
+	// yield point); the schedule was abandoned to free concurrency.
+	Stuck bool
+}
+
+// New builds a single-use Runner.
+func New(opts Options) *Runner {
+	if opts.Workers <= 0 {
+		panic("sched: Options.Workers must be positive")
+	}
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = DefaultMaxSteps
+	}
+	if opts.StuckTimeout <= 0 {
+		opts.StuckTimeout = DefaultStuckTimeout
+	}
+	r := &Runner{
+		opts:   opts,
+		resume: make([]chan struct{}, opts.Workers),
+		// Buffered generously: during the free-run transition every
+		// worker may have one last in-flight report nobody receives.
+		report:  make(chan event, 4*opts.Workers+8),
+		current: -1,
+	}
+	for i := range r.resume {
+		// Capacity 1 so release() can deposit a token for a worker
+		// that has not parked yet (lost-wakeup avoidance).
+		r.resume[i] = make(chan struct{}, 1)
+	}
+	return r
+}
+
+// Yield is the suspension hook: install it as the runtime's
+// Options.Yield (and guide.Options.Yield). Outside a Run, or after the
+// schedule degenerated to free concurrency, it is runtime.Gosched.
+func (r *Runner) Yield() {
+	if r.freeRun.Load() {
+		runtime.Gosched()
+		return
+	}
+	// Exactly one worker runs at a time, and r.current was written
+	// before that worker's resume token was sent (channel
+	// happens-before), so this read is race-free.
+	w := r.current
+	if w < 0 {
+		runtime.Gosched() // not inside a schedule: plain yield
+		return
+	}
+	r.report <- event{worker: w}
+	<-r.resume[w]
+}
+
+// release degenerates the schedule to free concurrency: every parked
+// (or about-to-park) worker is handed a token and all future Yields
+// become Gosched.
+func (r *Runner) release() {
+	r.freeRun.Store(true)
+	for i := range r.resume {
+		select {
+		case r.resume[i] <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Run executes bodies under the strategy: body i runs on worker i.
+// It returns when every body has finished (or, on a stuck schedule,
+// after a second timeout abandons the leaked workers).
+func (r *Runner) Run(strategy Strategy, bodies []func()) RunResult {
+	if len(bodies) != r.opts.Workers {
+		panic(fmt.Sprintf("sched: %d bodies for %d workers", len(bodies), r.opts.Workers))
+	}
+	var wg sync.WaitGroup
+	for i := range bodies {
+		wg.Add(1)
+		go func(i int, body func()) {
+			defer wg.Done()
+			<-r.resume[i]
+			body()
+			if r.freeRun.Load() {
+				select {
+				case r.report <- event{worker: i, done: true}:
+				default:
+				}
+				return
+			}
+			r.report <- event{worker: i, done: true}
+		}(i, bodies[i])
+	}
+
+	res := r.schedule(strategy)
+	if res.Overflow || res.Stuck {
+		r.release()
+	}
+	if !res.Stuck {
+		wg.Wait()
+		return res
+	}
+	// Stuck: give the released workers one more grace period, then
+	// abandon them (an instrumentation bug the caller must surface).
+	finished := make(chan struct{})
+	go func() { wg.Wait(); close(finished) }()
+	select {
+	case <-finished:
+	case <-time.After(r.opts.StuckTimeout):
+	}
+	return res
+}
+
+// schedule is the cooperative loop.
+func (r *Runner) schedule(strategy Strategy) RunResult {
+	alive := r.opts.Workers
+	done := make([]bool, r.opts.Workers)
+	runnable := make([]int, 0, r.opts.Workers)
+	timer := time.NewTimer(r.opts.StuckTimeout)
+	defer timer.Stop()
+
+	steps := 0
+	cur := -1
+	for alive > 0 {
+		if steps >= r.opts.MaxSteps {
+			return RunResult{Steps: steps, Trace: r.trace, Overflow: true}
+		}
+		runnable = runnable[:0]
+		for i := 0; i < r.opts.Workers; i++ {
+			if !done[i] {
+				runnable = append(runnable, i)
+			}
+		}
+		pick := strategy.Pick(runnable, cur)
+		r.current = pick
+		r.trace = append(r.trace, pick)
+		r.resume[pick] <- struct{}{}
+
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(r.opts.StuckTimeout)
+		select {
+		case ev := <-r.report:
+			if ev.done {
+				done[ev.worker] = true
+				alive--
+			}
+		case <-timer.C:
+			return RunResult{Steps: steps, Trace: r.trace, Stuck: true}
+		}
+		steps++
+		cur = pick
+	}
+	return RunResult{Steps: steps, Trace: r.trace}
+}

@@ -1,0 +1,264 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// evlog is a race-safe event log (schedules that overflow to free
+// concurrency run bodies in parallel).
+type evlog struct {
+	mu  sync.Mutex
+	evs []string
+}
+
+func (l *evlog) add(format string, args ...any) {
+	l.mu.Lock()
+	l.evs = append(l.evs, fmt.Sprintf(format, args...))
+	l.mu.Unlock()
+}
+
+func (l *evlog) snapshot() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.evs...)
+}
+
+// TestDFSExhaustsToyProgram: two workers, one yield each, zero
+// preemptions allowed — exactly the two completion orders exist.
+func TestDFSExhaustsToyProgram(t *testing.T) {
+	var orders [][]string
+	res := Explore(ExploreOptions{
+		Strategy:  &DFS{SwitchBound: 0},
+		Schedules: 100,
+	}, func(yield func()) Program {
+		l := &evlog{}
+		body := func(i int) func() {
+			return func() {
+				l.add("w%d:start", i)
+				yield()
+				l.add("w%d:end", i)
+			}
+		}
+		return Program{
+			Bodies: []func(){body(0), body(1)},
+			Check: func(RunResult) error {
+				orders = append(orders, l.snapshot())
+				return nil
+			},
+		}
+	})
+	if res.Err != nil {
+		t.Fatalf("unexpected violation: %v", res.Err)
+	}
+	if res.Schedules != 2 {
+		t.Fatalf("schedules = %d, want 2 (the two completion orders)", res.Schedules)
+	}
+	want := [][]string{
+		{"w0:start", "w0:end", "w1:start", "w1:end"},
+		{"w1:start", "w1:end", "w0:start", "w0:end"},
+	}
+	if !reflect.DeepEqual(orders, want) {
+		t.Fatalf("orders = %v, want %v", orders, want)
+	}
+}
+
+// TestDFSSwitchBoundWidensSpace: allowing preemptions strictly grows
+// the explored set and surfaces genuinely interleaved orders.
+func TestDFSSwitchBoundWidensSpace(t *testing.T) {
+	count := func(bound int) (int, map[string]bool) {
+		seen := make(map[string]bool)
+		res := Explore(ExploreOptions{
+			Strategy:  &DFS{SwitchBound: bound},
+			Schedules: 10000,
+		}, func(yield func()) Program {
+			l := &evlog{}
+			body := func(i int) func() {
+				return func() {
+					l.add("w%d:a", i)
+					yield()
+					l.add("w%d:b", i)
+				}
+			}
+			return Program{
+				Bodies: []func(){body(0), body(1)},
+				Check: func(RunResult) error {
+					seen[fmt.Sprint(l.snapshot())] = true
+					return nil
+				},
+			}
+		})
+		if res.Err != nil {
+			t.Fatalf("violation: %v", res.Err)
+		}
+		return res.Schedules, seen
+	}
+	n0, seen0 := count(0)
+	n2, seen2 := count(2)
+	if n2 <= n0 {
+		t.Fatalf("switch bound 2 explored %d schedules, bound 0 explored %d", n2, n0)
+	}
+	interleaved := "[w0:a w1:a w0:b w1:b]"
+	if seen0[interleaved] {
+		t.Fatalf("bound 0 should not reach the interleaved order")
+	}
+	if !seen2[interleaved] {
+		t.Fatalf("bound 2 should reach the interleaved order; saw %v", seen2)
+	}
+}
+
+// TestExploreDeterministic: same seed, same fingerprint; different
+// seed, (overwhelmingly) different fingerprint.
+func TestExploreDeterministic(t *testing.T) {
+	for _, strat := range []func(seed uint64) Strategy{
+		func(seed uint64) Strategy { return &RandomWalk{Seed: seed} },
+		func(seed uint64) Strategy { return &PCT{Seed: seed, Depth: 3} },
+	} {
+		run := func(seed uint64) uint64 {
+			res := Explore(ExploreOptions{
+				Strategy:  strat(seed),
+				Schedules: 50,
+			}, func(yield func()) Program {
+				body := func(i int) func() {
+					return func() {
+						for k := 0; k < 5; k++ {
+							yield()
+						}
+					}
+				}
+				return Program{Bodies: []func(){body(0), body(1), body(2)}}
+			})
+			if res.Err != nil || res.Stuck != 0 {
+				t.Fatalf("res = %+v", res)
+			}
+			return res.Fingerprint
+		}
+		a, b, c := run(42), run(42), run(43)
+		if a != b {
+			t.Fatalf("same seed, different fingerprints: %x vs %x", a, b)
+		}
+		if a == c {
+			t.Fatalf("different seeds, same fingerprint: %x", a)
+		}
+	}
+}
+
+// TestOverflowCompletesScheduleFreely: a schedule whose cooperative
+// budget runs out still finishes every body (under free concurrency)
+// and is flagged.
+func TestOverflowCompletesScheduleFreely(t *testing.T) {
+	finished := make([]bool, 2)
+	res := Explore(ExploreOptions{
+		Strategy:  &RandomWalk{Seed: 7},
+		Schedules: 1,
+		MaxSteps:  10,
+	}, func(yield func()) Program {
+		body := func(i int) func() {
+			return func() {
+				for k := 0; k < 200; k++ {
+					yield()
+				}
+				finished[i] = true
+			}
+		}
+		return Program{Bodies: []func(){body(0), body(1)}}
+	})
+	if res.Overflows != 1 {
+		t.Fatalf("overflows = %d, want 1", res.Overflows)
+	}
+	if !finished[0] || !finished[1] {
+		t.Fatalf("bodies did not finish: %v", finished)
+	}
+}
+
+// TestReplayReproducesInterleaving: replaying a recorded trace yields
+// the identical event order.
+func TestReplayReproducesInterleaving(t *testing.T) {
+	record := func(strategy Strategy) ([]string, []int) {
+		var evs []string
+		var trace []int
+		res := Explore(ExploreOptions{
+			Strategy:  strategy,
+			Schedules: 1,
+		}, func(yield func()) Program {
+			l := &evlog{}
+			body := func(i int) func() {
+				return func() {
+					for k := 0; k < 4; k++ {
+						l.add("w%d:%d", i, k)
+						yield()
+					}
+				}
+			}
+			return Program{
+				Bodies: []func(){body(0), body(1), body(2)},
+				Check: func(r RunResult) error {
+					evs = l.snapshot()
+					trace = r.Trace
+					return nil
+				},
+			}
+		})
+		if res.Err != nil || res.Stuck != 0 || res.Overflows != 0 {
+			t.Fatalf("res = %+v", res)
+		}
+		return evs, trace
+	}
+	evs1, trace := record(&RandomWalk{Seed: 99})
+	evs2, _ := record(&Replay{Trace: trace})
+	if !reflect.DeepEqual(evs1, evs2) {
+		t.Fatalf("replay diverged:\n%v\nvs\n%v", evs1, evs2)
+	}
+}
+
+// TestStuckWorkerDetected: a worker blocking outside a yield point is
+// flagged Stuck rather than hanging the exploration.
+func TestStuckWorkerDetected(t *testing.T) {
+	unblock := make(chan struct{})
+	defer close(unblock)
+	res := Explore(ExploreOptions{
+		Strategy:     &RandomWalk{Seed: 1},
+		Schedules:    1,
+		StuckTimeout: 50 * time.Millisecond,
+	}, func(yield func()) Program {
+		return Program{Bodies: []func(){
+			func() { <-unblock }, // blocks invisibly to the scheduler
+			func() { yield() },
+		}}
+	})
+	if res.Stuck != 1 {
+		t.Fatalf("stuck = %d, want 1 (res %+v)", res.Stuck, res)
+	}
+}
+
+// TestViolationStopsExploration: a failing Check aborts with the
+// schedule number and trace attached.
+func TestViolationStopsExploration(t *testing.T) {
+	sentinel := errors.New("invariant broken")
+	n := 0
+	res := Explore(ExploreOptions{
+		Strategy:  &RandomWalk{Seed: 5},
+		Schedules: 100,
+	}, func(yield func()) Program {
+		return Program{
+			Bodies: []func(){func() { yield() }},
+			Check: func(RunResult) error {
+				n++
+				if n == 3 {
+					return sentinel
+				}
+				return nil
+			},
+		}
+	})
+	if !errors.Is(res.Err, sentinel) {
+		t.Fatalf("err = %v", res.Err)
+	}
+	if res.Schedules != 3 || res.FailSchedule != 2 || res.FailTrace == nil {
+		t.Fatalf("res = %+v", res)
+	}
+}

@@ -1,0 +1,279 @@
+package sched
+
+// Strategy chooses the next worker to run at every scheduling point.
+// Implementations are stateful across one exploration: Begin is called
+// before each schedule, Pick at each step of it.
+type Strategy interface {
+	// Begin prepares schedule number n (0-based). Returning false ends
+	// the exploration (a bounded-exhaustive strategy ran out of
+	// interleavings; sampling strategies never return false).
+	Begin(n int) bool
+	// Pick returns the next worker, drawn from runnable (non-empty,
+	// ascending worker indices). current is the previously scheduled
+	// worker, or -1 at the first step.
+	Pick(runnable []int, current int) int
+}
+
+// splitmix64 seeds the per-schedule generators (same mixer as tl2's
+// backoff seeding — good avalanche from sequential inputs).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// xorshift64 is the per-schedule PRNG (never zero-seeded).
+type xorshift64 uint64
+
+func (s *xorshift64) next() uint64 {
+	x := uint64(*s)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*s = xorshift64(x)
+	return x
+}
+
+// RandomWalk picks uniformly among runnable workers, reseeded per
+// schedule from Seed so each schedule is an independent, reproducible
+// sample of the interleaving space.
+type RandomWalk struct {
+	Seed uint64
+	rng  xorshift64
+}
+
+// Begin reseeds for schedule n.
+func (r *RandomWalk) Begin(n int) bool {
+	s := splitmix64(r.Seed ^ splitmix64(uint64(n)))
+	if s == 0 {
+		s = 1
+	}
+	r.rng = xorshift64(s)
+	return true
+}
+
+// Pick draws uniformly from runnable.
+func (r *RandomWalk) Pick(runnable []int, current int) int {
+	return runnable[r.rng.next()%uint64(len(runnable))]
+}
+
+// PCT is a probabilistic-concurrency-testing style sampler (Burckhardt
+// et al.): each schedule assigns workers a random priority order and
+// always runs the highest-priority runnable worker, demoting the
+// leader to the bottom at Depth-1 randomly chosen step indices. For a
+// bug of depth d, each schedule finds it with probability ≥
+// 1/(n·k^(d-1)) — far better odds than uniform random walks for
+// ordering bugs.
+type PCT struct {
+	Seed uint64
+	// Depth is the targeted bug depth d (number of ordering
+	// constraints); ≤ 1 means priorities never change mid-schedule.
+	Depth int
+	// Horizon is the step range change points are drawn from (an
+	// estimate of schedule length). 0 means DefaultPCTHorizon.
+	Horizon int
+
+	rng    xorshift64
+	prio   map[int]uint64
+	change map[int]bool
+	step   int
+	epoch  uint64
+}
+
+// DefaultPCTHorizon is the change-point range when Horizon is 0.
+const DefaultPCTHorizon = 256
+
+// Begin reseeds, assigns fresh priorities lazily, and samples the
+// schedule's change points.
+func (p *PCT) Begin(n int) bool {
+	s := splitmix64(p.Seed ^ splitmix64(uint64(n)*2654435761))
+	if s == 0 {
+		s = 1
+	}
+	p.rng = xorshift64(s)
+	p.prio = make(map[int]uint64)
+	p.change = make(map[int]bool)
+	p.step = 0
+	p.epoch = 0
+	h := p.Horizon
+	if h <= 0 {
+		h = DefaultPCTHorizon
+	}
+	for i := 1; i < p.Depth; i++ {
+		p.change[int(p.rng.next()%uint64(h))] = true
+	}
+	return true
+}
+
+// Pick runs the highest-priority runnable worker.
+func (p *PCT) Pick(runnable []int, current int) int {
+	best, bestPrio := runnable[0], uint64(0)
+	for _, w := range runnable {
+		pr, ok := p.prio[w]
+		if !ok {
+			// Lazy assignment keeps priorities independent of worker
+			// count; high bits random, low bits unique.
+			pr = p.rng.next()<<8 | uint64(w&0xff)
+			p.prio[w] = pr
+		}
+		if pr > bestPrio {
+			best, bestPrio = w, pr
+		}
+	}
+	if p.change[p.step] {
+		// Demote the leader below every fresh priority (fresh ones have
+		// high bits set; epochs count up from 1, so later demotions sit
+		// above earlier ones). Then re-pick under the new order.
+		p.epoch++
+		p.prio[best] = p.epoch
+		best, bestPrio = runnable[0], 0
+		for _, w := range runnable {
+			if pr := p.prio[w]; pr > bestPrio {
+				best, bestPrio = w, pr
+			}
+		}
+	}
+	p.step++
+	return best
+}
+
+// dfsFrame is one decision point on the DFS path.
+type dfsFrame struct {
+	// options is the ordered choice list at this node: the previously
+	// running worker first (continuing is free), then the others
+	// (each a preemptive context switch).
+	options []int
+	// choice indexes options.
+	choice int
+	// preemptible reports whether current was runnable here — i.e.
+	// whether choices > 0 cost a context switch.
+	preemptible bool
+}
+
+// DFS enumerates interleavings exhaustively in depth-first order,
+// bounded by SwitchBound preemptive context switches per schedule
+// (iterative context bounding: most concurrency bugs need very few
+// preemptions, and the bound collapses the search space from
+// exponential-in-steps to polynomial). It assumes the program is
+// deterministic given the choice sequence; replayed prefixes must see
+// the same runnable sets.
+type DFS struct {
+	// SwitchBound caps preemptive switches per schedule (0 = none:
+	// pure round-robin-ish completion orders only).
+	SwitchBound int
+
+	path []dfsFrame
+	pos  int
+}
+
+// Begin backtracks to the next unexplored branch; false when the
+// bounded space is exhausted.
+func (d *DFS) Begin(n int) bool {
+	if n == 0 {
+		d.path = d.path[:0]
+		d.pos = 0
+		return true
+	}
+	for len(d.path) > 0 {
+		last := &d.path[len(d.path)-1]
+		if last.choice+1 < len(last.options) && d.switchBudgetAllows(len(d.path)-1) {
+			last.choice++
+			d.pos = 0
+			return true
+		}
+		d.path = d.path[:len(d.path)-1]
+	}
+	return false
+}
+
+// switchBudgetAllows reports whether frame i can advance to its next
+// choice. At a preemptible node every choice beyond index 0 is one
+// preemption (regardless of which), so advancing needs the prefix's
+// preemption count plus this node's to fit the bound; at a
+// non-preemptible node (current worker finished) all choices are free.
+func (d *DFS) switchBudgetAllows(i int) bool {
+	if !d.path[i].preemptible {
+		return true
+	}
+	used := 0
+	for j := 0; j < i; j++ {
+		g := &d.path[j]
+		if g.preemptible && g.choice > 0 {
+			used++
+		}
+	}
+	return used+1 <= d.SwitchBound
+}
+
+// Pick replays the path prefix, then extends it leftmost.
+func (d *DFS) Pick(runnable []int, current int) int {
+	ordered, preemptible := orderChoices(runnable, current)
+	if d.pos < len(d.path) {
+		f := &d.path[d.pos]
+		// Determinism guard: on divergence (should not happen with
+		// deterministic bodies) fall back to the structurally matching
+		// choice index.
+		f.options = ordered
+		f.preemptible = preemptible
+		if f.choice >= len(ordered) {
+			f.choice = len(ordered) - 1
+		}
+		d.pos++
+		return ordered[f.choice]
+	}
+	d.path = append(d.path, dfsFrame{options: ordered, preemptible: preemptible})
+	d.pos++
+	return ordered[0]
+}
+
+// orderChoices puts current first (continuing is not a preemption).
+func orderChoices(runnable []int, current int) ([]int, bool) {
+	ordered := make([]int, 0, len(runnable))
+	preemptible := false
+	for _, w := range runnable {
+		if w == current {
+			preemptible = true
+		}
+	}
+	if preemptible {
+		ordered = append(ordered, current)
+	}
+	for _, w := range runnable {
+		if w != current {
+			ordered = append(ordered, w)
+		}
+	}
+	return ordered, preemptible
+}
+
+// Replay re-executes one recorded trace (RunResult.Trace), for
+// counterexample reproduction. Off-trace steps (the trace ended, or
+// the recorded worker is no longer runnable) fall back to the first
+// runnable worker.
+type Replay struct {
+	Trace []int
+	step  int
+}
+
+// Begin accepts only the first schedule.
+func (r *Replay) Begin(n int) bool {
+	r.step = 0
+	return n == 0
+}
+
+// Pick follows the trace.
+func (r *Replay) Pick(runnable []int, current int) int {
+	if r.step < len(r.Trace) {
+		want := r.Trace[r.step]
+		r.step++
+		for _, w := range runnable {
+			if w == want {
+				return w
+			}
+		}
+	} else {
+		r.step++
+	}
+	return runnable[0]
+}

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"gstm/internal/proptest"
 	"math"
 	"strings"
 	"testing"
@@ -75,7 +76,7 @@ func TestPercentileMonotoneProperty(t *testing.T) {
 		}
 		return lo == mn && hi == mx
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, proptest.Config(t, 0)); err != nil {
 		t.Error(err)
 	}
 }
@@ -117,7 +118,7 @@ func TestJainFairnessBoundsProperty(t *testing.T) {
 		n := float64(len(xs))
 		return j >= 1/n-1e-9 && j <= 1+1e-9
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, proptest.Config(t, 0)); err != nil {
 		t.Error(err)
 	}
 }

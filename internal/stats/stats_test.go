@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"gstm/internal/proptest"
 	"math"
 	"math/rand"
 	"testing"
@@ -100,7 +101,7 @@ func TestWelfordProperty(t *testing.T) {
 		}
 		return almostEqual(w.Variance(), Variance(xs), 1e-9)
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, proptest.Config(t, 0)); err != nil {
 		t.Error(err)
 	}
 }
@@ -174,7 +175,7 @@ func TestTailMetricSupportOnly(t *testing.T) {
 		}
 		return h1.TailMetric() == h2.TailMetric()
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, proptest.Config(t, 0)); err != nil {
 		t.Error(err)
 	}
 }
@@ -225,7 +226,7 @@ func TestDistinctStatesBounds(t *testing.T) {
 		}
 		return d >= 1 && d <= len(seq)
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, proptest.Config(t, 0)); err != nil {
 		t.Error(err)
 	}
 }

@@ -1,6 +1,7 @@
 package synquake
 
 import (
+	"gstm/internal/proptest"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -142,7 +143,7 @@ func TestQuadTreePopulationInvariantProperty(t *testing.T) {
 		}
 		return q.Validate(int64(len(occupants))) == nil
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+	if err := quick.Check(f, proptest.Config(t, 40)); err != nil {
 		t.Error(err)
 	}
 }

@@ -1,6 +1,7 @@
 package tl2
 
 import (
+	"gstm/internal/proptest"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -162,7 +163,7 @@ func TestMapMatchesNativeProperty(t *testing.T) {
 		})
 		return err == nil && ok
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+	if err := quick.Check(f, proptest.Config(t, 40)); err != nil {
 		t.Error(err)
 	}
 }

@@ -38,9 +38,10 @@ type irrevocableState struct {
 
 // acquire takes the token and raises the active flag, spinning with
 // cancellation checks (the current holder is guaranteed to finish, so
-// the spin is bounded by serial commit latency). Returns false if ctx
+// the spin is bounded by serial commit latency). yield, when non-nil,
+// replaces runtime.Gosched (see Options.Yield). Returns false if ctx
 // expired first.
-func (ir *irrevocableState) acquire(ctx context.Context) bool {
+func (ir *irrevocableState) acquire(ctx context.Context, yield func()) bool {
 	done := ctx.Done()
 	for !ir.token.TryLock() {
 		if done != nil {
@@ -50,7 +51,11 @@ func (ir *irrevocableState) acquire(ctx context.Context) bool {
 			default:
 			}
 		}
-		runtime.Gosched()
+		if yield != nil {
+			yield()
+		} else {
+			runtime.Gosched()
+		}
 	}
 	ir.active.Store(true)
 	return true
@@ -65,8 +70,18 @@ func (ir *irrevocableState) release() {
 // quiesce blocks a committer until the active irrevocable transaction
 // (if any) finishes. MUST only be called while holding zero write
 // locks; see the deadlock-freedom comment at the call site in commit.
-func (ir *irrevocableState) quiesce() {
+// Under a deterministic scheduler (yield non-nil) the wait spins on the
+// active flag through the yield hook instead of parking on the mutex —
+// a blocked goroutine would be invisible to the cooperative scheduler
+// and deadlock the exploration.
+func (ir *irrevocableState) quiesce(yield func()) {
 	if !ir.active.Load() {
+		return
+	}
+	if yield != nil {
+		for ir.active.Load() {
+			yield()
+		}
 		return
 	}
 	ir.token.Lock()
@@ -81,6 +96,7 @@ type IrrevTx struct {
 	instance uint64
 	locked   []*Var
 	prevWho  []uint64
+	mon      Monitor
 }
 
 // lockVar spin-acquires v's write lock (idempotently per transaction).
@@ -102,7 +118,7 @@ func (tx *IrrevTx) lockVar(v *Var) {
 			tx.locked = append(tx.locked, v)
 			return
 		}
-		runtime.Gosched()
+		tx.stm.yield()
 	}
 }
 
@@ -110,13 +126,20 @@ func (tx *IrrevTx) lockVar(v *Var) {
 // value cannot change until the irrevocable transaction finishes).
 func (tx *IrrevTx) Read(v *Var) int64 {
 	tx.lockVar(v)
-	return v.val.Load()
+	x := v.val.Load()
+	if tx.mon != nil {
+		tx.mon.OnTxRead(tx.instance, v, x)
+	}
+	return x
 }
 
 // Write stores x into v in place, under the transaction's lock.
 func (tx *IrrevTx) Write(v *Var, x int64) {
 	tx.lockVar(v)
 	v.val.Store(x)
+	if tx.mon != nil {
+		tx.mon.OnTxWrite(tx.instance, v, x)
+	}
 }
 
 // ReadFloat reads v as a float64.
@@ -135,11 +158,16 @@ func (tx *IrrevTx) WriteFloat(v *Var, f float64) {
 // the writes performed before the error stand (irrevocability means no
 // rollback; callers needing all-or-nothing must use Atomic).
 func (s *STM) AtomicIrrevocable(thread, txID uint16, fn func(*IrrevTx) error) error {
-	s.irrevocable.token.Lock()
-	s.irrevocable.active.Store(true)
+	// acquire with a background context never returns false; routing
+	// through it (rather than token.Lock) keeps the wait visible to a
+	// cooperative scheduler via Options.Yield.
+	s.irrevocable.acquire(context.Background(), s.opts.Yield)
 	defer s.irrevocable.release()
 
-	tx := &IrrevTx{stm: s, instance: s.instances.Add(1)}
+	tx := &IrrevTx{stm: s, instance: s.instances.Add(1), mon: s.monLoad()}
+	if tx.mon != nil {
+		tx.mon.OnTxBegin(tx.instance, pairOfIDs(txID, thread))
+	}
 	err := fn(tx)
 
 	// Publish: bump versions and release every lock. Regular readers
@@ -158,6 +186,11 @@ func (s *STM) AtomicIrrevocable(thread, txID uint16, fn func(*IrrevTx) error) er
 		s.commits.Add(1)
 		s.tracer.Load().t.OnCommit(tx.instance, pairOfIDs(txID, thread))
 	}
+	if tx.mon != nil {
+		// Irrevocable writes stand even on error (no rollback), so the
+		// history records a commit either way.
+		tx.mon.OnTxCommit(tx.instance)
+	}
 	return err
 }
 
@@ -172,7 +205,7 @@ func (s *STM) AtomicIrrevocable(thread, txID uint16, fn func(*IrrevTx) error) er
 
 // runEscalated executes fn once on the irrevocable serial path.
 func (s *STM) runEscalated(ctx context.Context, tx *Tx, fn func(*Tx) error) error {
-	if !s.irrevocable.acquire(ctx) {
+	if !s.irrevocable.acquire(ctx, s.opts.Yield) {
 		return s.deadlineErr(ctx)
 	}
 	defer s.irrevocable.release()
@@ -189,6 +222,10 @@ func (s *STM) runEscalated(ctx context.Context, tx *Tx, fn func(*Tx) error) erro
 
 	tx.reset(s.clock.Load(), s.instances.Add(1))
 	tx.irrev = true
+	tx.mon = s.monLoad()
+	if tx.mon != nil {
+		tx.mon.OnTxBegin(tx.instance, tx.pair)
+	}
 	committed := false
 	defer func() {
 		// Runs on user error and on panics out of fn alike: every
@@ -200,6 +237,9 @@ func (s *STM) runEscalated(ctx context.Context, tx *Tx, fn func(*Tx) error) erro
 	}()
 
 	if err := fn(tx); err != nil {
+		if tx.mon != nil {
+			tx.mon.OnTxAbort(tx.instance)
+		}
 		return err
 	}
 	tx.publishIrrev()
@@ -207,6 +247,9 @@ func (s *STM) runEscalated(ctx context.Context, tx *Tx, fn func(*Tx) error) erro
 	s.commits.Add(1)
 	s.escalations.Add(1)
 	s.tracer.Load().t.OnCommit(tx.instance, tx.pair)
+	if tx.mon != nil {
+		tx.mon.OnTxCommit(tx.instance)
+	}
 	return nil
 }
 
@@ -234,7 +277,7 @@ func (tx *Tx) lockIrrev(v *Var) {
 			tx.ilocked = append(tx.ilocked, v)
 			return
 		}
-		runtime.Gosched()
+		tx.stm.yield()
 	}
 }
 

@@ -105,6 +105,26 @@ type IrrevocableGate interface {
 	AdmitIrrevocable(p tts.Pair)
 }
 
+// Monitor receives one event per transactional operation — the
+// operation-level analogue of trace.Tracer's transaction-level events.
+// It exists for the opacity oracle (internal/oracle): a recorder hooked
+// in here captures per-attempt operation logs with values, from which
+// the oracle searches for a legal sequential witness. loc is the *Var
+// touched, passed as an opaque key (implementations map it to a dense
+// location ID); val is the value read or written. Implementations must
+// be safe for concurrent use. Events for one instance arrive in program
+// order; OnTxBegin precedes and OnTxCommit/OnTxAbort follows them.
+//
+// The same interface exists verbatim in package libtm, so a single
+// recorder serves both runtimes.
+type Monitor interface {
+	OnTxBegin(instance uint64, p tts.Pair)
+	OnTxRead(instance uint64, loc any, val int64)
+	OnTxWrite(instance uint64, loc any, val int64)
+	OnTxCommit(instance uint64)
+	OnTxAbort(instance uint64)
+}
+
 // Options configures an STM instance.
 type Options struct {
 	// MaxRetries bounds conflict retries per Atomic call; 0 means
@@ -147,6 +167,36 @@ type Options struct {
 	// means progress.DefaultWatchdogWindow; negative disables the
 	// watchdog.
 	WatchdogWindow time.Duration
+	// Yield, when non-nil, replaces runtime.Gosched at every
+	// scheduler-visible suspension point — transactional accesses
+	// (YieldEvery), commit entry, lock-acquisition spins, abort
+	// backoff, irrevocable token waits and quiesce. internal/sched's
+	// deterministic explorer installs its cooperative-scheduler hook
+	// here to serialize goroutine interleavings under a seed. Nil (the
+	// default) keeps the stock runtime.Gosched behaviour.
+	Yield func()
+	// Mutate arms testing-only correctness knockouts that deliberately
+	// break the TL2 protocol so the opacity oracle (internal/oracle)
+	// can prove it would catch a real bug. Never set outside tests.
+	Mutate Mutations
+}
+
+// Mutations are deliberate protocol defects, off by default. Each one
+// converts a safety property into a detectable opacity or
+// serializability violation; internal/sched's mutation harness asserts
+// the schedule explorer finds each within its budget.
+type Mutations struct {
+	// SkipReadPostCheck disables Read's per-access validation (the
+	// l1==l2 / version≤rv check). Writing transactions stay consistent
+	// (commit-time validation still runs), but read-only transactions —
+	// which TL2 commits without validation precisely because every read
+	// was validated inline — and doomed attempts can observe and even
+	// commit inconsistent snapshots: an opacity violation.
+	SkipReadPostCheck bool
+	// SkipReadSetValidation disables commit-time read-set validation,
+	// letting transactions commit against stale reads — a strict-
+	// serializability violation (write skew becomes observable).
+	SkipReadSetValidation bool
 }
 
 // defaultYieldEvery is the access interval between scheduler yields.
@@ -181,6 +231,7 @@ type STM struct {
 	tracer    atomic.Pointer[tracerBox]
 	gate      atomic.Pointer[gateBox]
 	cm        atomic.Pointer[cmBox]
+	mon       atomic.Pointer[monBox]
 	opts      Options
 
 	irrevocable irrevocableState
@@ -198,6 +249,7 @@ type STM struct {
 type tracerBox struct{ t trace.Tracer }
 type gateBox struct{ g Gate }
 type latBox struct{ r *progress.LatencyRecorder }
+type monBox struct{ m Monitor }
 
 // New returns an STM with the given options.
 func New(opts Options) *STM {
@@ -242,6 +294,36 @@ func (s *STM) SetGate(g Gate) {
 		return
 	}
 	s.gate.Store(&gateBox{g})
+}
+
+// SetMonitor installs (or, with nil, removes) the per-operation event
+// monitor. Off — the default — costs one pointer check per attempt;
+// armed, it costs one interface call per transactional access, so it is
+// strictly a correctness-testing hook, not a profiling one.
+func (s *STM) SetMonitor(m Monitor) {
+	if m == nil {
+		s.mon.Store(nil)
+		return
+	}
+	s.mon.Store(&monBox{m})
+}
+
+// monLoad returns the armed monitor, or nil.
+func (s *STM) monLoad() Monitor {
+	if b := s.mon.Load(); b != nil {
+		return b.m
+	}
+	return nil
+}
+
+// yield is the runtime's suspension point: runtime.Gosched by default,
+// or the deterministic scheduler's hook when Options.Yield is set.
+func (s *STM) yield() {
+	if y := s.opts.Yield; y != nil {
+		y()
+		return
+	}
+	runtime.Gosched()
 }
 
 // Commits returns the total number of committed transactions.
@@ -299,6 +381,9 @@ type Tx struct {
 	// rng is per-transaction xorshift state for backoff jitter, seeded
 	// lazily once per pooled Tx (replaces a time.Now call per abort).
 	rng uint64
+	// mon is the armed per-operation monitor, loaded once per attempt
+	// (nil when off); see SetMonitor.
+	mon Monitor
 	// irrev marks an escalated (irrevocable serial) attempt: reads and
 	// writes lock Vars at encounter time and cannot abort. ilocked,
 	// iprev and iprevWho track the acquired locks and their pre-lock
@@ -331,7 +416,7 @@ func (tx *Tx) maybeYield() {
 	}
 	tx.ops++
 	if tx.ops%ye == 0 {
-		runtime.Gosched()
+		tx.stm.yield()
 	}
 }
 
@@ -374,17 +459,27 @@ func (tx *Tx) lookupWrite(v *Var) (int64, bool) {
 	return 0, false
 }
 
+// monRead reports a transactional read to the armed monitor.
+func (tx *Tx) monRead(v *Var, x int64) {
+	if tx.mon != nil {
+		tx.mon.OnTxRead(tx.instance, v, x)
+	}
+}
+
 // Read returns the transactional value of v, observing the
 // transaction's own pending writes. On conflict the attempt aborts and
 // Atomic retries the whole function.
 func (tx *Tx) Read(v *Var) int64 {
 	tx.maybeYield()
 	if x, ok := tx.lookupWrite(v); ok {
+		tx.monRead(v, x)
 		return x
 	}
 	if tx.irrev {
 		tx.lockIrrev(v)
-		return v.val.Load()
+		x := v.val.Load()
+		tx.monRead(v, x)
+		return x
 	}
 	l1 := v.lock.Load()
 	for attempt := 0; l1&lockedBit != 0; attempt++ {
@@ -395,10 +490,11 @@ func (tx *Tx) Read(v *Var) int64 {
 	}
 	x := v.val.Load()
 	l2 := v.lock.Load()
-	if l1 != l2 || l2>>1 > tx.rv {
+	if !tx.stm.opts.Mutate.SkipReadPostCheck && (l1 != l2 || l2>>1 > tx.rv) {
 		tx.abort(v.who.Load())
 	}
 	tx.reads = append(tx.reads, v)
+	tx.monRead(v, x)
 	return x
 }
 
@@ -406,6 +502,9 @@ func (tx *Tx) Read(v *Var) int64 {
 // memory is untouched until commit).
 func (tx *Tx) Write(v *Var, x int64) {
 	tx.maybeYield()
+	if tx.mon != nil {
+		tx.mon.OnTxWrite(tx.instance, v, x)
+	}
 	if tx.irrev {
 		// Escalated: lock at encounter time, but still buffer the store
 		// so a user error from fn rolls back cleanly (Atomic's contract).
@@ -454,7 +553,7 @@ func (tx *Tx) commit() {
 	// protocol: even two-access transactions overlap with concurrent
 	// committers here, as they do under true parallelism.
 	if tx.stm.opts.YieldEvery > 0 {
-		runtime.Gosched()
+		tx.stm.yield()
 	}
 	if inj := tx.stm.opts.Inject; inj != nil {
 		if inj.Fire(fault.CommitAbort) {
@@ -473,7 +572,7 @@ func (tx *Tx) commit() {
 	// committers only ever block on the token while holding zero locks,
 	// and lock holders never block on the token, so the irrevocable
 	// transaction's encounter-time spin-acquires always terminate.
-	s.irrevocable.quiesce()
+	s.irrevocable.quiesce(s.opts.Yield)
 	locked := 0
 	for i := range tx.writes {
 		w := &tx.writes[i]
@@ -497,7 +596,7 @@ func (tx *Tx) commit() {
 		inj.Sleep(fault.LockReleaseDelay)
 	}
 	wv := s.clock.Add(1)
-	if wv > tx.rv+1 {
+	if wv > tx.rv+1 && !s.opts.Mutate.SkipReadSetValidation {
 		for _, r := range tx.reads {
 			l := r.lock.Load()
 			if l&lockedBit != 0 && r.who.Load() != tx.instance {
@@ -546,7 +645,7 @@ func (tx *Tx) tryLock(v *Var) bool {
 		} else if v.who.Load() == tx.instance {
 			return true // already ours (duplicate write entry cannot happen, but be safe)
 		}
-		runtime.Gosched()
+		tx.stm.yield()
 	}
 	return false
 }
@@ -616,6 +715,7 @@ func (s *STM) AtomicCtx(ctx context.Context, thread, txID uint16, fn func(*Tx) e
 		rec.Record(tx.pair, time.Since(t0))
 	}
 	tx.done = nil
+	tx.mon = nil
 	return err
 }
 
@@ -635,15 +735,25 @@ func (s *STM) atomicCtx(ctx context.Context, tx *Tx, fn func(*Tx) error, t0 time
 		rv := s.clock.Load()
 		inst := s.instances.Add(1)
 		tx.reset(rv, inst)
+		tx.mon = s.monLoad()
+		if tx.mon != nil {
+			tx.mon.OnTxBegin(inst, tx.pair)
+		}
 
 		killer, userErr, committed := s.runAttempt(tx, fn)
 		if committed {
+			if tx.mon != nil {
+				tx.mon.OnTxCommit(inst)
+			}
 			s.commits.Add(1)
 			if b := s.cm.Load(); b != nil {
 				b.cm.OnCommit(tx)
 			}
 			s.tracer.Load().t.OnCommit(inst, tx.pair)
 			return nil
+		}
+		if tx.mon != nil {
+			tx.mon.OnTxAbort(inst)
 		}
 		if userErr != nil {
 			return userErr
@@ -756,6 +866,13 @@ func (s *STM) runAttempt(tx *Tx, fn func(*Tx) error) (killer uint64, userErr err
 // livelock, capped at 64x the base. Sleeps observe the transaction's
 // deadline so an expiring context is noticed promptly.
 func (tx *Tx) backoff(attempts int) {
+	if y := tx.stm.opts.Yield; y != nil {
+		// Under a deterministic scheduler, sleeping would stall the
+		// whole exploration without changing the interleaving; a single
+		// hook yield is the schedule point.
+		y()
+		return
+	}
 	shift := attempts
 	if shift > 6 {
 		shift = 6

@@ -2,6 +2,7 @@ package tl2
 
 import (
 	"errors"
+	"gstm/internal/proptest"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -411,7 +412,7 @@ func TestSequentialEquivalenceProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+	if err := quick.Check(f, proptest.Config(t, 50)); err != nil {
 		t.Error(err)
 	}
 }

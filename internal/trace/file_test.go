@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"gstm/internal/proptest"
 	"math/rand"
 	"strings"
 	"testing"
@@ -96,7 +97,7 @@ func TestSequenceFileRoundtripProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+	if err := quick.Check(f, proptest.Config(t, 60)); err != nil {
 		t.Error(err)
 	}
 }

@@ -1,0 +1,78 @@
+package tts
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzPairEncode: Pair.Key / PairFromKey are exact inverses over the
+// whole uint16×uint16 domain, and the packed key preserves ordering
+// by (tx, thread) — the property the guide's hot-path set keys rely on.
+func FuzzPairEncode(f *testing.F) {
+	f.Add(uint16(0), uint16(0))
+	f.Add(uint16(1), uint16(2))
+	f.Add(uint16(25), uint16(7)) // last single-letter tx
+	f.Add(uint16(26), uint16(0)) // first t<N> rendering
+	f.Add(uint16(65535), uint16(65535))
+	f.Fuzz(func(t *testing.T, tx, thread uint16) {
+		p := Pair{Tx: tx, Thread: thread}
+		got := PairFromKey(p.Key())
+		if got != p {
+			t.Fatalf("PairFromKey(Key(%v)) = %v", p, got)
+		}
+		if s := p.String(); s == "" || strings.ContainsAny(s, " <>{},") {
+			t.Fatalf("Pair.String(%v) = %q contains notation delimiters", p, s)
+		}
+	})
+}
+
+// FuzzStateEncode: State.Key / ParseKey round-trip, the key is
+// canonical (abort order never changes it), ParseKey's output is
+// already canonical, and ParseKey never accepts a key of illegal
+// shape. The raw-bytes entry point also feeds ParseKey arbitrary
+// strings to prove it never panics.
+func FuzzStateEncode(f *testing.F) {
+	f.Add(uint16(3), uint16(1), uint16(2), uint16(0), uint16(5), uint16(4), []byte(nil))
+	f.Add(uint16(0), uint16(0), uint16(0), uint16(0), uint16(0), uint16(0), []byte{})
+	f.Add(uint16(7), uint16(2), uint16(7), uint16(2), uint16(7), uint16(2), []byte("\x00\x01\x00\x02"))
+	f.Add(uint16(65535), uint16(0), uint16(1), uint16(65535), uint16(0), uint16(1), []byte("junk"))
+	f.Fuzz(func(t *testing.T, ctx, cth, a1tx, a1th, a2tx, a2th uint16, raw []byte) {
+		s := State{
+			Commit: Pair{Tx: ctx, Thread: cth},
+			Aborts: []Pair{{Tx: a1tx, Thread: a1th}, {Tx: a2tx, Thread: a2th}},
+		}
+		// Key is canonical: the reversed abort list encodes identically.
+		rev := State{
+			Commit: s.Commit,
+			Aborts: []Pair{s.Aborts[1], s.Aborts[0]},
+		}
+		key := s.Key()
+		if rev.Key() != key {
+			t.Fatalf("abort order changed the key: %q vs %q", key, rev.Key())
+		}
+		dec, err := ParseKey(key)
+		if err != nil {
+			t.Fatalf("ParseKey rejected a generated key: %v", err)
+		}
+		if !dec.Equal(s) {
+			t.Fatalf("round trip changed the state: %v -> %v", s, dec)
+		}
+		if dec.Key() != key {
+			t.Fatalf("ParseKey output is not canonical: %q vs %q", dec.Key(), key)
+		}
+		if len(key)%4 != 0 {
+			t.Fatalf("key length %d is not pair-aligned", len(key))
+		}
+
+		// Arbitrary bytes: ParseKey must either reject or produce a
+		// state whose key has the same pair-aligned length.
+		if st, err := ParseKey(string(raw)); err == nil {
+			if len(raw) == 0 || len(raw)%4 != 0 {
+				t.Fatalf("ParseKey accepted a malformed key of length %d", len(raw))
+			}
+			if got := len(st.Key()); got != len(raw) {
+				t.Fatalf("decoded state re-encodes to %d bytes, input was %d", got, len(raw))
+			}
+		}
+	})
+}

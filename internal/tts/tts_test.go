@@ -1,6 +1,7 @@
 package tts
 
 import (
+	"gstm/internal/proptest"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -11,7 +12,7 @@ func TestPairKeyRoundtrip(t *testing.T) {
 		p := Pair{Tx: tx, Thread: th}
 		return PairFromKey(p.Key()) == p
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, proptest.Config(t, 0)); err != nil {
 		t.Error(err)
 	}
 }
@@ -144,7 +145,7 @@ func TestKeyRoundtripProperty(t *testing.T) {
 		}
 		return rt.Equal(st) && rt.Key() == st.Key()
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+	if err := quick.Check(f, proptest.Config(t, 200)); err != nil {
 		t.Error(err)
 	}
 }

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# bench.sh — records a benchmark baseline into BENCH_baseline.json.
+#
+# Runs the micro-benchmarks (STM primitives, mode matrix, gate
+# overhead) with -benchmem and writes one JSON document capturing the
+# machine, the Go toolchain and every benchmark's ns/op, B/op and
+# allocs/op. The committed BENCH_baseline.json is the reference point
+# a perf-sensitive PR diffs its own run against (re-run this script,
+# compare, and refresh the file when a deliberate change moves the
+# numbers).
+#
+# Knobs:
+#   GSTM_BENCH      benchmark regex    (default: the micro set)
+#   GSTM_BENCHTIME  -benchtime value   (default: 100ms)
+#   GSTM_BENCH_FULL non-empty adds the paper-table/figure suites at
+#                   -benchtime=1x (slow; report-shaped, not latency-
+#                   shaped, so they are excluded from the default set)
+#   $1              output path        (default: BENCH_baseline.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_baseline.json}"
+bench="${GSTM_BENCH:-^(BenchmarkTL2|BenchmarkLibTMModesRMW|BenchmarkGateOverhead|BenchmarkSynQuakeFrame)}"
+benchtime="${GSTM_BENCHTIME:-100ms}"
+
+echo "== bench: $bench (benchtime $benchtime) =="
+raw="$(go test -run='^$' -bench "$bench" -benchtime "$benchtime" -benchmem .)"
+echo "$raw"
+
+if [ -n "${GSTM_BENCH_FULL:-}" ]; then
+    echo "== bench: paper tables/figures (benchtime 1x) =="
+    full="$(go test -run='^$' -bench '^Benchmark(Table|Figure)' -benchtime 1x -benchmem .)"
+    echo "$full"
+    raw="$raw"$'\n'"$full"
+fi
+
+echo "$raw" | awk \
+    -v go_version="$(go version | awk '{print $3}')" \
+    -v benchtime="$benchtime" \
+    -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^goos:/  { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/   { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1; iters = $2; ns = $3
+    bop = "null"; allocs = "null"
+    for (i = 4; i <= NF; i++) {
+        if ($i == "B/op")      bop    = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (n++) rows = rows ",\n"
+    rows = rows sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                        name, iters, ns, bop, allocs)
+}
+END {
+    printf "{\n"
+    printf "  \"generated\": \"%s\",\n", date
+    printf "  \"go\": \"%s\",\n", go_version
+    printf "  \"goos\": \"%s\",\n", goos
+    printf "  \"goarch\": \"%s\",\n", goarch
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"benchmarks\": [\n%s\n  ]\n}\n", rows
+}' > "$out"
+
+echo "== wrote $out =="

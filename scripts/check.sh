@@ -3,9 +3,12 @@
 #
 # Runs, in order: formatting, go vet (including the -copylocks guard
 # backing tl2.Var/libtm.Obj's no-copy contract), build + full test
-# suite, the race detector over both STM runtimes plus the fault
-# matrix (injected aborts/stalls must never deadlock the gate), a
-# fuzz smoke over both binary decoders, and gstmlint (the STM-aware
+# suite (shuffled, so inter-test ordering dependencies can't hide),
+# the race detector over both STM runtimes plus the fault matrix
+# (injected aborts/stalls must never deadlock the gate), a race-mode
+# smoke of the schedule explorer and its oracle/scheduler stack
+# (-short trims the schedule budgets), a fuzz smoke over the binary
+# decoders and the tts key codecs, and gstmlint (the STM-aware
 # transaction-safety linter, checks gstm001..gstm008, including the
 # interprocedural gstm006 over the module-wide call graph). Exits
 # non-zero on the first failure. CI runs this same script
@@ -25,18 +28,23 @@ fi
 echo "== go vet =="
 go vet ./...
 
-echo "== build + tests =="
+echo "== build + tests (shuffled) =="
 go build ./...
-go test ./...
+go test -shuffle=on ./...
 
 echo "== race detector (STM runtimes + fault matrix) =="
 go test -race ./internal/tl2 ./internal/libtm
 go test -race -run TestFaultMatrix ./internal/harness
 
-echo "== fuzz smoke (binary decoders) =="
+echo "== explorer smoke (scheduler + oracle, race mode) =="
+go test -race -short ./internal/sched ./internal/oracle ./internal/explorer
+
+echo "== fuzz smoke (binary decoders + tts key codecs) =="
 FUZZTIME="${GSTM_FUZZTIME:-10s}"
 go test -run='^$' -fuzz=FuzzModelDecode -fuzztime="$FUZZTIME" ./internal/model
 go test -run='^$' -fuzz=FuzzReadSequence -fuzztime="$FUZZTIME" ./internal/trace
+go test -run='^$' -fuzz=FuzzPairEncode -fuzztime="$FUZZTIME" ./internal/tts
+go test -run='^$' -fuzz=FuzzStateEncode -fuzztime="$FUZZTIME" ./internal/tts
 
 echo "== gstmlint =="
 go run ./cmd/gstmlint ./...
