@@ -6,17 +6,24 @@
 // Usage:
 //
 //	gstmlint [-checks gstm001,gstm003] [-list] [-json] [-v] [packages...]
+//	gstmlint -fix [-diff] [packages...]
 //	gstmlint -footprint [-json] [packages...]
+//	gstmlint -prior out.tsa [-prior-threads N] [packages...]
 //
 // Packages are directories or "dir/..." wildcards (default "./...").
 // The exit code is the CI contract: 0 clean, 1 diagnostics found,
 // 2 usage or load failure. Suppress individual findings with an
-// inline //gstm:ignore [ids...] directive; see README "Transaction
+// inline //gstm:ignore <ids> directive; see README "Transaction
 // safety rules".
 //
 // -json switches lint output to one JSON object per diagnostic per
-// line (file, line, col, check, message, chain), for editor and CI
-// integration.
+// line (file, line, col, check, message, chain, fixable), for editor
+// and CI integration.
+//
+// -fix applies the machine-applicable suggested fixes (gstm005's
+// dropped error, gstm007's dead read, gstm008's Atomic→AtomicCtx) and
+// rewrites the files gofmt-clean; with -diff it prints the rewrites as
+// unified diffs instead of writing anything — the CI dry-run gate.
 //
 // -footprint skips linting and instead prints the static transaction
 // footprint report: for every Atomic call site, the may-read/may-write
@@ -25,6 +32,12 @@
 // analogue of the TSA model's abort edges. Module-local imports of the
 // named packages are loaded too, so footprints of an entry point
 // include the workload packages it calls into.
+//
+// -prior lowers that same conflict graph into a synthetic cold-start
+// TSA (see internal/lint.SynthesizePrior) and writes it to the named
+// file in the model container format, loadable by `gstm -static-prior`.
+// -footprint and -prior share a single load+footprint pass; add -lint
+// to run the checks over the same loaded packages too.
 package main
 
 import (
@@ -33,6 +46,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"gstm/internal/lint"
@@ -49,12 +63,21 @@ func run(args []string, stdout, stderr *os.File) int {
 	list := fs.Bool("list", false, "list registered checks and exit")
 	jsonOut := fs.Bool("json", false, "emit one JSON object per diagnostic (or the footprint graph as JSON with -footprint)")
 	footprint := fs.Bool("footprint", false, "print static transaction footprints and the conflict graph instead of linting")
+	priorOut := fs.String("prior", "", "synthesize a cold-start TSA from the static conflict graph and write it to this file")
+	priorThreads := fs.Int("prior-threads", lint.DefaultPriorThreads, "thread count the -prior model is materialized for")
+	lintToo := fs.Bool("lint", false, "also run the lint checks when -footprint or -prior is given")
+	fix := fs.Bool("fix", false, "apply machine-applicable suggested fixes (rewrites files gofmt-clean)")
+	diff := fs.Bool("diff", false, "with -fix: print the rewrites as diffs instead of writing files")
 	verbose := fs.Bool("v", false, "also print type-check warnings for packages that do not fully type-check")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: gstmlint [flags] [packages...]\n\nSTM-aware static analysis for gstm transaction bodies.\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *diff && !*fix {
+		fmt.Fprintf(stderr, "gstmlint: -diff requires -fix\n")
 		return 2
 	}
 
@@ -91,10 +114,14 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintf(stderr, "gstmlint: %v\n", err)
 		return 2
 	}
+	// Footprints (and the prior synthesized from them) follow calls
+	// into workload packages, so those modes pull in module-local
+	// dependencies of the named entry points. Everything downstream —
+	// footprint report, prior synthesis, and -lint — shares this one
+	// load pass; lint.Run skips the dependency-only packages itself.
+	needGraph := *footprint || *priorOut != ""
 	load := loader.Load
-	if *footprint {
-		// Footprints follow calls into workload packages, so pull in
-		// module-local dependencies of the named entry points.
+	if needGraph {
 		load = loader.LoadWithDeps
 	}
 	pkgs, err := load(patterns...)
@@ -111,29 +138,90 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 	}
 
-	if *footprint {
+	if needGraph {
 		g := lint.Footprint(pkgs, loader.ModuleRoot)
-		if *jsonOut {
-			if err := g.RenderJSON(stdout); err != nil {
+		if *footprint {
+			if *jsonOut {
+				if err := g.RenderJSON(stdout); err != nil {
+					fmt.Fprintf(stderr, "gstmlint: %v\n", err)
+					return 2
+				}
+			} else {
+				g.RenderText(stdout)
+			}
+		}
+		if *priorOut != "" {
+			prior, err := lint.SynthesizePrior(g, lint.PriorOptions{Threads: *priorThreads})
+			if err != nil {
 				fmt.Fprintf(stderr, "gstmlint: %v\n", err)
 				return 2
 			}
-		} else {
-			g.RenderText(stdout)
+			f, err := os.Create(*priorOut)
+			if err != nil {
+				fmt.Fprintf(stderr, "gstmlint: %v\n", err)
+				return 2
+			}
+			if err := prior.Encode(f); err == nil {
+				err = f.Close()
+			} else {
+				f.Close()
+			}
+			if err != nil {
+				fmt.Fprintf(stderr, "gstmlint: writing prior: %v\n", err)
+				return 2
+			}
+			fmt.Fprintf(stdout, "gstmlint: prior: %d states, %d edges (%d threads) -> %s\n",
+				prior.NumStates(), prior.NumEdges(), prior.Threads, *priorOut)
 		}
-		return 0
+		if !*lintToo {
+			return 0
+		}
 	}
 
 	cwd, _ := os.Getwd()
+	rel := func(file string) string {
+		if cwd == "" {
+			return file
+		}
+		if r, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(r, "..") {
+			return r
+		}
+		return file
+	}
 	diags := lint.Run(pkgs, checkers)
+
+	if *fix {
+		fixed, err := lint.ApplyFixes(diags)
+		if err != nil {
+			fmt.Fprintf(stderr, "gstmlint: %v\n", err)
+			return 2
+		}
+		files := make([]string, 0, len(fixed))
+		for file := range fixed {
+			files = append(files, file)
+		}
+		sort.Strings(files)
+		for _, file := range files {
+			if *diff {
+				before, err := os.ReadFile(file)
+				if err != nil {
+					fmt.Fprintf(stderr, "gstmlint: %v\n", err)
+					return 2
+				}
+				lint.RenderDiff(stdout, rel(file), before, fixed[file])
+				continue
+			}
+			if err := os.WriteFile(file, fixed[file], 0o644); err != nil {
+				fmt.Fprintf(stderr, "gstmlint: %v\n", err)
+				return 2
+			}
+			fmt.Fprintf(stdout, "gstmlint: fixed %s\n", rel(file))
+		}
+	}
+
 	enc := json.NewEncoder(stdout)
 	for _, d := range diags {
-		file := d.Position.Filename
-		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
-				file = rel
-			}
-		}
+		file := rel(d.Position.Filename)
 		if *jsonOut {
 			// One object per line: stable field set for tooling.
 			rec := struct {
@@ -143,7 +231,8 @@ func run(args []string, stdout, stderr *os.File) int {
 				Check   string   `json:"check"`
 				Message string   `json:"message"`
 				Chain   []string `json:"chain,omitempty"`
-			}{file, d.Position.Line, d.Position.Column, d.Check, d.Message, d.Chain}
+				Fixable bool     `json:"fixable,omitempty"`
+			}{file, d.Position.Line, d.Position.Column, d.Check, d.Message, d.Chain, d.Fix != nil}
 			if err := enc.Encode(rec); err != nil {
 				fmt.Fprintf(stderr, "gstmlint: %v\n", err)
 				return 2

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"gstm/internal/model"
 )
 
 // runCapture invokes run() with stdout/stderr redirected to temp files
@@ -117,5 +119,83 @@ func TestFootprintFlag(t *testing.T) {
 	}
 	if len(g.Sites) != 1 || len(g.Edges) != 1 {
 		t.Errorf("got %d sites / %d edges, want 1 / 1", len(g.Sites), len(g.Edges))
+	}
+}
+
+// TestFixDiffDryRun pins the CI dry-run gate: -fix -diff prints the
+// suggested rewrites as diffs, writes nothing, and still reports the
+// findings with exit code 1.
+func TestFixDiffDryRun(t *testing.T) {
+	fixture := filepath.Join("..", "..", "internal", "lint", "testdata", "src", "deadread")
+	src := filepath.Join(fixture, "deadread.go")
+	before, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	code, stdout, _ := runCapture(t, "-fix", "-diff", "-checks", "gstm007", fixture)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (fixture has findings)", code)
+	}
+	if !strings.Contains(stdout, "--- a/") || !strings.Contains(stdout, "+++ b/") {
+		t.Errorf("no diff in output:\n%s", stdout)
+	}
+	after, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("-fix -diff modified the fixture on disk")
+	}
+}
+
+// TestDiffRequiresFix pins the usage contract.
+func TestDiffRequiresFix(t *testing.T) {
+	code, _, stderr := runCapture(t, "-diff", "./...")
+	if code != 2 || !strings.Contains(stderr, "-diff requires -fix") {
+		t.Errorf("code = %d, stderr = %q; want usage error 2", code, stderr)
+	}
+}
+
+// TestPriorFlag generates a cold-start model from the examples and
+// checks the written container decodes with the right thread count.
+func TestPriorFlag(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "prior.tsa")
+	example := filepath.Join("..", "..", "examples", "quickstart")
+	code, stdout, stderr := runCapture(t, "-prior", out, "-prior-threads", "4", example)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "prior:") {
+		t.Errorf("no synthesis summary in output:\n%s", stdout)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatalf("prior file missing: %v", err)
+	}
+	defer f.Close()
+	m, err := model.Decode(f)
+	if err != nil {
+		t.Fatalf("written prior does not decode: %v", err)
+	}
+	if m.Threads != 4 || m.NumStates() == 0 {
+		t.Errorf("decoded prior: %d threads, %d states; want 4 threads and some states", m.Threads, m.NumStates())
+	}
+}
+
+// TestPriorWithLint shares one load pass between prior synthesis and
+// the checks: the fixture's findings still surface (exit 1) and the
+// prior is still written.
+func TestPriorWithLint(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "prior.tsa")
+	fixture := filepath.Join("..", "..", "internal", "lint", "testdata", "src", "deadread")
+	code, stdout, _ := runCapture(t, "-prior", out, "-lint", "-checks", "gstm007", fixture)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (fixture has findings)", code)
+	}
+	if !strings.Contains(stdout, "gstm007") {
+		t.Errorf("lint findings missing from combined run:\n%s", stdout)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Errorf("prior not written in combined run: %v", err)
 	}
 }

@@ -1,0 +1,71 @@
+package analyze_test
+
+import (
+	"testing"
+
+	"gstm/internal/analyze"
+	"gstm/internal/lint"
+)
+
+// The synthesized cold-start prior claims to be consistent with its
+// own evidence: every abort edge it materializes connects a pair the
+// static conflict graph says can conflict. CrossCheck is the referee —
+// run against the very relation the prior was lowered from it must
+// find nothing, and against a stale relation (a conflict pair the
+// graph knows but the relation lost) the prior's abort edges for that
+// pair must surface as mismatches.
+
+// realPrior synthesizes a prior from the repository's actual example
+// and benchmark entry points, the same invocation `gstmlint -prior`
+// performs.
+func realPrior(t *testing.T) (*lint.ConflictGraph, [][2]uint16) {
+	t.Helper()
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.LoadWithDeps("../../cmd/synquake", "../../examples/...")
+	if err != nil {
+		t.Fatalf("LoadWithDeps: %v", err)
+	}
+	g := lint.Footprint(pkgs, loader.ModuleRoot)
+	pairs := g.TxIDPairs()
+	if len(pairs) == 0 {
+		t.Fatal("conflict graph has no transaction-ID pairs; the fixture entry points regressed")
+	}
+	return g, pairs
+}
+
+func TestSynthesizedPriorPassesCrossCheck(t *testing.T) {
+	g, pairs := realPrior(t)
+	prior, err := lint.SynthesizePrior(g, lint.PriorOptions{Threads: 4})
+	if err != nil {
+		t.Fatalf("SynthesizePrior: %v", err)
+	}
+	if got := analyze.CrossCheck(prior, analyze.NewTxConflicts(pairs)); len(got) != 0 {
+		t.Errorf("prior is inconsistent with its own conflict graph: %d mismatches, first: %v",
+			len(got), got[0])
+	}
+}
+
+func TestSynthesizedPriorSurfacesStaleRelation(t *testing.T) {
+	g, pairs := realPrior(t)
+	prior, err := lint.SynthesizePrior(g, lint.PriorOptions{Threads: 4})
+	if err != nil {
+		t.Fatalf("SynthesizePrior: %v", err)
+	}
+	stale := analyze.NewTxConflicts(pairs[1:]) // forget the first conflict pair
+	got := analyze.CrossCheck(prior, stale)
+	if len(got) == 0 {
+		t.Fatalf("dropping conflict pair %v from the relation surfaced no mismatch", pairs[0])
+	}
+	for _, mm := range got {
+		a, b := mm.Committer, mm.Aborted
+		if a > b {
+			a, b = b, a
+		}
+		if [2]uint16{a, b} != pairs[0] {
+			t.Errorf("mismatch %v does not involve the dropped pair %v", mm, pairs[0])
+		}
+	}
+}

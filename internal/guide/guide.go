@@ -15,6 +15,7 @@
 package guide
 
 import (
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -42,6 +43,23 @@ const DefaultHoldDelay = 0
 // maxHoldFactor bounds total re-checks at maxHoldFactor×k, so a storm
 // of state changes cannot hold a transaction indefinitely.
 const maxHoldFactor = 64
+
+// DefaultBlendEvidence is the number of observed commits over which a
+// static prior's weight decays linearly from 1 (cold start: only the
+// prior exists) to 0 (the profiled/streamed model has earned full
+// trust). Sized so one harness run at Table-III scale completes the
+// hand-over.
+const DefaultBlendEvidence = 4096
+
+// blendBuckets quantizes the prior weight so the blended admission
+// sets are recomputed at most blendBuckets times over the decay, not
+// on every commit.
+const blendBuckets = 32
+
+// maxStreamStates caps how many states the streamed live model may
+// accrete when the controller starts from a prior alone; past this the
+// model keeps re-weighting existing states but learns no new ones.
+const maxStreamStates = 1 << 16
 
 // Options configures a Controller.
 type Options struct {
@@ -73,6 +91,19 @@ type Options struct {
 	// RearmWindows is how many consecutive healthy windows step the
 	// ladder back up one level. ≤ 0 means DefaultRearmWindows.
 	RearmWindows int
+	// Prior, when non-nil, is a statically synthesized cold-start model
+	// (lint.SynthesizePrior) blended with the profiled model: admission
+	// sets are computed from w·P_prior + (1−w)·P_model, where w decays
+	// linearly from 1 to 0 over BlendEvidence observed commits. With a
+	// Prior set, New accepts a nil profiled model — the controller then
+	// streams a live model from the commits it traces and hands over to
+	// it as evidence accumulates.
+	Prior *model.TSA
+	// BlendEvidence is the commit count over which the prior's weight
+	// decays to zero. 0 means DefaultBlendEvidence; negative pins the
+	// weight at 1 (prior-only, for measuring the cold-start gate in
+	// isolation). Ignored when Prior is nil.
+	BlendEvidence int
 	// Inject, when non-nil, arms the fault.HoldStall injection hook
 	// inside the hold loop (deterministic thread-stall testing).
 	Inject *fault.Injector
@@ -119,6 +150,13 @@ type Stats struct {
 	ThreadEscapes []uint64
 	// ThreadHoldTime is indexed like ThreadEscapes.
 	ThreadHoldTime []time.Duration
+
+	// PriorWeight is the static prior's current (quantized) blend
+	// weight: 1 on a cold start, 0 once the profiled model has full
+	// trust. Zero when no prior is configured.
+	PriorWeight float64
+	// Evidence is the number of commits observed toward blend decay.
+	Evidence uint64
 }
 
 // snapshot is the controller's view of the current state; replaced
@@ -135,6 +173,11 @@ type snapshot struct {
 	gen     uint64
 }
 
+// blendSets is one cached blended admission-set pair for a state key.
+type blendSets struct {
+	allowed, relaxed map[uint32]struct{}
+}
+
 // Controller guides an STM using a trained, analyzed model.
 type Controller struct {
 	allowedByState map[string]map[uint32]struct{}
@@ -143,6 +186,20 @@ type Controller struct {
 	holdDelay      time.Duration
 	inject         *fault.Injector
 	yield          func()
+
+	// Static-prior blending (nil prior disables all of it; the
+	// precomputed maps above are then the only lookup path).
+	prior         *model.TSA
+	base          *model.TSA // profiled model, or the streamed live one
+	tf, rf        float64
+	blendEvidence int
+	stream        bool // base started empty: learn it from traced commits
+	evidence      atomic.Uint64
+	blendMu       sync.Mutex // guards blendCache/blendBucket; nested inside mu
+	blendCache    map[string]blendSets
+	blendBucket   int
+	havePrev      bool      // under mu: a finalized state exists to stream from
+	prevFinal     tts.State // under mu: last finalized (superseded) state
 
 	mu  sync.Mutex // serializes state updates
 	cur atomic.Pointer[snapshot]
@@ -172,7 +229,10 @@ var _ trace.Tracer = (*Controller)(nil)
 // New builds a Controller from a model, precomputing for every state
 // the admissible pair set (the union of the tuples of its
 // high-probability destination states). The model should have passed
-// analyze.Analyze first; New does not re-check.
+// analyze.Analyze first; New does not re-check. When opts.Prior is
+// set, m may be nil: the controller starts on the prior alone and
+// streams a live model from the commits it traces; when both are
+// given, admission sets blend the two by accumulated evidence.
 func New(m *model.TSA, opts Options) *Controller {
 	tf := opts.Tfactor
 	if tf <= 0 {
@@ -190,7 +250,12 @@ func New(m *model.TSA, opts Options) *Controller {
 	if rf <= 0 {
 		rf = DefaultRelaxFactor
 	}
-	threads := m.Threads
+	threads := 0
+	if m != nil {
+		threads = m.Threads
+	} else if opts.Prior != nil {
+		threads = opts.Prior.Threads
+	}
 	if threads < 1 {
 		threads = 1
 	}
@@ -198,13 +263,30 @@ func New(m *model.TSA, opts Options) *Controller {
 		threads = maxThreadCounters
 	}
 	c := &Controller{
-		allowedByState: buildAllowed(m, tf),
-		relaxedByState: buildAllowed(m, tf*rf),
-		k:              k,
-		holdDelay:      hd,
-		inject:         opts.Inject,
-		yield:          opts.Yield,
-		perThread:      make([]threadCounters, threads),
+		k:         k,
+		holdDelay: hd,
+		inject:    opts.Inject,
+		yield:     opts.Yield,
+		perThread: make([]threadCounters, threads),
+		tf:        tf,
+		rf:        rf,
+	}
+	if opts.Prior != nil {
+		c.prior = opts.Prior
+		c.blendEvidence = opts.BlendEvidence
+		if c.blendEvidence == 0 {
+			c.blendEvidence = DefaultBlendEvidence
+		}
+		c.base = m
+		if c.base == nil {
+			c.base = model.New(threads)
+			c.stream = true
+		}
+		c.blendCache = make(map[string]blendSets)
+		c.blendBucket = -1 // no bucket computed yet
+	} else {
+		c.allowedByState = buildAllowed(m, tf)
+		c.relaxedByState = buildAllowed(m, tf*rf)
 	}
 	if opts.HealthWindow >= 0 {
 		w := opts.HealthWindow
@@ -259,6 +341,132 @@ func buildAllowed(m *model.TSA, tf float64) map[string]map[uint32]struct{} {
 	return out
 }
 
+// setsFor resolves the admission-set pair for a state key: the
+// precomputed maps when no prior is configured, otherwise the blended
+// sets (cached per weight bucket).
+func (c *Controller) setsFor(key string) (allowed, relaxed map[uint32]struct{}) {
+	if c.prior == nil {
+		return c.allowedByState[key], c.relaxedByState[key]
+	}
+	bucket := c.weightBucket()
+	c.blendMu.Lock()
+	defer c.blendMu.Unlock()
+	if bucket != c.blendBucket {
+		// The prior's weight crossed a quantization step: every cached
+		// set was computed under the old mix.
+		c.blendBucket = bucket
+		clear(c.blendCache)
+	}
+	if s, ok := c.blendCache[key]; ok {
+		return s.allowed, s.relaxed
+	}
+	s := c.computeBlend(key, float64(bucket)/blendBuckets)
+	c.blendCache[key] = s
+	return s.allowed, s.relaxed
+}
+
+// weightBucket quantizes the prior's current weight into
+// 0..blendBuckets (ceil, so any remaining prior influence rounds up
+// rather than vanishing early).
+func (c *Controller) weightBucket() int {
+	if c.blendEvidence < 0 {
+		return blendBuckets
+	}
+	ev := c.evidence.Load()
+	if ev >= uint64(c.blendEvidence) {
+		return 0
+	}
+	w := 1 - float64(ev)/float64(c.blendEvidence)
+	return int(math.Ceil(w * blendBuckets))
+}
+
+// computeBlend builds the admission sets for one state from the mixed
+// destination distribution w·P_prior + (1−w)·P_base. A state unknown
+// to both models yields nil sets ("no guidance: admit everyone"), the
+// same contract as the precomputed path.
+func (c *Controller) computeBlend(key string, w float64) blendSets {
+	probs := make(map[string]float64)
+	accum := func(m *model.TSA, weight float64) {
+		if m == nil || weight <= 0 {
+			return
+		}
+		n := m.Node(key)
+		if n == nil || n.Total <= 0 {
+			return
+		}
+		for d, cnt := range n.Out {
+			probs[d] += weight * float64(cnt) / float64(n.Total)
+		}
+	}
+	accum(c.prior, w)
+	accum(c.base, 1-w)
+	if len(probs) == 0 {
+		return blendSets{}
+	}
+	var pmax float64
+	for _, p := range probs {
+		if p > pmax {
+			pmax = p
+		}
+	}
+	collect := func(tf float64) map[uint32]struct{} {
+		set := make(map[uint32]struct{})
+		for d, p := range probs {
+			if p < pmax/tf {
+				continue
+			}
+			for _, pr := range c.destPairs(d) {
+				set[pr.Key()] = struct{}{}
+			}
+		}
+		if len(set) == 0 {
+			return nil
+		}
+		return set
+	}
+	return blendSets{allowed: collect(c.tf), relaxed: collect(c.tf * c.rf)}
+}
+
+// destPairs recovers the pair tuple of a destination state key,
+// preferring a materialized node (either model) over re-parsing.
+func (c *Controller) destPairs(key string) []tts.Pair {
+	if n := c.prior.Node(key); n != nil {
+		return n.State.Pairs()
+	}
+	if n := c.base.Node(key); n != nil {
+		return n.State.Pairs()
+	}
+	if st, err := tts.ParseKey(key); err == nil {
+		return st.Pairs()
+	}
+	return nil
+}
+
+// observeCommitLocked accounts one traced commit toward blend decay
+// and, when the base model is being streamed, folds the superseded
+// snapshot state (now final — this commit ends its accretion) into it
+// as a transition from the previous final state. Caller holds c.mu.
+func (c *Controller) observeCommitLocked() {
+	c.evidence.Add(1)
+	if !c.stream {
+		return
+	}
+	snap := c.cur.Load()
+	if snap == nil {
+		c.havePrev = false
+		return
+	}
+	final := snap.state
+	if c.havePrev && c.base.NumStates() < maxStreamStates {
+		c.base.AddRun([]tts.State{c.prevFinal, final})
+		c.blendMu.Lock()
+		delete(c.blendCache, c.prevFinal.Key())
+		c.blendMu.Unlock()
+	}
+	c.prevFinal = final
+	c.havePrev = true
+}
+
 // Stats returns a snapshot of the decision counters.
 func (c *Controller) Stats() Stats {
 	st := Stats{
@@ -281,6 +489,10 @@ func (c *Controller) Stats() Stats {
 		st.ThreadEscapes[i] = c.perThread[i].escapes.Load()
 		st.ThreadHoldTime[i] = time.Duration(c.perThread[i].holdNanos.Load())
 	}
+	if c.prior != nil {
+		st.PriorWeight = float64(c.weightBucket()) / blendBuckets
+		st.Evidence = c.evidence.Load()
+	}
 	return st
 }
 
@@ -293,9 +505,13 @@ func (c *Controller) replaceLocked(next *snapshot) {
 // Reset clears the dynamic state — the current snapshot, the health
 // window, and the degradation ladder — between runs; the trained model,
 // options, and cumulative counters are kept.
+// Accumulated blend evidence and the streamed model are learned state,
+// not run state, so they survive Reset; only the stream's transition
+// chain is cut (runs are independent histories).
 func (c *Controller) Reset() {
 	c.mu.Lock()
 	c.replaceLocked(nil)
+	c.havePrev = false
 	c.mu.Unlock()
 	c.resetHealth()
 }
@@ -307,11 +523,15 @@ func (c *Controller) OnCommit(instance uint64, p tts.Pair) {
 	st := tts.State{Commit: p}
 	key := st.Key()
 	c.mu.Lock()
+	if c.prior != nil {
+		c.observeCommitLocked()
+	}
+	allowed, relaxed := c.setsFor(key)
 	c.replaceLocked(&snapshot{
 		instance: instance,
 		state:    st,
-		allowed:  c.allowedByState[key],
-		relaxed:  c.relaxedByState[key],
+		allowed:  allowed,
+		relaxed:  relaxed,
 		gen:      c.gen.Add(1),
 	})
 	c.mu.Unlock()
@@ -336,11 +556,12 @@ func (c *Controller) OnAbort(p tts.Pair, killer uint64) {
 	}
 	st.Canonicalize()
 	key := st.Key()
+	allowed, relaxed := c.setsFor(key)
 	c.replaceLocked(&snapshot{
 		instance: snap.instance,
 		state:    st,
-		allowed:  c.allowedByState[key],
-		relaxed:  c.relaxedByState[key],
+		allowed:  allowed,
+		relaxed:  relaxed,
 		gen:      c.gen.Add(1),
 	})
 	c.mu.Unlock()
@@ -456,6 +677,18 @@ func (c *Controller) AdmitIrrevocable(p tts.Pair) {
 	c.irrevAdmits.Add(1)
 	c.immediateAdmits.Add(1)
 	c.noteOutcome(false, false)
+}
+
+// WouldAdmit reports whether pair p would pass the gate right now,
+// without holding, counting, or feeding the health monitor — a
+// non-blocking probe for simulators and diagnostics. unknown is true
+// when the answer comes from the current state having no guidance.
+func (c *Controller) WouldAdmit(p tts.Pair) (ok, unknown bool) {
+	lvl := c.Level()
+	if lvl == LevelPassthrough {
+		return true, false
+	}
+	return admissible(c.cur.Load(), p.Key(), lvl)
 }
 
 // admissible reports whether the pair may proceed under snapshot s at

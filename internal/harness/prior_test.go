@@ -1,0 +1,201 @@
+package harness
+
+import (
+	"math/rand"
+	"testing"
+
+	"gstm/internal/guide"
+	"gstm/internal/lint"
+	"gstm/internal/model"
+	"gstm/internal/stats"
+	"gstm/internal/tts"
+)
+
+// The cold-start acceptance evidence, kept deterministic: a
+// single-goroutine tick simulator stands in for the STM so the only
+// randomness is a seeded source, and the guide is probed through
+// WouldAdmit (the non-blocking gate). The workload mirrors what
+// SynthesizePrior penalizes hardest — a cheap transaction and an
+// expensive one contending on the same storage, plus disjoint filler —
+// so prior-guided execution should both abort less and spread each
+// thread's finish time less across seeds than passthrough.
+
+// simPrior lowers the simulated workload's hand-declared footprints
+// into a cold-start model, exactly as `gstmlint -prior` would from
+// source.
+func simPrior(t *testing.T, threads int) *model.TSA {
+	t.Helper()
+	g := lint.NewConflictGraph([]lint.SiteFootprint{
+		{Pkg: "sim", TxID: 0, Reads: []string{"sim.hot"}, Writes: []string{"sim.hot"},
+			Cost: lint.CostEstimate{Reads: 1, Writes: 1}},
+		{Pkg: "sim", TxID: 1, Reads: []string{"sim.hot"}, Writes: []string{"sim.hot"},
+			Cost: lint.CostEstimate{Reads: 20, Writes: 10}},
+		{Pkg: "sim", TxID: 2, Reads: []string{"sim.cold"}, Writes: []string{"sim.cold"},
+			Cost: lint.CostEstimate{Reads: 1, Writes: 1}},
+	})
+	prior, err := lint.SynthesizePrior(g, lint.PriorOptions{Threads: threads})
+	if err != nil {
+		t.Fatalf("SynthesizePrior: %v", err)
+	}
+	return prior
+}
+
+// simThread is one simulated worker committing a fixed transaction
+// until its quota is met.
+type simThread struct {
+	tx    uint16
+	dur   int // base ticks per attempt
+	quota int // commits required
+
+	remaining int // ticks left in the current attempt; 0 = idle
+	done      int
+	finish    int // tick the quota was reached at
+	stalls    int // consecutive gate stalls (progress-escape mirror)
+}
+
+// simEscapeK mirrors the gate's progress escape: a thread stalled this
+// many consecutive ticks starts anyway.
+const simEscapeK = 8
+
+// runSim executes the tick simulator. Each tick every unfinished
+// thread (in seeded order) either starts an attempt — if idle and the
+// gate agrees — or advances the one in flight; an attempt that
+// completes commits, and the commit aborts every in-flight attempt of
+// a conflicting transaction (its work is lost, the classic STM
+// variance source). Returns per-thread finish ticks and total aborts.
+func runSim(ctrl *guide.Controller, seed int64, threads []simThread, conflicts func(a, b uint16) bool) ([]int, int) {
+	rng := rand.New(rand.NewSource(seed))
+	ths := append([]simThread(nil), threads...)
+	var instance uint64
+	aborts := 0
+	left := len(ths)
+	for tick := 1; left > 0 && tick < 1<<20; tick++ {
+		order := rng.Perm(len(ths))
+		for _, i := range order {
+			th := &ths[i]
+			if th.done >= th.quota {
+				continue
+			}
+			pair := tts.Pair{Tx: th.tx, Thread: uint16(i)}
+			if th.remaining == 0 {
+				if ctrl != nil {
+					if ok, _ := ctrl.WouldAdmit(pair); !ok && th.stalls < simEscapeK {
+						th.stalls++
+						continue
+					}
+				}
+				th.stalls = 0
+				th.remaining = th.dur + rng.Intn(2)
+				continue
+			}
+			th.remaining--
+			if th.remaining > 0 {
+				continue
+			}
+			// Commit anchors a new state, then the victims it kills
+			// accrete onto it — the tracer's event order.
+			instance++
+			if ctrl != nil {
+				ctrl.OnCommit(instance, pair)
+			}
+			for j := range ths {
+				v := &ths[j]
+				if j == i || v.remaining == 0 || !conflicts(th.tx, v.tx) {
+					continue
+				}
+				v.remaining = 0
+				aborts++
+				if ctrl != nil {
+					ctrl.OnAbort(tts.Pair{Tx: v.tx, Thread: uint16(j)}, instance)
+				}
+			}
+			th.done++
+			if th.done == th.quota {
+				th.finish = tick
+				left--
+			}
+		}
+	}
+	finish := make([]int, len(ths))
+	for i := range ths {
+		finish[i] = ths[i].finish
+	}
+	return finish, aborts
+}
+
+func simWorkload() []simThread {
+	return []simThread{
+		{tx: 0, dur: 2, quota: 30},
+		{tx: 1, dur: 6, quota: 10},
+		{tx: 2, dur: 2, quota: 30},
+		{tx: 2, dur: 2, quota: 30},
+	}
+}
+
+func simConflicts(a, b uint16) bool {
+	return (a == 0 || a == 1) && (b == 0 || b == 1)
+}
+
+// measureSim runs the simulator across seeds and reduces to the
+// paper's primary quantity — mean per-thread finish-time standard
+// deviation across runs — plus total aborts. mkCtrl returning nil
+// means passthrough.
+func measureSim(seeds int, mkCtrl func() *guide.Controller) (meanSD float64, aborts int) {
+	work := simWorkload()
+	perThread := make([][]float64, len(work))
+	for seed := 0; seed < seeds; seed++ {
+		finish, ab := runSim(mkCtrl(), int64(1000+seed), work, simConflicts)
+		aborts += ab
+		for t, f := range finish {
+			perThread[t] = append(perThread[t], float64(f))
+		}
+	}
+	sds := make([]float64, len(perThread))
+	for t, xs := range perThread {
+		sds[t] = stats.StdDev(xs)
+	}
+	return stats.Mean(sds), aborts
+}
+
+// TestColdStartPriorBeatsPassthrough is the cold-start claim: with no
+// profiled model at all, gating on the synthesized prior alone lowers
+// both the abort count and the cross-seed spread of per-thread finish
+// times versus running unguided.
+func TestColdStartPriorBeatsPassthrough(t *testing.T) {
+	prior := simPrior(t, len(simWorkload()))
+	const seeds = 12
+	passSD, passAborts := measureSim(seeds, func() *guide.Controller { return nil })
+	coldSD, coldAborts := measureSim(seeds, func() *guide.Controller {
+		return guide.New(nil, guide.Options{Prior: prior, BlendEvidence: -1, HealthWindow: -1})
+	})
+	t.Logf("passthrough: meanSD=%.2f aborts=%d; cold-start: meanSD=%.2f aborts=%d",
+		passSD, passAborts, coldSD, coldAborts)
+	if coldAborts >= passAborts {
+		t.Errorf("cold-start aborts = %d, want fewer than passthrough's %d", coldAborts, passAborts)
+	}
+	if coldSD >= passSD {
+		t.Errorf("cold-start mean per-thread stddev = %.3f, want below passthrough's %.3f", coldSD, passSD)
+	}
+}
+
+// TestBlendConvergesDuringSimulation checks the hand-over inside one
+// live workload: a controller started on the prior with a small
+// evidence budget must end the run fully weighted on the model it
+// streamed from the commits it saw.
+func TestBlendConvergesDuringSimulation(t *testing.T) {
+	prior := simPrior(t, len(simWorkload()))
+	ctrl := guide.New(nil, guide.Options{Prior: prior, BlendEvidence: 64, HealthWindow: -1})
+	finish, _ := runSim(ctrl, 7, simWorkload(), simConflicts)
+	for i, f := range finish {
+		if f == 0 {
+			t.Fatalf("thread %d never finished under blended gating", i)
+		}
+	}
+	st := ctrl.Stats()
+	if st.Evidence < 64 {
+		t.Fatalf("Evidence = %d, want ≥ 64 (the workload commits 100 times)", st.Evidence)
+	}
+	if st.PriorWeight != 0 {
+		t.Errorf("PriorWeight = %v, want 0 after the evidence budget is spent", st.PriorWeight)
+	}
+}

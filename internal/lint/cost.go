@@ -1,0 +1,463 @@
+package lint
+
+// Static commit-cost estimation: the compile-time analogue of the
+// per-transaction work the runtime's commit path has to validate.
+//
+// The prior synthesizer (prior.go) needs to know not only *which*
+// transactions conflict but how *expensive* each one is to commit: a
+// transaction touching many words holds locks longer, validates a
+// larger read set and is therefore a worse neighbour to admit
+// concurrently. This file estimates that cost statically, reusing the
+// footprint analyzer's call-graph propagation (helper bodies are
+// folded in; an access behind a helper call costs the same as an
+// inline one) and weighting accesses by loop nesting: an access inside
+// a loop is multiplied by the loop's estimated trip count — exact for
+// constant three-clause loops (clamped), a fixed guess for ranges and
+// data-dependent bounds, and a large penalty for loops with no static
+// bound at all. The loop classifier is shared with gstm009, which
+// flags the statically-unbounded case as a deadline/livelock risk in
+// its own right.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// CostEstimate is the static commit-cost estimate of one Atomic site
+// or helper body: loop-weighted may-read and may-write counts, plus
+// the number of statically-unbounded loops encountered (each already
+// contributes unboundedLoopTrip to the weights; the count is kept so
+// callers can surface the risk separately).
+type CostEstimate struct {
+	Reads          float64 `json:"reads"`
+	Writes         float64 `json:"writes"`
+	UnboundedLoops int     `json:"unboundedLoops,omitempty"`
+}
+
+// Commit folds the estimate into a single scalar: a write costs twice
+// a read (it is validated *and* locked/written back at commit), plus a
+// constant for the commit machinery itself, so even an empty
+// transaction has nonzero cost.
+func (c CostEstimate) Commit() float64 { return 1 + c.Reads + 2*c.Writes }
+
+// String renders the estimate for the footprint report.
+func (c CostEstimate) String() string {
+	s := fmt.Sprintf("reads~%.1f writes~%.1f commit~%.1f", c.Reads, c.Writes, c.Commit())
+	if c.UnboundedLoops == 1 {
+		s += " (1 statically-unbounded loop)"
+	} else if c.UnboundedLoops > 1 {
+		s += fmt.Sprintf(" (%d statically-unbounded loops)", c.UnboundedLoops)
+	}
+	return s
+}
+
+// Loop-trip heuristics. defaultLoopTrip is the guess for loops whose
+// bound is real but not statically known (ranges, data-dependent
+// conditions); unboundedLoopTrip penalizes loops with no static bound
+// at all; maxConstTrip clamps constant trip counts so one `for i := 0;
+// i < 1e6` does not drown every other signal; maxLoopMult caps the
+// total nesting multiplier.
+const (
+	defaultLoopTrip   = 8
+	unboundedLoopTrip = 32
+	maxConstTrip      = 64
+	maxLoopMult       = 4096
+)
+
+func capMult(m float64) float64 {
+	if m > maxLoopMult {
+		return maxLoopMult
+	}
+	return m
+}
+
+// siteCost computes the loop-weighted cost estimate of one Atomic
+// site, mirroring siteFootprint's traversal (same closure/function
+// resolution, same nested-site exclusion).
+func (pr *program) siteCost(pkg *Package, site *atomicSite) CostEstimate {
+	var est CostEstimate
+	if site.closure == nil {
+		if fn, ok := resolveFuncRef(pkg, site.call.Args[2]); ok {
+			if node := pr.node(fn); node != nil {
+				est = pr.funcCost(node, map[*funcNode]bool{})
+			}
+		}
+		return est
+	}
+	nested := nestedAtomicClosures(pkg, site.closure)
+	pr.costWalk(pkg, site.closure.Body, 1, &est, map[*funcNode]bool{}, nested)
+	return est
+}
+
+// nestedAtomicClosures returns the closure bodies of every *other*
+// Atomic site in pkg, so a site-level walk does not absorb nested
+// sites (they are analyzed separately).
+func nestedAtomicClosures(pkg *Package, self *ast.FuncLit) map[ast.Node]bool {
+	nested := map[ast.Node]bool{}
+	for _, other := range atomicSitesIn(pkg) {
+		if other.closure != nil && other.closure != self {
+			nested[other.closure] = true
+		}
+	}
+	return nested
+}
+
+// funcCost computes (and memoizes) a declared function's cost
+// estimate. Unlike footprint summaries, costs are parameter-free pure
+// counts, so call sites fold them in without substitution.
+func (pr *program) funcCost(node *funcNode, visiting map[*funcNode]bool) CostEstimate {
+	if c, done := pr.costs[node]; done {
+		return c
+	}
+	if visiting[node] {
+		return CostEstimate{} // recursion: one unrolling is already counted at the caller
+	}
+	visiting[node] = true
+	defer delete(visiting, node)
+	var est CostEstimate
+	pr.costWalk(node.pkg, node.decl.Body, 1, &est, visiting, nil)
+	pr.costs[node] = est
+	return est
+}
+
+// costWalk accumulates accesses under n into est, scaled by mult.
+// Loops multiply the scale for their bodies; calls contribute either a
+// primitive access or a callee's whole estimate.
+func (pr *program) costWalk(pkg *Package, n ast.Node, mult float64, est *CostEstimate, visiting map[*funcNode]bool, skip map[ast.Node]bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if skip != nil && skip[m] {
+			return false
+		}
+		switch s := m.(type) {
+		case *ast.ForStmt:
+			trip, unbounded := classifyFor(pkg, s)
+			if unbounded {
+				est.UnboundedLoops++
+			}
+			inner := capMult(mult * trip)
+			if s.Init != nil {
+				pr.costWalk(pkg, s.Init, mult, est, visiting, skip)
+			}
+			if s.Cond != nil {
+				pr.costWalk(pkg, s.Cond, inner, est, visiting, skip)
+			}
+			if s.Post != nil {
+				pr.costWalk(pkg, s.Post, inner, est, visiting, skip)
+			}
+			pr.costWalk(pkg, s.Body, inner, est, visiting, skip)
+			return false
+		case *ast.RangeStmt:
+			if s.X != nil {
+				pr.costWalk(pkg, s.X, mult, est, visiting, skip)
+			}
+			pr.costWalk(pkg, s.Body, capMult(mult*defaultLoopTrip), est, visiting, skip)
+			return false
+		case *ast.CallExpr:
+			pr.costCall(pkg, s, mult, est, visiting)
+			return true // still descend: arguments may contain reads
+		}
+		return true
+	})
+}
+
+// costCall classifies one call the way footprintCall does, but
+// accumulates weighted counts instead of labeled accesses.
+func (pr *program) costCall(pkg *Package, call *ast.CallExpr, mult float64, est *CostEstimate, visiting map[*funcNode]bool) {
+	if pkg.calleeBuiltin(call) != "" {
+		return
+	}
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		return // type conversion
+	}
+	fn := pkg.calleeFunc(call)
+	if fn == nil {
+		return // dynamic call: the footprint side already records the horizon
+	}
+	if ops, ok := stmPrimitive(pkg, fn, call); ok {
+		for _, op := range ops {
+			if op.write {
+				est.Writes += mult
+			} else {
+				est.Reads += mult
+			}
+		}
+		return
+	}
+	if fn.Pkg() != nil && !isSTMPackagePath(fn.Pkg().Path()) {
+		if node := pr.node(fn); node != nil {
+			c := pr.funcCost(node, visiting)
+			est.Reads += mult * c.Reads
+			est.Writes += mult * c.Writes
+			est.UnboundedLoops += c.UnboundedLoops
+		}
+	}
+}
+
+// ---- loop classification (shared with gstm009) ----
+
+// classifyFor estimates a for statement's trip count and reports
+// whether the loop is statically unbounded: no three-clause bound, no
+// break/return/goto escaping it, and no condition term updated in the
+// body. Such a loop can only terminate through a panic or through the
+// transactional snapshot changing under it — inside an Atomic body
+// that is a deadline/livelock hazard (gstm009).
+func classifyFor(pkg *Package, f *ast.ForStmt) (trip float64, unbounded bool) {
+	if f.Init != nil && f.Cond != nil && f.Post != nil {
+		if n, ok := constTrip(pkg, f); ok {
+			if n > maxConstTrip {
+				n = maxConstTrip
+			}
+			if n < 0 {
+				n = 0
+			}
+			return float64(n), false
+		}
+		return defaultLoopTrip, false
+	}
+	if loopEscapes(f.Body) {
+		return defaultLoopTrip, false
+	}
+	if f.Cond != nil && condMayVary(pkg, f) {
+		return defaultLoopTrip, false
+	}
+	return unboundedLoopTrip, true
+}
+
+// loopEscapes reports whether body contains a statement that exits the
+// enclosing loop: a return, a goto, a labeled break, or an unlabeled
+// break not captured by a nested loop/switch/select. Nested function
+// literals are opaque (their returns do not exit this loop).
+func loopEscapes(body ast.Node) bool {
+	found := false
+	var visit func(n ast.Node, captured bool)
+	visit = func(n ast.Node, captured bool) {
+		if found || n == nil {
+			return
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			if found {
+				return false
+			}
+			if m == n {
+				return true
+			}
+			switch s := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+				visit(s, true)
+				return false
+			case *ast.ReturnStmt:
+				found = true
+				return false
+			case *ast.BranchStmt:
+				switch s.Tok {
+				case token.BREAK:
+					// A labeled break may target an outer construct; treat
+					// it as an escape (conservative: fewer reports).
+					if s.Label != nil || !captured {
+						found = true
+					}
+				case token.GOTO:
+					found = true
+				}
+				return false
+			}
+			return true
+		})
+	}
+	visit(body, false)
+	return found
+}
+
+// condMayVary reports whether the loop condition can plausibly change
+// across iterations: a condition term is assigned in the body, or the
+// condition calls something other than a read-only transactional
+// primitive (snapshot reads repeat the same answer inside one attempt;
+// any other call might not), or it receives from a channel.
+func condMayVary(pkg *Package, f *ast.ForStmt) bool {
+	varies := false
+	ast.Inspect(f.Cond, func(n ast.Node) bool {
+		if varies {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				varies = true // channel receive
+				return false
+			}
+		case *ast.CallExpr:
+			if pkg.calleeBuiltin(n) != "" {
+				return true // len/cap of a term judged by its idents
+			}
+			fn := pkg.calleeFunc(n)
+			if fn == nil {
+				varies = true // dynamic call: unknown
+				return false
+			}
+			if ops, ok := stmPrimitive(pkg, fn, n); ok {
+				for _, op := range ops {
+					if op.write {
+						varies = true // e.g. Pop in the condition
+						return false
+					}
+				}
+				return true // pure snapshot read: stable within an attempt
+			}
+			varies = true // arbitrary call: may observe anything
+			return false
+		}
+		return true
+	})
+	if varies {
+		return true
+	}
+	// Condition terms assigned in the body (including inside nested
+	// closures — conservatively assume those run).
+	terms := map[string]bool{}
+	ast.Inspect(f.Cond, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name != "_" {
+			terms[id.Name] = true
+		}
+		return true
+	})
+	assigned := false
+	mark := func(e ast.Expr) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && terms[id.Name] {
+				assigned = true
+			}
+			return !assigned
+		})
+	}
+	ast.Inspect(f.Body, func(n ast.Node) bool {
+		if assigned {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(n.X)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				mark(n.X) // address taken: may be written elsewhere
+			}
+		}
+		return true
+	})
+	return assigned
+}
+
+// constTrip recognizes the constant three-clause pattern
+// `for i := c0; i <op> c1; i++/i--/i += k` and returns its exact trip
+// count.
+func constTrip(pkg *Package, f *ast.ForStmt) (int, bool) {
+	init, ok := f.Init.(*ast.AssignStmt)
+	if !ok || init.Tok != token.DEFINE || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
+		return 0, false
+	}
+	id, ok := init.Lhs[0].(*ast.Ident)
+	if !ok {
+		return 0, false
+	}
+	c0, ok := constIntVal(pkg, init.Rhs[0])
+	if !ok {
+		return 0, false
+	}
+	cond, ok := f.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return 0, false
+	}
+	var bound int64
+	var op token.Token
+	if x, isID := cond.X.(*ast.Ident); isID && x.Name == id.Name {
+		bound, ok = constIntVal(pkg, cond.Y)
+		op = cond.Op
+	} else if y, isID := cond.Y.(*ast.Ident); isID && y.Name == id.Name {
+		bound, ok = constIntVal(pkg, cond.X)
+		// Flip `c1 > i` into `i < c1` etc.
+		switch cond.Op {
+		case token.GTR:
+			op = token.LSS
+		case token.GEQ:
+			op = token.LEQ
+		case token.LSS:
+			op = token.GTR
+		case token.LEQ:
+			op = token.GEQ
+		default:
+			return 0, false
+		}
+	} else {
+		return 0, false
+	}
+	if !ok {
+		return 0, false
+	}
+	step := int64(0)
+	switch post := f.Post.(type) {
+	case *ast.IncDecStmt:
+		if pid, isID := post.X.(*ast.Ident); isID && pid.Name == id.Name {
+			if post.Tok == token.INC {
+				step = 1
+			} else {
+				step = -1
+			}
+		}
+	case *ast.AssignStmt:
+		if len(post.Lhs) == 1 && len(post.Rhs) == 1 {
+			if pid, isID := post.Lhs[0].(*ast.Ident); isID && pid.Name == id.Name {
+				if k, kok := constIntVal(pkg, post.Rhs[0]); kok {
+					switch post.Tok {
+					case token.ADD_ASSIGN:
+						step = k
+					case token.SUB_ASSIGN:
+						step = -k
+					}
+				}
+			}
+		}
+	}
+	if step == 0 {
+		return 0, false
+	}
+	var span int64
+	switch {
+	case (op == token.LSS || op == token.LEQ) && step > 0:
+		span = bound - c0
+		if op == token.LEQ {
+			span++
+		}
+	case (op == token.GTR || op == token.GEQ) && step < 0:
+		span = c0 - bound
+		if op == token.GEQ {
+			span++
+		}
+		step = -step
+	default:
+		return 0, false
+	}
+	if span <= 0 {
+		return 0, true
+	}
+	return int((span + step - 1) / step), true
+}
+
+// constIntVal evaluates e to an integer constant via the type info.
+func constIntVal(pkg *Package, e ast.Expr) (int64, bool) {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	return v, exact
+}

@@ -52,7 +52,7 @@ func (c ctxAtomic) Check(p *Pass) {
 			if body == nil || !p.hasContextParam(ft) {
 				return true
 			}
-			c.checkBody(p, body)
+			c.checkBody(p, body, contextParamName(p, ft))
 			return true
 		})
 	}
@@ -60,7 +60,9 @@ func (c ctxAtomic) Check(p *Pass) {
 
 // checkBody flags plain Atomic calls directly inside body, stopping at
 // nested function literals (each is judged by its own signature).
-func (c ctxAtomic) checkBody(p *Pass, body *ast.BlockStmt) {
+// ctxName is the enclosing function's context parameter ("" when the
+// parameter is unnamed/blank, in which case no fix is offered).
+func (c ctxAtomic) checkBody(p *Pass, body *ast.BlockStmt, ctxName string) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		if _, ok := n.(*ast.FuncLit); ok {
 			return false
@@ -80,9 +82,41 @@ func (c ctxAtomic) checkBody(p *Pass, body *ast.BlockStmt) {
 		if name, isSTM := namedSTMType(sig.Recv().Type()); !isSTM || name != "STM" {
 			return true
 		}
-		p.Reportf(call.Pos(), "Atomic called in a function that receives a context.Context: the retry loop ignores cancellation and can outlive the caller's deadline; use AtomicCtx(ctx, ...)")
+		// Rewrite s.Atomic(th, id, fn) into s.AtomicCtx(ctx, th, id, fn)
+		// when the context parameter has a usable name.
+		var fix *Fix
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && ctxName != "" && len(call.Args) > 0 {
+			fix = &Fix{
+				Message: "thread the context through AtomicCtx",
+				Edits: []TextEdit{
+					p.edit(sel.Sel.Pos(), sel.Sel.End(), "AtomicCtx"),
+					p.edit(call.Args[0].Pos(), call.Args[0].Pos(), ctxName+", "),
+				},
+			}
+		}
+		p.ReportFixf(call.Pos(), fix, "Atomic called in a function that receives a context.Context: the retry loop ignores cancellation and can outlive the caller's deadline; use AtomicCtx(ctx, ...)")
 		return true
 	})
+}
+
+// contextParamName returns the name of ft's first named, non-blank
+// context.Context parameter ("" when there is none).
+func contextParamName(p *Pass, ft *ast.FuncType) string {
+	if ft == nil || ft.Params == nil {
+		return ""
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := p.Pkg.Info.Types[field.Type]
+		if !ok || tv.Type == nil || !isContextType(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return name.Name
+			}
+		}
+	}
+	return ""
 }
 
 // hasContextParam reports whether the function type declares a

@@ -67,12 +67,19 @@ func (c deadRead) Check(p *Pass) {
 				return true
 			}
 			recv := sig.Recv().Type()
+			// Deleting the statement is the mechanical fix: it removes the
+			// read-set widening. Deliberate widening is spelled `_ =` and
+			// never reaches this report.
+			fix := &Fix{
+				Message: "delete the dead read",
+				Edits:   []TextEdit{p.edit(stmt.Pos(), stmt.End(), "")},
+			}
 			switch {
 			case readOnlyTxMethods[fn.Name()] && isTxPointer(recv):
-				p.Reportf(call.Pos(), "result of %s is discarded: the dead read still enters the read set, turning every writer of that word into a false conflict; use the value or document deliberate read-set widening with `_ =`", callName(fn))
+				p.ReportFixf(call.Pos(), fix, "result of %s is discarded: the dead read still enters the read set, turning every writer of that word into a false conflict; use the value or document deliberate read-set widening with `_ =`", callName(fn))
 			case readOnlyDataMethods[fn.Name()] && c.takesTxArg(p, call):
 				if name, ok := isSTMDataType(recv); ok {
-					p.Reportf(call.Pos(), "result of %s.%s is discarded: the dead read still enters the read set, turning every writer into a false conflict; use the value or document deliberate read-set widening with `_ =`", name, fn.Name())
+					p.ReportFixf(call.Pos(), fix, "result of %s.%s is discarded: the dead read still enters the read set, turning every writer into a false conflict; use the value or document deliberate read-set widening with `_ =`", name, fn.Name())
 				}
 			}
 			return true

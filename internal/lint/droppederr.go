@@ -32,10 +32,12 @@ func (c droppedAtomicError) Check(p *Pass) {
 		ast.Inspect(f, func(n ast.Node) bool {
 			var call *ast.CallExpr
 			var how string
+			fixable := false
 			switch n := n.(type) {
 			case *ast.ExprStmt:
 				call, _ = n.X.(*ast.CallExpr)
 				how = "discarded"
+				fixable = true
 			case *ast.GoStmt:
 				call = n.Call
 				how = "unobservable from a go statement"
@@ -47,7 +49,17 @@ func (c droppedAtomicError) Check(p *Pass) {
 				return true
 			}
 			if name, ok := atomicMethod(p.calleeFunc(call)); ok {
-				p.Reportf(call.Pos(), "error result of %s is %s: ErrRetryLimit or a caller-level abort means the transaction never committed; check the error or document intent with `_ =`", name, how)
+				// The statement form has a mechanical rewrite into the
+				// documented `_ =` idiom; go/defer forms need a real
+				// restructuring the author has to choose.
+				var fix *Fix
+				if fixable {
+					fix = &Fix{
+						Message: "assign the error to the blank identifier",
+						Edits:   []TextEdit{p.edit(call.Pos(), call.Pos(), "_ = ")},
+					}
+				}
+				p.ReportFixf(call.Pos(), fix, "error result of %s is %s: ErrRetryLimit or a caller-level abort means the transaction never committed; check the error or document intent with `_ =`", name, how)
 			}
 			return true
 		})

@@ -1,0 +1,194 @@
+package lint
+
+// Machine-applicable suggested fixes. A checker that knows the exact
+// rewrite attaches a Fix to its diagnostic; `gstmlint -fix` applies
+// the edits and `-fix -diff` renders them without writing. Edits are
+// stored as byte offsets into the original file (rendered at report
+// time, so applying needs no FileSet), applied back-to-front per file,
+// and the result is passed through go/format so applied fixes are
+// always gofmt-clean.
+
+import (
+	"bytes"
+	"fmt"
+	"go/format"
+	"go/token"
+	"io"
+	"os"
+	"sort"
+)
+
+// TextEdit replaces the byte range [Offset, End) of File with NewText.
+// An insertion has Offset == End; a deletion has empty NewText.
+type TextEdit struct {
+	File    string `json:"file"`
+	Offset  int    `json:"offset"`
+	End     int    `json:"end"`
+	NewText string `json:"newText"`
+}
+
+// Fix is one machine-applicable suggested fix.
+type Fix struct {
+	// Message describes the rewrite ("assign the error to _").
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
+
+// edit renders a [pos, end) source range into a TextEdit.
+func (p *Pass) edit(pos, end token.Pos, text string) TextEdit {
+	ps := p.Fset.Position(pos)
+	return TextEdit{File: ps.Filename, Offset: ps.Offset, End: p.Fset.Position(end).Offset, NewText: text}
+}
+
+// ReportFixf records a diagnostic that carries a suggested fix.
+func (p *Pass) ReportFixf(pos token.Pos, fix *Fix, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Position: p.Fset.Position(pos),
+		Check:    p.checker.ID(),
+		Message:  fmt.Sprintf(format, args...),
+		Fix:      fix,
+	})
+}
+
+// ApplyFixes computes the fixed contents of every file named by the
+// fixable diagnostics, reading the originals from disk. Identical
+// edits (the same construct reached via two load paths) collapse;
+// overlapping edits keep the first and drop the rest; pure deletions
+// that leave only whitespace or a trailing comment on a line take the
+// whole line with them. Results are gofmt-formatted. Files are NOT
+// written — callers decide (write, diff, or both).
+func ApplyFixes(diags []Diagnostic) (map[string][]byte, error) {
+	byFile := map[string][]TextEdit{}
+	for _, d := range diags {
+		if d.Fix == nil {
+			continue
+		}
+		for _, e := range d.Fix.Edits {
+			byFile[e.File] = append(byFile[e.File], e)
+		}
+	}
+	out := map[string][]byte{}
+	for file, edits := range byFile {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("lint: applying fixes: %w", err)
+		}
+		fixed, err := applyEdits(src, edits)
+		if err != nil {
+			return nil, fmt.Errorf("lint: applying fixes to %s: %w", file, err)
+		}
+		formatted, err := format.Source(fixed)
+		if err != nil {
+			return nil, fmt.Errorf("lint: fixed %s does not parse: %w", file, err)
+		}
+		out[file] = formatted
+	}
+	return out, nil
+}
+
+// applyEdits applies edits to src: sorted by offset, deduplicated,
+// overlaps dropped, deletions expanded to whole lines when the
+// remainder is blank or a trailing line comment.
+func applyEdits(src []byte, edits []TextEdit) ([]byte, error) {
+	sort.Slice(edits, func(i, j int) bool {
+		if edits[i].Offset != edits[j].Offset {
+			return edits[i].Offset < edits[j].Offset
+		}
+		return edits[i].End < edits[j].End
+	})
+	applied := edits[:0]
+	prevEnd := -1
+	var prev TextEdit
+	for _, e := range edits {
+		if e.Offset < 0 || e.End < e.Offset || e.End > len(src) {
+			return nil, fmt.Errorf("edit range [%d,%d) out of bounds (file is %d bytes)", e.Offset, e.End, len(src))
+		}
+		if len(applied) > 0 && e == prev {
+			continue // duplicate load paths produce identical edits
+		}
+		if e.Offset < prevEnd {
+			continue // overlap: first writer wins
+		}
+		if e.NewText == "" && e.End > e.Offset {
+			e = expandLineDeletion(src, e)
+			if e.Offset < prevEnd {
+				continue
+			}
+		}
+		applied = append(applied, e)
+		prev = e
+		prevEnd = e.End
+	}
+	var buf bytes.Buffer
+	at := 0
+	for _, e := range applied {
+		buf.Write(src[at:e.Offset])
+		buf.WriteString(e.NewText)
+		at = e.End
+	}
+	buf.Write(src[at:])
+	return buf.Bytes(), nil
+}
+
+// expandLineDeletion widens a deletion to cover its whole line(s) when
+// what would remain is only indentation and/or a trailing // comment.
+func expandLineDeletion(src []byte, e TextEdit) TextEdit {
+	start := e.Offset
+	for start > 0 && src[start-1] != '\n' {
+		start--
+	}
+	for _, c := range src[start:e.Offset] {
+		if c != ' ' && c != '\t' {
+			return e // something precedes the deleted span
+		}
+	}
+	end := e.End
+	for end < len(src) && src[end] != '\n' {
+		end++
+	}
+	rest := bytes.TrimLeft(src[e.End:end], " \t")
+	if len(rest) != 0 && !bytes.HasPrefix(rest, []byte("//")) {
+		return e // something follows on the line
+	}
+	if end < len(src) {
+		end++ // take the newline too
+	}
+	return TextEdit{File: e.File, Offset: start, End: end}
+}
+
+// RenderDiff writes a compact unified-style diff between before and
+// after, with paths shown as name.
+func RenderDiff(w io.Writer, name string, before, after []byte) {
+	if bytes.Equal(before, after) {
+		return
+	}
+	a := splitLines(before)
+	b := splitLines(after)
+	pre := 0
+	for pre < len(a) && pre < len(b) && a[pre] == b[pre] {
+		pre++
+	}
+	post := 0
+	for post < len(a)-pre && post < len(b)-pre && a[len(a)-1-post] == b[len(b)-1-post] {
+		post++
+	}
+	fmt.Fprintf(w, "--- a/%s\n+++ b/%s\n", name, name)
+	fmt.Fprintf(w, "@@ -%d,%d +%d,%d @@\n", pre+1, len(a)-pre-post, pre+1, len(b)-pre-post)
+	for _, line := range a[pre : len(a)-post] {
+		fmt.Fprintf(w, "-%s\n", line)
+	}
+	for _, line := range b[pre : len(b)-post] {
+		fmt.Fprintf(w, "+%s\n", line)
+	}
+}
+
+func splitLines(b []byte) []string {
+	var out []string
+	for _, l := range bytes.Split(b, []byte("\n")) {
+		out = append(out, string(l))
+	}
+	if len(out) > 0 && out[len(out)-1] == "" {
+		out = out[:len(out)-1]
+	}
+	return out
+}

@@ -66,6 +66,9 @@ type SiteFootprint struct {
 	// "pkg/path.Type.field" for fields.
 	Reads  []string `json:"reads"`
 	Writes []string `json:"writes"`
+	// Cost is the loop-weighted static commit-cost estimate (cost.go);
+	// prior synthesis uses it to down-weight expensive transactions.
+	Cost CostEstimate `json:"cost"`
 	// Notes lists analysis horizons (dynamic calls, unresolved storage)
 	// that make the footprint a lower bound rather than exact.
 	Notes []string `json:"notes,omitempty"`
@@ -83,6 +86,15 @@ type ConflictEdge struct {
 type ConflictGraph struct {
 	Sites []SiteFootprint `json:"sites"`
 	Edges []ConflictEdge  `json:"edges"`
+}
+
+// NewConflictGraph builds a graph from hand-declared sites, deriving
+// the conflict edges — for callers (tests, simulators) that know their
+// footprints without a source-analysis pass.
+func NewConflictGraph(sites []SiteFootprint) *ConflictGraph {
+	g := &ConflictGraph{Sites: sites}
+	g.buildEdges()
+	return g
 }
 
 // Footprint analyzes every Atomic call site in pkgs (excluding test
@@ -115,6 +127,7 @@ func Footprint(pkgs []*Package, moduleRoot string) *ConflictGraph {
 				Irrevocable: site.irrevocable,
 				Reads:       fp.reads(),
 				Writes:      fp.writes(),
+				Cost:        pr.siteCost(pkg, site),
 				Notes:       fp.notes,
 			})
 		}
@@ -213,6 +226,7 @@ func (g *ConflictGraph) RenderText(w io.Writer) {
 		fmt.Fprintf(w, "[%d] %s:%d tx %s%s (%s, %s)\n", i, s.File, s.Line, s.Tx, irrev, s.Func, s.Pkg)
 		fmt.Fprintf(w, "    reads:  %s\n", renderSet(s.Reads))
 		fmt.Fprintf(w, "    writes: %s\n", renderSet(s.Writes))
+		fmt.Fprintf(w, "    cost:   %s\n", s.Cost)
 		for _, n := range s.Notes {
 			fmt.Fprintf(w, "    note:   %s\n", n)
 		}
@@ -248,6 +262,11 @@ type fpRoot struct {
 	kind  int    // fpConcrete | fpParam | fpUnknown
 	label string // concrete label, or a description for unknown roots
 	index int    // parameter index for fpParam (-1 = receiver)
+	// decl is the rendered position of the storage declaration for
+	// concrete roots (zero otherwise); gstm010 reports hotspots there.
+	// Rendered (not a token.Pos) so roots from different loads of the
+	// same file compare equal.
+	decl token.Position
 }
 
 const (
@@ -322,12 +341,7 @@ func (pr *program) siteFootprint(pkg *Package, site *atomicSite) *fpSummary {
 		return sum
 	}
 	// Skip nested Atomic closures (they are their own sites).
-	nested := map[ast.Node]bool{}
-	for _, other := range atomicSitesIn(pkg) {
-		if other.closure != nil && other.closure != site.closure {
-			nested[other.closure] = true
-		}
-	}
+	nested := nestedAtomicClosures(pkg, site.closure)
 	walk := func(n ast.Node) bool {
 		if nested[n] {
 			return false
@@ -625,13 +639,21 @@ func resolveRoot(pkg *Package, e ast.Expr, params map[types.Object]int, depth in
 				t = ptr.Elem()
 			}
 			if named, ok := types.Unalias(t).(*types.Named); ok && named.Obj().Pkg() != nil {
-				return fpRoot{kind: fpConcrete, label: named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + e.Sel.Name}
+				return fpRoot{
+					kind:  fpConcrete,
+					label: named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + e.Sel.Name,
+					decl:  pkg.Fset.Position(sel.Obj().Pos()),
+				}
 			}
 			return fpRoot{kind: fpUnknown, label: "field of unnamed type"}
 		}
 		// Package-qualified variable: pkgname.Var.
 		if obj, ok := pkg.Info.Uses[e.Sel].(*types.Var); ok && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
-			return fpRoot{kind: fpConcrete, label: obj.Pkg().Path() + "." + obj.Name()}
+			return fpRoot{
+				kind:  fpConcrete,
+				label: obj.Pkg().Path() + "." + obj.Name(),
+				decl:  pkg.Fset.Position(obj.Pos()),
+			}
 		}
 	case *ast.Ident:
 		obj := pkg.Info.Uses[e]
@@ -646,7 +668,11 @@ func resolveRoot(pkg *Package, e ast.Expr, params map[types.Object]int, depth in
 			return fpRoot{kind: fpParam, index: idx}
 		}
 		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
-			return fpRoot{kind: fpConcrete, label: v.Pkg().Path() + "." + v.Name()}
+			return fpRoot{
+				kind:  fpConcrete,
+				label: v.Pkg().Path() + "." + v.Name(),
+				decl:  pkg.Fset.Position(v.Pos()),
+			}
 		}
 		// Local: trace a single assignment to its source; otherwise the
 		// local itself is the storage identity (a captured variable
@@ -665,7 +691,7 @@ func resolveRoot(pkg *Package, e ast.Expr, params map[types.Object]int, depth in
 		if v.Pkg() != nil {
 			label = v.Pkg().Path() + "." + label
 		}
-		return fpRoot{kind: fpConcrete, label: label}
+		return fpRoot{kind: fpConcrete, label: label, decl: pkg.Fset.Position(v.Pos())}
 	}
 	return fpRoot{kind: fpUnknown, label: exprString(pkg, e)}
 }

@@ -1,0 +1,33 @@
+package lint
+
+func init() { Register(ignoreHygiene{}) }
+
+// ignoreHygiene is gstm000: //gstm:ignore directive hygiene.
+//
+// A suppression directive is a standing waiver — it keeps silencing
+// whatever appears on its line forever, long after the finding it was
+// written for is fixed. Two failure modes make waivers rot: a bare
+// //gstm:ignore (no check ID) would blanket-suppress every current and
+// future check on the line, and a directive whose named checks all ran
+// but suppressed nothing is dead weight that will silently swallow the
+// next, unrelated finding at the same position. gstm000 reports both.
+//
+// Unlike the other checks, gstm000 has no per-package walk of its own:
+// Run drives it from the suppression bookkeeping after all packages
+// have been filtered (the directive usage is only known then), so
+// Check is a no-op. Its diagnostics cannot themselves be suppressed —
+// a //gstm:ignore gstm000 would be exactly the rot being reported.
+type ignoreHygiene struct{}
+
+func (ignoreHygiene) ID() string   { return "gstm000" }
+func (ignoreHygiene) Name() string { return "ignore-hygiene" }
+func (ignoreHygiene) Doc() string {
+	return "flags //gstm:ignore directives that suppress nothing: bare directives without " +
+		"a check ID (explicit IDs are required), and directives whose named checks ran " +
+		"but found nothing on the line — stale waivers would silently swallow the next " +
+		"finding; remove or correct them"
+}
+
+// Check is a no-op: Run reports gstm000 findings from the directive
+// tracker once every package's suppression has been applied.
+func (ignoreHygiene) Check(*Pass) {}

@@ -10,15 +10,20 @@
 // the model is built from. Package lint makes those patterns
 // unwritable at build time: a registry of STM-aware checkers walks
 // type-checked packages and reports diagnostics with stable check IDs
-// (gstm001..gstm008) that CI gates on via cmd/gstmlint.
+// (gstm001..gstm010) that CI gates on via cmd/gstmlint.
 //
-// Diagnostics can be suppressed with an inline directive:
+// Diagnostics can be suppressed with an inline directive naming the
+// check(s) being waived:
 //
 //	v.Store(0) //gstm:ignore gstm003 -- setup helper, no tx in flight
 //
-// A bare //gstm:ignore suppresses every check on that line (or the
-// line directly below, when the comment stands alone); listing IDs
-// restricts the suppression to those checks.
+// The directive applies to its own line and the line directly below
+// (for comments standing alone above the construct). Explicit check
+// IDs are required: a bare //gstm:ignore suppresses nothing and is
+// itself reported by gstm000, as is any directive that suppressed no
+// diagnostic in the run — silent blanket ignores would hide new
+// findings forever. Some checkers attach machine-applicable fixes to
+// their diagnostics; ApplyFixes materializes them (gstmlint -fix).
 package lint
 
 import (
@@ -40,6 +45,9 @@ type Diagnostic struct {
 	// outermost first: ["tx TxMove", "jitter", "rand.Intn"]. Nil for
 	// intraprocedural checks.
 	Chain []string
+	// Fix is the machine-applicable rewrite, when the checker knows one
+	// (see fix.go). Nil means the finding needs a human.
+	Fix *Fix
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
@@ -122,6 +130,17 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportAtf records a diagnostic at an already-rendered position
+// (used by module-wide checks whose finding lives in a different file
+// than the package being walked).
+func (p *Pass) ReportAtf(pos token.Position, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Position: pos,
+		Check:    p.checker.ID(),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // ReportChainf records a diagnostic that carries a call chain.
 func (p *Pass) ReportChainf(pos token.Pos, chain []string, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
@@ -135,21 +154,44 @@ func (p *Pass) ReportChainf(pos token.Pos, chain []string, format string, args .
 // Run executes the given checkers (all registered ones if nil) over
 // the packages and returns the surviving diagnostics, sorted by
 // position, deduplicated, and filtered through //gstm:ignore
-// directives.
+// directives. Packages marked Dep (loaded only to complete the module
+// view, see Loader.LoadWithDeps) inform the call graph and footprints
+// but are not themselves checked. When the gstm000 hygiene check is
+// among the selected checkers, directives that suppressed nothing are
+// reported after filtering.
 func Run(pkgs []*Package, checkers []Checker) []Diagnostic {
 	if checkers == nil {
 		checkers = Checkers()
 	}
+	ran := map[string]bool{}
+	for _, c := range checkers {
+		ran[c.ID()] = true
+	}
 	prog := newProgram(pkgs)
+	tracker := newDirectiveTracker()
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
+		if pkg.Dep {
+			continue
+		}
 		ctxs := new([]*txContext)
 		for _, c := range checkers {
 			pass := &Pass{Fset: pkg.Fset, Pkg: pkg, checker: c, diags: &diags, prog: prog, contexts: ctxs}
 			c.Check(pass)
 		}
-		diags = suppress(diags, pkg)
+		diags = tracker.suppress(diags, pkg)
 	}
+	if ran[hygieneID] {
+		diags = append(diags, tracker.warnings(ran)...)
+	}
+	sortDiags(diags)
+	return dedupe(diags)
+}
+
+// sortDiags orders diagnostics by position, then check ID, then
+// message — a total order, so multi-package runs are deterministic
+// regardless of package iteration order.
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Position.Filename != b.Position.Filename {
@@ -161,13 +203,19 @@ func Run(pkgs []*Package, checkers []Checker) []Diagnostic {
 		if a.Position.Column != b.Position.Column {
 			return a.Position.Column < b.Position.Column
 		}
-		return a.Check < b.Check
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
 	})
-	return dedupe(diags)
 }
 
-// dedupe removes exact duplicates (the same construct can be reached
-// through more than one walk, e.g. a nested closure).
+// dedupe removes exact duplicates: loading the same file through more
+// than one path (a lint target that is also another target's
+// dependency) or reaching one construct via two walks must yield one
+// finding, not two. The message stays in the key — distinct findings
+// can legitimately share a position (e.g. two gstm006 effects behind
+// one helper call).
 func dedupe(diags []Diagnostic) []Diagnostic {
 	out := diags[:0]
 	seen := map[string]bool{}
@@ -185,16 +233,37 @@ func dedupe(diags []Diagnostic) []Diagnostic {
 // ignoreDirective is the suppression comment prefix.
 const ignoreDirective = "gstm:ignore"
 
-// suppress drops diagnostics covered by //gstm:ignore directives in
-// pkg's files. A directive applies to its own line and to the line
-// directly below it (for comments standing alone above the construct).
-func suppress(diags []Diagnostic, pkg *Package) []Diagnostic {
-	type lineKey struct {
-		file string
-		line int
-	}
-	// ignores maps a line to the set of suppressed IDs; nil = all.
-	ignores := map[lineKey]map[string]bool{}
+// hygieneID is gstm000, the directive-hygiene pseudo-check (see
+// hygiene.go); Run drives it from the suppression bookkeeping.
+const hygieneID = "gstm000"
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// directive is one parsed //gstm:ignore comment.
+type directive struct {
+	pos  token.Position
+	ids  []string // parsed check IDs; empty = malformed bare directive
+	used bool     // suppressed at least one diagnostic this run
+}
+
+// directiveTracker collects every ignore directive seen across the
+// run's packages (deduplicating files loaded through multiple paths)
+// and records which ones actually suppressed a diagnostic.
+type directiveTracker struct {
+	seen   map[lineKey]bool
+	byLine map[lineKey][]*directive
+	all    []*directive
+}
+
+func newDirectiveTracker() *directiveTracker {
+	return &directiveTracker{seen: map[lineKey]bool{}, byLine: map[lineKey][]*directive{}}
+}
+
+// collect parses pkg's ignore directives into the tracker.
+func (tr *directiveTracker) collect(pkg *Package) {
 	for _, f := range pkg.Files {
 		tokFile := pkg.Fset.File(f.Pos())
 		if tokFile == nil {
@@ -214,44 +283,86 @@ func suppress(diags []Diagnostic, pkg *Package) []Diagnostic {
 				if i := strings.Index(rest, "--"); i >= 0 {
 					rest = rest[:i]
 				}
-				var ids map[string]bool
-				fields := strings.FieldsFunc(rest, func(r rune) bool {
-					return r == ',' || r == ' ' || r == '\t'
-				})
-				if len(fields) > 0 {
-					ids = map[string]bool{}
-					for _, f := range fields {
-						ids[f] = true
-					}
+				pos := pkg.Fset.Position(c.Pos())
+				at := lineKey{fname, pos.Line}
+				if tr.seen[at] {
+					continue // same file through another load path
 				}
-				line := pkg.Fset.Position(c.Pos()).Line
-				for _, l := range []int{line, line + 1} {
+				tr.seen[at] = true
+				d := &directive{
+					pos: pos,
+					ids: strings.FieldsFunc(rest, func(r rune) bool {
+						return r == ',' || r == ' ' || r == '\t'
+					}),
+				}
+				tr.all = append(tr.all, d)
+				// The directive covers its own line and the line below
+				// (comments standing alone above the construct).
+				for _, l := range []int{pos.Line, pos.Line + 1} {
 					k := lineKey{fname, l}
-					if ids == nil {
-						ignores[k] = nil // all
-					} else if prev, ok := ignores[k]; !ok || prev != nil {
-						if prev == nil {
-							prev = map[string]bool{}
-						}
-						for id := range ids {
-							prev[id] = true
-						}
-						ignores[k] = prev
-					}
+					tr.byLine[k] = append(tr.byLine[k], d)
 				}
 			}
 		}
 	}
-	if len(ignores) == 0 {
+}
+
+// suppress folds pkg's directives into the tracker and drops the
+// accumulated diagnostics they cover. Only directives naming the
+// diagnostic's check ID suppress it — a bare //gstm:ignore matches
+// nothing (gstm000 reports it instead).
+func (tr *directiveTracker) suppress(diags []Diagnostic, pkg *Package) []Diagnostic {
+	tr.collect(pkg)
+	if len(tr.byLine) == 0 {
 		return diags
 	}
 	out := diags[:0]
 	for _, d := range diags {
-		ids, found := ignores[lineKey{d.Position.Filename, d.Position.Line}]
-		if found && (ids == nil || ids[d.Check]) {
+		suppressed := false
+		for _, dir := range tr.byLine[lineKey{d.Position.Filename, d.Position.Line}] {
+			for _, id := range dir.ids {
+				if id == d.Check {
+					dir.used = true
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// warnings reports directive hygiene (gstm000): bare directives, and
+// directives that suppressed nothing even though every check they name
+// ran (an unknown ID counts as "ran" — it can never suppress). A
+// directive naming a registered check that was deselected this run is
+// given the benefit of the doubt.
+func (tr *directiveTracker) warnings(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	warn := func(pos token.Position, format string, args ...any) {
+		out = append(out, Diagnostic{Position: pos, Check: hygieneID, Message: fmt.Sprintf(format, args...)})
+	}
+	for _, d := range tr.all {
+		if len(d.ids) == 0 {
+			warn(d.pos, "bare //gstm:ignore suppresses nothing: name the check being waived, e.g. //gstm:ignore gstm007 -- justification")
 			continue
 		}
-		out = append(out, d)
+		if d.used {
+			continue
+		}
+		decided := true
+		for _, id := range d.ids {
+			c, known := Lookup(id)
+			if known && !ran[c.ID()] {
+				decided = false // that check did not run; the directive may still be load-bearing
+				break
+			}
+		}
+		if decided {
+			warn(d.pos, "//gstm:ignore %s suppressed no diagnostic: the finding is gone or the ID is wrong; remove the directive or fix it", strings.Join(d.ids, ", "))
+		}
 	}
 	return out
 }

@@ -19,6 +19,9 @@ var fixtureDirs = []string{
 	"transitive",
 	"deadread",
 	"ctxatomic",
+	"unboundedloop",
+	"hotspot",
+	"hygiene",
 	"clean",
 }
 

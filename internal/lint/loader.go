@@ -30,6 +30,10 @@ type Package struct {
 	// TypeErrors collects type-checking problems. Lint results for a
 	// package that does not type-check are best-effort.
 	TypeErrors []error
+	// Dep marks a package loaded only as a dependency of the named
+	// targets (see Loader.LoadWithDeps): it completes the module view
+	// for call-graph and footprint analyses but is not itself checked.
+	Dep bool
 
 	// assigns caches the single-assignment index used by the footprint
 	// analyzer's alias tracing (built lazily by assignIndex).
@@ -166,6 +170,7 @@ func (l *Loader) LoadWithDeps(patterns ...string) ([]*Package, error) {
 					continue // missing dep surfaces as a type error on the importer
 				}
 				dep := l.check(path, dir, base)
+				dep.Dep = true
 				pkgs = append(pkgs, dep)
 				queue = append(queue, dep)
 			}

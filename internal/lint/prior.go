@@ -1,0 +1,214 @@
+package lint
+
+// Static guidance priors: lowering the static conflict graph into a
+// synthetic TSA so the guide has a model before the first profile run
+// exists (the cold-start problem). A profiled model records which
+// thread transactional states actually follow which; the prior can
+// only approximate that from what is statically knowable — which
+// transactions exist, which pairs can conflict (footprint overlap) and
+// how expensive each commit is (cost.go) — but that is exactly enough
+// to reproduce the guide's useful behaviour on a cold system: admit
+// statically disjoint work freely, and push destinations that co-run
+// conflicting transactions below the Tfactor admission threshold in
+// proportion to how contended and expensive the committing transaction
+// is. By construction every abort edge in the prior connects a
+// statically conflicting pair, so analyze.CrossCheck(prior, g) is
+// empty — the prior is consistent with its own evidence.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gstm/internal/model"
+	"gstm/internal/tts"
+)
+
+// Prior-synthesis defaults. DefaultPriorBase is the weight of an
+// unpenalized edge; the absolute scale is arbitrary (the guide
+// thresholds on relative probability) but large enough that integer
+// division keeps resolution after heavy penalties. maxPriorStates
+// bounds the synthesized automaton: states grow with
+// txs×threads + conflicts×threads², and a prior past this size would
+// dwarf profiled models (Table III scale) and slow every lookup.
+const (
+	DefaultPriorThreads = 8
+	DefaultPriorBase    = 1000
+	DefaultPriorPenalty = 2.0
+	maxPriorStates      = 1 << 17
+)
+
+// PriorOptions tunes SynthesizePrior. Zero values select defaults.
+type PriorOptions struct {
+	// Threads is the thread count the prior is materialized for (must
+	// match the guide's workload configuration, like a profiled model).
+	Threads int
+	// Base is the weight of a conflict-free transition.
+	Base int
+	// Penalty scales how hard conflicting destinations are suppressed:
+	// a conflict edge weighs Base / (1 + Penalty·degree·costNorm).
+	Penalty float64
+}
+
+// SynthesizePrior lowers the static conflict graph into a cold-start
+// TSA. States are the singleton commits {<tx_thread>} plus, for every
+// statically conflicting ordered pair, the abort states
+// {<a_i>, <b_j>} (b commits, aborting a). From a singleton source,
+// every (tx, thread) pair is reachable — including the source's own
+// pair as a self-loop, since the same thread re-committing is
+// sequential and cannot conflict: conflict-free pairs at
+// full Base weight, conflicting ones through their abort state at a
+// weight divided by the committer's conflict degree and normalized
+// commit cost — the statically-worst neighbours fall below the
+// Tfactor threshold first. Abort states inherit the out-edges of
+// their committer's singleton so guided execution can continue from
+// any state the guide observes.
+func SynthesizePrior(g *ConflictGraph, opts PriorOptions) (*model.TSA, error) {
+	threads := opts.Threads
+	if threads <= 0 {
+		threads = DefaultPriorThreads
+	}
+	base := opts.Base
+	if base <= 0 {
+		base = DefaultPriorBase
+	}
+	penalty := opts.Penalty
+	if penalty <= 0 {
+		penalty = DefaultPriorPenalty
+	}
+	if g == nil {
+		return nil, fmt.Errorf("lint: prior synthesis needs a conflict graph")
+	}
+
+	// Transaction universe: every statically identified ID, costed by
+	// its most expensive site (one ID can have several sites; the guide
+	// cannot tell them apart, so assume the worst).
+	cost := map[uint16]float64{}
+	var txs []uint16
+	for _, s := range g.Sites {
+		if s.TxID < 0 || s.TxID > math.MaxUint16 {
+			continue
+		}
+		id := uint16(s.TxID)
+		c := s.Cost.Commit()
+		if old, seen := cost[id]; !seen {
+			txs = append(txs, id)
+			cost[id] = c
+		} else if c > old {
+			cost[id] = c
+		}
+	}
+	if len(txs) == 0 {
+		return nil, fmt.Errorf("lint: no Atomic sites with constant transaction IDs; nothing to synthesize a prior from")
+	}
+	sort.Slice(txs, func(i, j int) bool { return txs[i] < txs[j] })
+
+	conflict := map[[2]uint16]bool{}
+	degree := map[uint16]int{}
+	for _, p := range g.TxIDPairs() {
+		conflict[p] = true
+		degree[p[0]]++
+		if p[1] != p[0] {
+			degree[p[1]]++
+		}
+	}
+	conflicts := func(a, b uint16) bool {
+		if a > b {
+			a, b = b, a
+		}
+		return conflict[[2]uint16{a, b}]
+	}
+	minCost := math.Inf(1)
+	for _, id := range txs {
+		if cost[id] < minCost {
+			minCost = cost[id]
+		}
+	}
+
+	// Size guard before materializing anything.
+	abortStates := 0
+	for _, a := range txs {
+		for _, b := range txs {
+			if !conflicts(a, b) {
+				continue
+			}
+			abortStates += threads * threads
+			if a == b {
+				abortStates -= threads // i == j is not a state
+			}
+		}
+	}
+	if total := len(txs)*threads + abortStates; total > maxPriorStates {
+		return nil, fmt.Errorf("lint: synthesized prior would have %d states (max %d); reduce -prior-threads or shard the hottest storage", total, maxPriorStates)
+	}
+
+	m := model.New(threads)
+	ensure := func(st tts.State) *model.Node {
+		key := st.Key()
+		n := m.Nodes[key]
+		if n == nil {
+			cp := tts.State{Commit: st.Commit, Aborts: append([]tts.Pair(nil), st.Aborts...)}
+			cp.Canonicalize()
+			n = &model.Node{State: cp, Out: map[string]int{}}
+			m.Nodes[key] = n
+		}
+		return n
+	}
+	weight := func(committer uint16) int {
+		w := int(float64(base) / (1 + penalty*float64(degree[committer])*(cost[committer]/minCost)))
+		if w < 1 {
+			w = 1
+		}
+		return w
+	}
+
+	for _, a := range txs {
+		for i := 0; i < threads; i++ {
+			running := tts.Pair{Tx: a, Thread: uint16(i)}
+			src := ensure(tts.State{Commit: running})
+			for _, b := range txs {
+				for j := 0; j < threads; j++ {
+					next := tts.Pair{Tx: b, Thread: uint16(j)}
+					var dest tts.State
+					w := base
+					if next == running {
+						// The same thread re-committing its transaction is
+						// sequential, never a conflict: a plain self-loop.
+						src.Out[tts.State{Commit: running}.Key()] += w
+						src.Total += w
+						continue
+					}
+					if conflicts(a, b) {
+						// b committing aborts a's re-execution: the abort
+						// state exists, but entering it is penalized.
+						dest = tts.State{Commit: next, Aborts: []tts.Pair{running}}
+						w = weight(b)
+					} else {
+						dest = tts.State{Commit: next}
+					}
+					destNode := ensure(dest)
+					_ = destNode
+					src.Out[dest.Key()] += w
+					src.Total += w
+				}
+			}
+		}
+	}
+
+	// Abort states continue like their committer's singleton: after
+	// {<a_i>, <b_j>} the system is simply "b committed on j".
+	for _, n := range m.Nodes {
+		if len(n.State.Aborts) == 0 {
+			continue
+		}
+		singleton := m.Nodes[tts.State{Commit: n.State.Commit}.Key()]
+		if singleton == nil {
+			continue
+		}
+		for k, c := range singleton.Out {
+			n.Out[k] += c
+			n.Total += c
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"bytes"
+	"testing"
+
+	"gstm/internal/model"
+	"gstm/internal/tts"
+)
+
+// testConflictGraph builds a small static graph by hand: tx 0 and tx 1
+// conflict (shared counter), tx 0 self-conflicts, tx 2 is disjoint and
+// cheap while tx 1 is expensive.
+func testConflictGraph() *ConflictGraph {
+	g := &ConflictGraph{
+		Sites: []SiteFootprint{
+			{Pkg: "p", TxID: 0, Writes: []string{"p.counter"}, Reads: []string{"p.counter"},
+				Cost: CostEstimate{Reads: 1, Writes: 1}},
+			{Pkg: "p", TxID: 1, Writes: []string{"p.counter"}, Reads: []string{"p.counter"},
+				Cost: CostEstimate{Reads: 20, Writes: 10}},
+			{Pkg: "p", TxID: 2, Writes: []string{"p.other"}, Reads: []string{"p.other"},
+				Cost: CostEstimate{Reads: 1, Writes: 1}},
+		},
+	}
+	g.buildEdges()
+	return g
+}
+
+func TestSynthesizePriorStructure(t *testing.T) {
+	g := testConflictGraph()
+	prior, err := SynthesizePrior(g, PriorOptions{Threads: 2})
+	if err != nil {
+		t.Fatalf("SynthesizePrior: %v", err)
+	}
+	if prior.Threads != 2 {
+		t.Errorf("Threads = %d, want 2", prior.Threads)
+	}
+
+	src := prior.Node(tts.State{Commit: tts.Pair{Tx: 0, Thread: 0}}.Key())
+	if src == nil {
+		t.Fatal("singleton state for tx 0 thread 0 missing")
+	}
+	// Disjoint next commit (tx 2) carries full base weight; the
+	// conflicting, expensive tx 1 is reachable only through its abort
+	// state at a penalized weight.
+	free := src.Out[tts.State{Commit: tts.Pair{Tx: 2, Thread: 1}}.Key()]
+	if free != DefaultPriorBase {
+		t.Errorf("conflict-free edge weight = %d, want %d", free, DefaultPriorBase)
+	}
+	abortKey := (&tts.State{
+		Commit: tts.Pair{Tx: 1, Thread: 1},
+		Aborts: []tts.Pair{{Tx: 0, Thread: 0}},
+	}).Key()
+	penalized := src.Out[abortKey]
+	if penalized <= 0 || penalized >= free {
+		t.Errorf("conflict edge weight = %d, want in (0, %d)", penalized, free)
+	}
+	// tx 1 is both contended and expensive: the guide's Tfactor gate
+	// must drop it from the high-probability destinations of this state.
+	admitted := map[string]bool{}
+	for _, d := range src.HighProbDests(model.DefaultTfactor) {
+		admitted[d] = true
+	}
+	if admitted[abortKey] {
+		t.Error("penalized conflict destination survived the Tfactor gate")
+	}
+	if !admitted[tts.State{Commit: tts.Pair{Tx: 2, Thread: 1}}.Key()] {
+		t.Error("conflict-free destination missing from high-probability set")
+	}
+
+	// Every abort edge must connect a statically conflicting pair, and
+	// abort states must be able to continue (inherited out-edges).
+	for _, n := range prior.Nodes {
+		for _, ab := range n.State.Aborts {
+			a, b := ab.Tx, n.State.Commit.Tx
+			if a > b {
+				a, b = b, a
+			}
+			ok := false
+			for _, p := range g.TxIDPairs() {
+				if p == [2]uint16{a, b} {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Errorf("abort state %s has no static conflict between tx %d and tx %d", n.State.String(), a, b)
+			}
+			if n.Total == 0 {
+				t.Errorf("abort state %s is terminal; guided execution would stall there", n.State.String())
+			}
+		}
+	}
+}
+
+func TestSynthesizePriorRoundTripsThroughEncoding(t *testing.T) {
+	prior, err := SynthesizePrior(testConflictGraph(), PriorOptions{Threads: 2})
+	if err != nil {
+		t.Fatalf("SynthesizePrior: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := prior.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	back, err := model.Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if back.NumStates() != prior.NumStates() || back.NumEdges() != prior.NumEdges() {
+		t.Errorf("round trip: %d states / %d edges, want %d / %d",
+			back.NumStates(), back.NumEdges(), prior.NumStates(), prior.NumEdges())
+	}
+}
+
+func TestSynthesizePriorErrors(t *testing.T) {
+	if _, err := SynthesizePrior(nil, PriorOptions{}); err == nil {
+		t.Error("nil graph did not error")
+	}
+	empty := &ConflictGraph{Sites: []SiteFootprint{{Pkg: "p", TxID: -1}}}
+	if _, err := SynthesizePrior(empty, PriorOptions{}); err == nil {
+		t.Error("graph without constant transaction IDs did not error")
+	}
+	big := &ConflictGraph{}
+	for i := 0; i < 40; i++ {
+		big.Sites = append(big.Sites, SiteFootprint{
+			Pkg: "p", TxID: i, Reads: []string{"p.hot"}, Writes: []string{"p.hot"},
+			Cost: CostEstimate{Reads: 1, Writes: 1},
+		})
+	}
+	big.buildEdges()
+	if _, err := SynthesizePrior(big, PriorOptions{Threads: 64}); err == nil {
+		t.Error("oversized prior did not error")
+	}
+}

@@ -1,0 +1,83 @@
+// Package ctxatomic exercises gstm008: receiving a context.Context but
+// calling Atomic, which silently drops cancellation.
+package ctxatomic
+
+import (
+	"context"
+
+	"gstm"
+	"gstm/internal/tl2"
+)
+
+func positive(ctx context.Context, s *gstm.STM, v *gstm.Var) error {
+	return s.AtomicCtx(ctx, 0, 0, func(tx *gstm.Tx) error { // want "gstm008"
+		tx.Write(v, tx.Read(v)+1)
+		return nil
+	})
+}
+
+// positiveUnusedCtx: holding a context and not using it at all is still
+// a dropped deadline — the signature is the promise.
+func positiveUnusedCtx(_ context.Context, s *tl2.STM, v *tl2.Var) {
+	_ = s.Atomic(0, 1, func(tx *tl2.Tx) error { // want "gstm008"
+		tx.Write(v, 1)
+		return nil
+	})
+}
+
+// positiveLit: a function literal with its own ctx parameter is judged
+// by its own signature.
+func positiveLit(s *gstm.STM, v *gstm.Var) {
+	f := func(ctx context.Context) error {
+		return s.AtomicCtx(ctx, 0, 2, func(tx *gstm.Tx) error { // want "gstm008"
+			tx.Write(v, tx.Read(v)+1)
+			return nil
+		})
+	}
+	_ = f(context.Background())
+}
+
+// negativeCtxCall: AtomicCtx threads the context through — compliant.
+func negativeCtxCall(ctx context.Context, s *gstm.STM, v *gstm.Var) error {
+	return s.AtomicCtx(ctx, 0, 0, func(tx *gstm.Tx) error {
+		tx.Write(v, tx.Read(v)+1)
+		return nil
+	})
+}
+
+// negativeNoCtx: no context parameter, plain Atomic is the right call.
+func negativeNoCtx(s *gstm.STM, v *gstm.Var) error {
+	return s.Atomic(0, 0, func(tx *gstm.Tx) error {
+		tx.Write(v, tx.Read(v)+1)
+		return nil
+	})
+}
+
+// negativeIrrevocable: AtomicIrrevocable has no retry loop to cancel;
+// gstm008 only concerns Atomic.
+func negativeIrrevocable(ctx context.Context, s *gstm.STM, v *gstm.Var) error {
+	return s.AtomicIrrevocable(0, 0, func(tx *tl2.IrrevTx) error {
+		tx.Write(v, 1)
+		return nil
+	})
+}
+
+// negativeNestedLit: the literal has no ctx parameter of its own, so it
+// is judged independently of the enclosing scope (goroutine bodies own
+// their lifetimes).
+func negativeNestedLit(ctx context.Context, s *gstm.STM, v *gstm.Var) {
+	go func() {
+		_ = s.Atomic(0, 3, func(tx *gstm.Tx) error {
+			tx.Write(v, tx.Read(v)+1)
+			return nil
+		})
+	}()
+}
+
+// negativeIgnored: the documented escape hatch still works.
+func negativeIgnored(ctx context.Context, s *gstm.STM, v *gstm.Var) error {
+	return s.Atomic(0, 4, func(tx *gstm.Tx) error { //gstm:ignore gstm008 -- startup path, cancellation handled upstream
+		tx.Write(v, tx.Read(v)+1)
+		return nil
+	})
+}

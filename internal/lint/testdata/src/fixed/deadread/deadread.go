@@ -1,0 +1,34 @@
+// Package deadread exercises gstm007: transactional reads in
+// statement position, whose discarded result still widens the read
+// set and manufactures false conflicts.
+package deadread
+
+import "gstm"
+
+func positives(s *gstm.STM, v *gstm.Var, arr *gstm.Array, m *gstm.Map, q *gstm.Queue) {
+	_ = s.Atomic(0, 0, func(tx *gstm.Tx) error {
+		tx.Write(v, 1)
+		return nil
+	})
+}
+
+func negatives(s *gstm.STM, v *gstm.Var, arr *gstm.Array, m *gstm.Map, q *gstm.Queue) {
+	_ = s.Atomic(0, 1, func(tx *gstm.Tx) error {
+		// Used results are the normal case.
+		x := tx.Read(v)
+		if arr.Get(tx, 0) > 0 {
+			x++
+		}
+		if _, ok := m.Get(tx, 1); ok {
+			x++
+		}
+		// Deliberate read-set widening, documented with the blank
+		// identifier: subscribe to v so any concurrent writer aborts us.
+		_ = tx.Read(v)
+		tx.Write(v, x+q.Len(tx))
+		return nil
+	})
+	// Raw setup-time accessors (no handle in flight) are gstm003's
+	// territory, not a dead read.
+	_ = arr.Len()
+}

@@ -8,11 +8,11 @@ import (
 )
 
 func positives(s *gstm.STM, v *gstm.Var) { // want "gstm010"
-	s.Atomic(0, 0, func(tx *gstm.Tx) error { // want "gstm005"
+	_ = s.Atomic(0, 0, func(tx *gstm.Tx) error { // want "gstm005"
 		tx.Write(v, tx.Read(v)+1)
 		return nil
 	})
-	s.AtomicIrrevocable(0, 0, func(tx *tl2.IrrevTx) error { // want "gstm005"
+	_ = s.AtomicIrrevocable(0, 0, func(tx *tl2.IrrevTx) error { // want "gstm005"
 		tx.Write(v, 1)
 		return nil
 	})

@@ -1,0 +1,58 @@
+// Package hotspot exercises gstm010: transactional storage sitting in
+// the may-write set of many distinct Atomic sites. The finding is
+// reported once, at the storage declaration, not at each writer.
+package hotspot
+
+import "gstm"
+
+// counter is written by three distinct transaction sites below: every
+// pair of them is a static abort edge.
+var counter = gstm.NewVar(0) // want "gstm010"
+
+// spread is written by only two sites and stays below the threshold.
+var spread = gstm.NewVar(0)
+
+// waived is just as hot as counter but documented as deliberate.
+//
+//gstm:ignore gstm010 -- demo: hot counter kept on purpose
+var waived = gstm.NewVar(0)
+
+func siteA(s *gstm.STM) {
+	_ = s.Atomic(0, 0, func(tx *gstm.Tx) error {
+		tx.Write(counter, tx.Read(counter)+1)
+		tx.Write(waived, 1)
+		return nil
+	})
+}
+
+func siteB(s *gstm.STM) {
+	_ = s.Atomic(0, 1, func(tx *gstm.Tx) error {
+		tx.Write(counter, 0)
+		tx.Write(spread, 1)
+		tx.Write(waived, 2)
+		return nil
+	})
+}
+
+func siteC(s *gstm.STM) {
+	_ = s.Atomic(0, 2, func(tx *gstm.Tx) error {
+		// The write reaches counter through a helper: the footprint
+		// propagation still attributes it to this site.
+		bump(tx)
+		tx.Write(spread, 2)
+		tx.Write(waived, 3)
+		return nil
+	})
+}
+
+// reader only reads counter; read sites do not count toward gstm010.
+func reader(s *gstm.STM, out *gstm.Var) {
+	_ = s.Atomic(0, 3, func(tx *gstm.Tx) error {
+		tx.Write(out, tx.Read(counter))
+		return nil
+	})
+}
+
+func bump(tx *gstm.Tx) {
+	tx.Write(counter, tx.Read(counter)+1)
+}

@@ -1,0 +1,72 @@
+// Package unboundedloop exercises gstm009: loops inside transaction
+// bodies with no static bound, no escape, and no condition term the
+// body can change — they can only end through a panic or the snapshot
+// shifting under the attempt, which is a livelock/deadline hazard.
+package unboundedloop
+
+import (
+	"gstm"
+	"gstm/internal/tl2"
+)
+
+func positives(s *gstm.STM, v, done *gstm.Var) {
+	_ = s.Atomic(0, 0, func(tx *gstm.Tx) error {
+		for { // want "gstm009"
+			tx.Write(v, tx.Read(v)+1)
+		}
+	})
+	_ = s.Atomic(0, 1, func(tx *gstm.Tx) error {
+		// The classic STM spin: a snapshot read repeats the same answer
+		// within one attempt, so this waits forever inside the body.
+		for tx.Read(done) == 0 { // want "gstm009"
+			tx.Write(v, 1)
+		}
+		return nil
+	})
+}
+
+func positiveIrrevocable(s *gstm.STM, done *gstm.Var) {
+	_ = s.AtomicIrrevocable(0, 2, func(tx *tl2.IrrevTx) error {
+		for tx.Read(done) == 0 { // want "gstm009"
+		}
+		return nil
+	})
+}
+
+func negatives(s *gstm.STM, v, done *gstm.Var, q *gstm.Queue, xs []int64) {
+	_ = s.Atomic(0, 3, func(tx *gstm.Tx) error {
+		// Constant three-clause bound.
+		for i := 0; i < 8; i++ {
+			tx.Write(v, int64(i))
+		}
+		// Range loops are bounded by their operand.
+		for _, x := range xs {
+			tx.Write(v, x)
+		}
+		// An escape bounds the loop even without a condition.
+		for {
+			if tx.Read(done) != 0 {
+				break
+			}
+			return nil
+		}
+		// The body updates a condition term.
+		left := tx.Read(v)
+		for left > 0 {
+			left--
+		}
+		// The condition consumes capacity (Push writes), so it varies.
+		for q.Push(tx, 1) {
+		}
+		return nil
+	})
+}
+
+func ignored(s *gstm.STM, done *gstm.Var) {
+	_ = s.Atomic(0, 4, func(tx *gstm.Tx) error {
+		//gstm:ignore gstm009 -- demo waiver, the schedule guarantees done flips
+		for tx.Read(done) == 0 {
+		}
+		return nil
+	})
+}

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+func init() { Register(unboundedLoop{}) }
+
+// unboundedLoop is gstm009: a statically-unbounded loop inside a
+// transaction body.
+//
+// A transaction body re-executes under retry and, in TL2, validates
+// its whole read set at commit; a loop with no static bound — no
+// three-clause condition, no break/return escaping it, no condition
+// term the body updates — can only leave through a panic or through
+// the transactional snapshot changing underneath it. Spinning on
+// transactional state inside a transaction is the classic STM livelock
+// shape: the spin widens the read set every iteration, the eventual
+// conflicting commit aborts the whole attempt, and the retry starts
+// the spin over. With deadlines (AtomicCtx) the loop burns the entire
+// budget; without them it can wedge a thread and starve the commit
+// gate. The loop classifier is shared with the static cost analyzer
+// (cost.go), which charges such loops a large trip multiplier.
+type unboundedLoop struct{}
+
+func (unboundedLoop) ID() string   { return "gstm009" }
+func (unboundedLoop) Name() string { return "unbounded-loop" }
+func (unboundedLoop) Doc() string {
+	return "flags statically-unbounded loops inside transaction bodies (no bound, no " +
+		"escaping break/return, no condition term updated in the body): under retry such " +
+		"a loop livelocks or exhausts any deadline; bound it, add an escape, or move the " +
+		"wait outside the transaction"
+}
+
+func (c unboundedLoop) Check(p *Pass) {
+	for _, ctx := range p.STMContexts() {
+		kind := "transaction"
+		if !ctx.retryable {
+			kind = "irrevocable transaction"
+		}
+		p.inspectIgnoringNestedContexts(ctx.body, func(n ast.Node) bool {
+			f, ok := n.(*ast.ForStmt)
+			if !ok {
+				return true
+			}
+			if _, unbounded := classifyFor(p.Pkg, f); unbounded {
+				p.Reportf(f.Pos(), "statically unbounded loop in a %s body: nothing bounds it or escapes it, so it can livelock the attempt or exhaust any deadline; bound the loop or move the wait outside the transaction", kind)
+			}
+			return true
+		})
+	}
+}

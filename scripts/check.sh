@@ -9,9 +9,14 @@
 # smoke of the schedule explorer and its oracle/scheduler stack
 # (-short trims the schedule budgets), a fuzz smoke over the binary
 # decoders and the tts key codecs, and gstmlint (the STM-aware
-# transaction-safety linter, checks gstm001..gstm008, including the
-# interprocedural gstm006 over the module-wide call graph). Exits
-# non-zero on the first failure. CI runs this same script
+# transaction-safety linter, checks gstm000..gstm010, including the
+# interprocedural gstm006 over the module-wide call graph). The lint
+# stage runs -fix -diff as a dry-run gate too — any machine-applicable
+# fix left unapplied in the tree fails the build with the diff it
+# would make — and finishes with a static-prior smoke: synthesize a
+# cold-start model from the examples (gstmlint -prior) and run one
+# tiny gstm -op coldstart pipeline against it. Exits non-zero on the
+# first failure. CI runs this same script
 # (.github/workflows/ci.yml). Set GSTM_FUZZTIME to lengthen the fuzz
 # smoke (default 10s per target).
 set -euo pipefail
@@ -48,5 +53,22 @@ go test -run='^$' -fuzz=FuzzStateEncode -fuzztime="$FUZZTIME" ./internal/tts
 
 echo "== gstmlint =="
 go run ./cmd/gstmlint ./...
+
+echo "== gstmlint fix gate (dry run) =="
+# A non-empty diff means a machine-applicable fix was left unapplied;
+# the diff itself is the error message.
+fixdiff=$(go run ./cmd/gstmlint -fix -diff ./... || true)
+if [ -n "$fixdiff" ]; then
+    echo "gstmlint -fix would change the tree; apply or waive:" >&2
+    echo "$fixdiff" >&2
+    exit 1
+fi
+
+echo "== static prior smoke (gstmlint -prior -> gstm -op coldstart) =="
+prior=$(mktemp)
+trap 'rm -f "$prior"' EXIT
+go run ./cmd/gstmlint -prior "$prior" -prior-threads 4 ./examples/... ./cmd/synquake/...
+go run ./cmd/gstm -bench kmeans -threads 4 -runs 2 -size small \
+    -op coldstart -static-prior "$prior" -model "$prior.nonexistent"
 
 echo "all checks passed"
