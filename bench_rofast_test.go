@@ -1,0 +1,115 @@
+package gstm
+
+// Certified read-only fast-path benchmarks (scripts/bench.sh writes
+// them to BENCH_rofast.json). Three claims, each against an existing
+// baseline in bench_micro_test.go:
+//
+//   - BenchmarkROFastTL2Certified vs BenchmarkTL2ReadOnly10: the
+//     validation-only commit (no read-set bookkeeping) must not be
+//     slower than the full protocol on the same 10-read scan.
+//   - BenchmarkROFastLibTMCertified vs BenchmarkLibTMModesRMW: the
+//     pooled descriptor must hold LibTM at 0 allocs/op at steady state
+//     (the fresh-descriptor path pays one per call).
+//   - BenchmarkROFastGateBypass vs BenchmarkGateOverhead: a certified
+//     pair through the guide gate must skip the snapshot/state/key
+//     machinery (72 B and 3 allocs per commit on the gated RMW path).
+
+import (
+	"testing"
+
+	"gstm/internal/effect"
+	"gstm/internal/guide"
+	"gstm/internal/harness"
+	"gstm/internal/libtm"
+	"gstm/internal/stamp"
+	"gstm/internal/tl2"
+)
+
+// roFastManifest certifies one transaction ID readonly.
+func roFastManifest(id uint16) *Manifest {
+	return &Manifest{Sites: []EffectSite{{
+		Key:   "gstm.rofast-scan@bench_rofast_test.go:1",
+		Tx:    "scan",
+		TxID:  int(id),
+		Class: effect.ReadOnly,
+	}}}
+}
+
+func BenchmarkROFastTL2Certified(b *testing.B) {
+	s := tl2.New(tl2.Options{YieldEvery: -1, Manifest: roFastManifest(0)})
+	a := tl2.NewArray(10, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Atomic(0, 0, func(tx *tl2.Tx) error {
+			var sum int64
+			for j := 0; j < 10; j++ {
+				sum += a.Get(tx, j)
+			}
+			_ = sum
+			return nil
+		})
+	}
+	if s.ROCommits() == 0 {
+		b.Fatal("certified fast path did not engage")
+	}
+}
+
+func BenchmarkROFastLibTMCertified(b *testing.B) {
+	s := libtm.New(libtm.Options{Mode: libtm.FullyOptimistic, YieldEvery: -1, Manifest: roFastManifest(0)})
+	objs := make([]*libtm.Obj, 10)
+	for i := range objs {
+		objs[i] = libtm.NewObj(1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Atomic(0, 0, func(tx *libtm.Tx) error {
+			var sum int64
+			for _, o := range objs {
+				sum += tx.Read(o)
+			}
+			_ = sum
+			return nil
+		})
+	}
+	if s.ROCommits() == 0 {
+		b.Fatal("certified fast path did not engage")
+	}
+}
+
+// BenchmarkROFastGateBypass mirrors BenchmarkGateOverhead's setup (a
+// trained kmeans model gating every transaction) but runs a certified
+// read-only scan, so both the gate's Admit and its OnCommit take the
+// certificate bypass.
+func BenchmarkROFastGateBypass(b *testing.B) {
+	e := harness.Experiment{
+		Workload: "kmeans", Threads: 2,
+		ProfileRuns: 2, MeasureRuns: 1,
+		ProfileSize: stamp.Small, MeasureSize: stamp.Small, Seed: 3,
+	}
+	m, err := e.Profile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	manifest := roFastManifest(0)
+	ctrl := guide.New(m, guide.Options{K: 1, Manifest: manifest})
+	s := tl2.New(tl2.Options{YieldEvery: -1, Manifest: manifest})
+	s.SetGate(ctrl)
+	s.SetTracer(ctrl)
+	v := tl2.NewVar(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Atomic(0, 0, func(tx *tl2.Tx) error {
+			_ = tx.Read(v)
+			return nil
+		})
+	}
+	if s.ROCommits() == 0 {
+		b.Fatal("certified fast path did not engage")
+	}
+	if ctrl.Stats().ReadOnlyAdmits == 0 {
+		b.Fatal("gate bypass did not engage")
+	}
+}

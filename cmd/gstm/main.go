@@ -47,6 +47,7 @@ import (
 	"text/tabwriter"
 
 	"gstm/internal/analyze"
+	"gstm/internal/effect"
 	"gstm/internal/fault"
 	"gstm/internal/guide"
 	"gstm/internal/harness"
@@ -86,6 +87,7 @@ func main() {
 		healthWindow = flag.Int("health-window", 0, "health monitor window in admits (0 = default, <0 = disable)")
 		relaxFactor  = flag.Float64("relax-factor", 0, "Tfactor multiplier at the relaxed ladder level (0 = default)")
 		rearmWindows = flag.Int("rearm-windows", 0, "healthy windows before re-arming a tripped ladder (0 = default)")
+		manifestPath = flag.String("manifest", "", "sealed static-effect manifest (gstmlint -manifest); certified-readonly transactions take the fast-path commit and bypass the gate")
 		deadline     = flag.Duration("deadline", 0, "per-Atomic-call deadline (0 = none); a miss exits with code 5")
 		escAfter     = flag.Int("escalate-after", 0, "aborts before irrevocable escalation (0 = default, <0 = disable)")
 		watchdogWin  = flag.Duration("watchdog-window", 0, "livelock watchdog sampling window (0 = default, <0 = disable)")
@@ -130,6 +132,13 @@ func main() {
 			fatalf(exitUsage, "%v", err)
 		}
 		e.ProfileSize, e.MeasureSize = sz, sz
+	}
+	if *manifestPath != "" {
+		m, err := effect.ReadFile(*manifestPath)
+		if err != nil {
+			fatalf(exitIO, "loading manifest: %v", err)
+		}
+		e.Manifest = m
 	}
 
 	switch *op {
@@ -317,6 +326,9 @@ func measureExitCode(err error) int {
 func printSummary(mode, bench string, res harness.ModeResult, nd bool) {
 	fmt.Printf("%s %s: %d commits, %d aborts, mean wall %.6fs\n",
 		bench, mode, res.Commits, res.Aborts, res.MeanWall)
+	if res.ROCommits > 0 {
+		fmt.Printf("readonly fast path: %d certified commits\n", res.ROCommits)
+	}
 	harness.RenderProgress(os.Stdout, res, 8)
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "thread\tmean(s)\tstddev(s)")

@@ -5,16 +5,22 @@
 //
 // Usage:
 //
-//	gstmlint [-checks gstm001,gstm003] [-list] [-json] [-v] [packages...]
+//	gstmlint [-checks gstm001,gstm003] [-skip gstm010] [-list] [-json] [-v] [packages...]
 //	gstmlint -fix [-diff] [packages...]
 //	gstmlint -footprint [-json] [packages...]
 //	gstmlint -prior out.tsa [-prior-threads N] [packages...]
+//	gstmlint -manifest out.gsm [packages...]
 //
 // Packages are directories or "dir/..." wildcards (default "./...").
 // The exit code is the CI contract: 0 clean, 1 diagnostics found,
 // 2 usage or load failure. Suppress individual findings with an
 // inline //gstm:ignore <ids> directive; see README "Transaction
 // safety rules".
+//
+// -checks selects the checks to run by ID or name; -skip subtracts
+// from that set (from all checks when -checks is absent). With -json
+// the first output line echoes the selected set as {"checks":[...]},
+// so CI logs record exactly what gated the run.
 //
 // -json switches lint output to one JSON object per diagnostic per
 // line (file, line, col, check, message, chain, fixable), for editor
@@ -38,6 +44,13 @@
 // file in the model container format, loadable by `gstm -static-prior`.
 // -footprint and -prior share a single load+footprint pass; add -lint
 // to run the checks over the same loaded packages too.
+//
+// -manifest runs the interprocedural effect inference (readonly /
+// write-bounded / unknown per Atomic site, see internal/lint.InferEffects)
+// and writes the sealed site manifest to the named file. The manifest
+// is what gstm.Options.Manifest loads to unlock the certified
+// read-only fast paths; `gstm -manifest` and the check.sh freshness
+// gate consume the same file.
 package main
 
 import (
@@ -60,11 +73,13 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("gstmlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	checks := fs.String("checks", "", "comma-separated check IDs or names to run (default: all)")
+	skip := fs.String("skip", "", "comma-separated check IDs or names to exclude from the selected set")
 	list := fs.Bool("list", false, "list registered checks and exit")
 	jsonOut := fs.Bool("json", false, "emit one JSON object per diagnostic (or the footprint graph as JSON with -footprint)")
 	footprint := fs.Bool("footprint", false, "print static transaction footprints and the conflict graph instead of linting")
 	priorOut := fs.String("prior", "", "synthesize a cold-start TSA from the static conflict graph and write it to this file")
 	priorThreads := fs.Int("prior-threads", lint.DefaultPriorThreads, "thread count the -prior model is materialized for")
+	manifestOut := fs.String("manifest", "", "infer per-site effect classes and write the sealed site manifest to this file")
 	lintToo := fs.Bool("lint", false, "also run the lint checks when -footprint or -prior is given")
 	fix := fs.Bool("fix", false, "apply machine-applicable suggested fixes (rewrites files gofmt-clean)")
 	diff := fs.Bool("diff", false, "with -fix: print the rewrites as diffs instead of writing files")
@@ -88,9 +103,12 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 0
 	}
 
-	var checkers []lint.Checker
-	if *checks != "" {
-		for _, id := range strings.Split(*checks, ",") {
+	// Resolve the selected check set: -checks narrows (default: all
+	// registered), -skip subtracts. The set is resolved here once so
+	// the -json echo and the run agree on it.
+	resolve := func(csv string) ([]lint.Checker, bool) {
+		var out []lint.Checker
+		for _, id := range strings.Split(csv, ",") {
 			id = strings.TrimSpace(id)
 			if id == "" {
 				continue
@@ -98,11 +116,41 @@ func run(args []string, stdout, stderr *os.File) int {
 			c, ok := lint.Lookup(id)
 			if !ok {
 				fmt.Fprintf(stderr, "gstmlint: unknown check %q (try -list)\n", id)
-				return 2
+				return nil, false
 			}
-			checkers = append(checkers, c)
+			out = append(out, c)
+		}
+		return out, true
+	}
+	checkers := lint.Checkers()
+	if *checks != "" {
+		var ok bool
+		if checkers, ok = resolve(*checks); !ok {
+			return 2
 		}
 	}
+	if *skip != "" {
+		skipped, ok := resolve(*skip)
+		if !ok {
+			return 2
+		}
+		drop := map[string]bool{}
+		for _, c := range skipped {
+			drop[c.ID()] = true
+		}
+		kept := checkers[:0:0]
+		for _, c := range checkers {
+			if !drop[c.ID()] {
+				kept = append(kept, c)
+			}
+		}
+		checkers = kept
+	}
+	var checkIDs []string
+	for _, c := range checkers {
+		checkIDs = append(checkIDs, c.ID())
+	}
+	sort.Strings(checkIDs)
 
 	patterns := fs.Args()
 	if len(patterns) == 0 {
@@ -119,7 +167,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	// dependencies of the named entry points. Everything downstream —
 	// footprint report, prior synthesis, and -lint — shares this one
 	// load pass; lint.Run skips the dependency-only packages itself.
-	needGraph := *footprint || *priorOut != ""
+	needGraph := *footprint || *priorOut != "" || *manifestOut != ""
 	load := loader.Load
 	if needGraph {
 		load = loader.LoadWithDeps
@@ -173,6 +221,16 @@ func run(args []string, stdout, stderr *os.File) int {
 			fmt.Fprintf(stdout, "gstmlint: prior: %d states, %d edges (%d threads) -> %s\n",
 				prior.NumStates(), prior.NumEdges(), prior.Threads, *priorOut)
 		}
+		if *manifestOut != "" {
+			m := lint.BuildManifest(lint.InferEffects(pkgs, loader.ModuleRoot))
+			if err := m.WriteFile(*manifestOut); err != nil {
+				fmt.Fprintf(stderr, "gstmlint: writing manifest: %v\n", err)
+				return 2
+			}
+			ro, wb, unk := m.Counts()
+			fmt.Fprintf(stdout, "gstmlint: manifest: %d sites (%d readonly, %d write-bounded, %d unknown), %d certified tx -> %s\n",
+				len(m.Sites), ro, wb, unk, len(m.CertifiedReadOnly()), *manifestOut)
+		}
 		if !*lintToo {
 			return 0
 		}
@@ -189,6 +247,19 @@ func run(args []string, stdout, stderr *os.File) int {
 		return file
 	}
 	diags := lint.Run(pkgs, checkers)
+
+	enc := json.NewEncoder(stdout)
+	if *jsonOut {
+		// First line: the selected check set, so CI logs record exactly
+		// which checks gated this run.
+		echo := struct {
+			Checks []string `json:"checks"`
+		}{checkIDs}
+		if err := enc.Encode(echo); err != nil {
+			fmt.Fprintf(stderr, "gstmlint: %v\n", err)
+			return 2
+		}
+	}
 
 	if *fix {
 		fixed, err := lint.ApplyFixes(diags)
@@ -219,7 +290,6 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 	}
 
-	enc := json.NewEncoder(stdout)
 	for _, d := range diags {
 		file := rel(d.Position.Filename)
 		if *jsonOut {

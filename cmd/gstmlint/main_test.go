@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"gstm/internal/effect"
 	"gstm/internal/model"
 )
 
@@ -43,10 +44,22 @@ func TestJSONOutput(t *testing.T) {
 		t.Fatalf("exit code = %d, want 1 (fixture has findings)", code)
 	}
 	lines := strings.Split(strings.TrimSpace(stdout), "\n")
-	if len(lines) < 2 {
-		t.Fatalf("got %d JSON lines, want several:\n%s", len(lines), stdout)
+	if len(lines) < 3 {
+		t.Fatalf("got %d JSON lines, want echo + several diagnostics:\n%s", len(lines), stdout)
 	}
-	for _, line := range lines {
+
+	// The first line echoes the selected check set.
+	var echo struct {
+		Checks []string `json:"checks"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &echo); err != nil {
+		t.Fatalf("echo line is not valid JSON: %v\n%s", err, lines[0])
+	}
+	if len(echo.Checks) != 1 || echo.Checks[0] != "gstm007" {
+		t.Errorf("echoed checks = %v, want [gstm007]", echo.Checks)
+	}
+
+	for _, line := range lines[1:] {
 		var rec struct {
 			File    string   `json:"file"`
 			Line    int      `json:"line"`
@@ -60,6 +73,69 @@ func TestJSONOutput(t *testing.T) {
 		}
 		if rec.File == "" || rec.Line == 0 || rec.Check != "gstm007" || rec.Message == "" {
 			t.Errorf("incomplete record: %s", line)
+		}
+	}
+}
+
+// TestSkipFlag pins -skip: subtracting the only firing check from the
+// full set silences the fixture, and the -json echo reflects the
+// reduced selection.
+func TestSkipFlag(t *testing.T) {
+	fixture := filepath.Join("..", "..", "internal", "lint", "testdata", "src", "deadread")
+
+	// Sanity: the fixture has gstm007 findings without -skip.
+	if code, _, _ := runCapture(t, "-checks", "gstm007", fixture); code != 1 {
+		t.Fatalf("baseline exit code = %d, want 1", code)
+	}
+
+	code, stdout, stderr := runCapture(t, "-json", "-skip", "gstm007", fixture)
+	if code != 0 {
+		t.Fatalf("exit code with -skip = %d, want 0; stderr:\n%s\nstdout:\n%s", code, stderr, stdout)
+	}
+	var echo struct {
+		Checks []string `json:"checks"`
+	}
+	first := strings.SplitN(strings.TrimSpace(stdout), "\n", 2)[0]
+	if err := json.Unmarshal([]byte(first), &echo); err != nil {
+		t.Fatalf("echo line invalid: %v\n%s", err, first)
+	}
+	for _, id := range echo.Checks {
+		if id == "gstm007" {
+			t.Errorf("skipped check still in echoed set: %v", echo.Checks)
+		}
+	}
+	if len(echo.Checks) == 0 {
+		t.Error("echoed set empty; -skip should leave the other checks selected")
+	}
+
+	// Unknown IDs are a usage error, same as -checks.
+	if code, _, stderr := runCapture(t, "-skip", "nosuch", fixture); code != 2 || !strings.Contains(stderr, "unknown check") {
+		t.Errorf("unknown -skip id: code = %d, stderr = %q; want usage error 2", code, stderr)
+	}
+}
+
+// TestManifestFlag generates the sealed effect manifest from the
+// quickstart example and checks it decodes with classified sites.
+func TestManifestFlag(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "sites.gsm")
+	example := filepath.Join("..", "..", "examples", "quickstart")
+	code, stdout, stderr := runCapture(t, "-manifest", out, example)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "manifest:") {
+		t.Errorf("no manifest summary in output:\n%s", stdout)
+	}
+	m, err := effect.ReadFile(out)
+	if err != nil {
+		t.Fatalf("written manifest does not decode: %v", err)
+	}
+	if len(m.Sites) == 0 {
+		t.Error("manifest has no sites")
+	}
+	for _, s := range m.Sites {
+		if s.Key == "" {
+			t.Errorf("site with empty key: %+v", s)
 		}
 	}
 }

@@ -102,13 +102,17 @@ func main() {
 	}
 
 	// Auditor: read-only transactions that must always see a balanced
-	// book (free + sold == total), concurrent with the clients.
+	// book (free + sold == total), concurrent with the clients. Its
+	// transaction ID (10) is unique module-wide so the effect manifest
+	// (gstmlint -manifest) can certify it readonly — certification is
+	// granted per ID, and an ID shared with any writing site anywhere
+	// in the analyzed packages is poisoned.
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		for i := 0; i < 2000; i++ {
 			var totalFree, totalSold int64
-			err := s.Atomic(clients, 2, func(tx *gstm.Tx) error {
+			err := s.Atomic(clients, 10, func(tx *gstm.Tx) error {
 				totalFree = 0
 				for f := 0; f < flights; f++ {
 					totalFree += free.Get(tx, f)

@@ -1,0 +1,52 @@
+package effect
+
+// GuardMode selects how the runtimes' dynamic soundness guard reacts
+// when a transaction running under a certified-readonly ID issues a
+// write — the static claim was wrong (stale manifest, hand-forged
+// certificate, or an analysis bug) and the fast path it unlocked is
+// no longer safe to stay on.
+//
+// The guard itself is always armed (the check is one branch on the
+// write path, which a certified-readonly transaction never takes when
+// the certificate is honest); the mode only decides the consequence.
+type GuardMode int
+
+const (
+	// GuardAuto traps under the race detector and in explorer builds —
+	// the environments whose whole point is surfacing bugs loudly —
+	// and recovers in production: the offending transaction ID is
+	// decertified, the attempt aborts and retries on the uncertified
+	// slow path, and a sampled diagnostic (first few distinct site
+	// keys plus a total counter) is retained for ROViolations-style
+	// reporting.
+	GuardAuto GuardMode = iota
+	// GuardTrap always fails the Atomic call with an error naming the
+	// certified site key.
+	GuardTrap
+	// GuardRecover always decertifies and retries on the slow path.
+	GuardRecover
+)
+
+// Traps reports whether a violation should fail the transaction
+// rather than transparently fall back.
+func (m GuardMode) Traps() bool {
+	switch m {
+	case GuardTrap:
+		return true
+	case GuardRecover:
+		return false
+	default:
+		return RaceEnabled
+	}
+}
+
+func (m GuardMode) String() string {
+	switch m {
+	case GuardTrap:
+		return "trap"
+	case GuardRecover:
+		return "recover"
+	default:
+		return "auto"
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package effect
+
+// RaceEnabled reports whether the binary was built with the race
+// detector; GuardAuto uses it to default the soundness guard to trap
+// mode in the builds meant to surface bugs loudly.
+const RaceEnabled = true

@@ -1,0 +1,108 @@
+package effect
+
+// Runtime support for cashing a manifest in: the certified-ID bitset
+// both STM runtimes consult per attempt, and the soundness guard's
+// violation log. These live here (not in the runtimes) so tl2 and
+// libtm share one implementation and one semantics for decertification.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ROSet is a runtime's view of a manifest's certified-readonly
+// transaction IDs: a bitset over the full uint16 ID space plus the
+// site key that earned each ID its certificate (for diagnostics).
+// The bitset is written at construction and by Decertify; keys is
+// immutable after construction.
+type ROSet struct {
+	bits [1024]atomic.Uint64
+	keys map[uint16]string
+}
+
+// NewROSet lowers a manifest into the runtime bitset. Returns nil when
+// nothing certifies — the nil check is the entire steady-state cost
+// for STMs without a manifest.
+func NewROSet(m *Manifest) *ROSet {
+	if m == nil {
+		return nil
+	}
+	certified := m.CertifiedReadOnly()
+	if len(certified) == 0 {
+		return nil
+	}
+	r := &ROSet{keys: certified}
+	for id := range certified {
+		w := &r.bits[id>>6]
+		w.Store(w.Load() | 1<<(id&63))
+	}
+	return r
+}
+
+// Certified reports whether the transaction ID holds a readonly
+// certificate.
+func (r *ROSet) Certified(tx uint16) bool {
+	return r.bits[tx>>6].Load()&(1<<(tx&63)) != 0
+}
+
+// Decertify withdraws one transaction ID's certificate (the guard's
+// recover-mode response). CAS loop because atomic.Uint64 carries no
+// And on this toolchain.
+func (r *ROSet) Decertify(tx uint16) {
+	w := &r.bits[tx>>6]
+	bit := uint64(1) << (tx & 63)
+	for {
+		old := w.Load()
+		if old&bit == 0 || w.CompareAndSwap(old, old&^bit) {
+			return
+		}
+	}
+}
+
+// Key returns the site key recorded for a certified transaction ID.
+func (r *ROSet) Key(tx uint16) string {
+	if r == nil {
+		return ""
+	}
+	return r.keys[tx]
+}
+
+// ViolationLog samples the offending site keys of soundness-guard
+// hits: the total is exact, the key list keeps the first few distinct
+// offenders so a production incident names its sites without
+// unbounded growth.
+type ViolationLog struct {
+	total atomic.Uint64
+	mu    sync.Mutex
+	keys  []string
+}
+
+// maxViolationKeys bounds the sampled distinct offender keys.
+const maxViolationKeys = 8
+
+// Note records one guard hit against the given site key.
+func (l *ViolationLog) Note(key string) {
+	l.total.Add(1)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.keys) >= maxViolationKeys {
+		return
+	}
+	for _, k := range l.keys {
+		if k == key {
+			return
+		}
+	}
+	l.keys = append(l.keys, key)
+}
+
+// Total returns the exact number of guard hits.
+func (l *ViolationLog) Total() uint64 { return l.total.Load() }
+
+// Keys returns the sampled distinct offending site keys (at most
+// maxViolationKeys).
+func (l *ViolationLog) Keys() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.keys...)
+}

@@ -1,0 +1,71 @@
+package effect
+
+import "testing"
+
+func certManifest(ids ...uint16) *Manifest {
+	m := &Manifest{}
+	for _, id := range ids {
+		m.Sites = append(m.Sites, Site{
+			Key:   "test.site@runtime_test.go:1",
+			Tx:    "ro",
+			TxID:  int(id),
+			Class: ReadOnly,
+		})
+	}
+	return m
+}
+
+// TestROSetDecertify exercises the bitset across word boundaries and
+// the nil/empty manifest degenerate cases.
+func TestROSetDecertify(t *testing.T) {
+	r := NewROSet(certManifest(0, 63, 64, 200))
+	for _, id := range []uint16{0, 63, 64, 200} {
+		if !r.Certified(id) {
+			t.Errorf("id %d not certified", id)
+		}
+	}
+	if r.Certified(1) || r.Certified(65) {
+		t.Error("uncertified IDs report certified")
+	}
+	r.Decertify(64)
+	r.Decertify(64) // idempotent
+	if r.Certified(64) {
+		t.Error("id 64 still certified after Decertify")
+	}
+	if !r.Certified(63) || !r.Certified(0) {
+		t.Error("Decertify clobbered a neighbouring bit")
+	}
+	if NewROSet(nil) != nil {
+		t.Error("nil manifest must yield a nil ROSet")
+	}
+	if NewROSet(&Manifest{}) != nil {
+		t.Error("empty manifest must yield a nil ROSet")
+	}
+	var nilSet *ROSet
+	if nilSet.Key(3) != "" {
+		t.Error("nil ROSet Key must return empty")
+	}
+}
+
+// TestViolationLog checks exact totals with bounded distinct-key
+// sampling.
+func TestViolationLog(t *testing.T) {
+	var l ViolationLog
+	for i := 0; i < 20; i++ {
+		l.Note("siteA")
+	}
+	l.Note("siteB")
+	if l.Total() != 21 {
+		t.Errorf("Total = %d, want 21", l.Total())
+	}
+	keys := l.Keys()
+	if len(keys) != 2 || keys[0] != "siteA" || keys[1] != "siteB" {
+		t.Errorf("Keys = %v, want [siteA siteB]", keys)
+	}
+	for i := 0; i < 2*maxViolationKeys; i++ {
+		l.Note(string(rune('a' + i)))
+	}
+	if got := len(l.Keys()); got != maxViolationKeys {
+		t.Errorf("sampled keys = %d, want cap %d", got, maxViolationKeys)
+	}
+}

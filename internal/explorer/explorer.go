@@ -25,6 +25,7 @@ package explorer
 import (
 	"fmt"
 
+	"gstm/internal/effect"
 	"gstm/internal/guide"
 	"gstm/internal/libtm"
 	"gstm/internal/model"
@@ -68,6 +69,14 @@ const (
 	// single location: the canonical lost-update detector (the final
 	// value must equal the number of committed increments). Two workers.
 	WorkloadIncrement
+	// WorkloadReadOnlyMix is WorkloadPair with the scanner's transaction
+	// ID certified readonly by an in-code effect manifest (guard in trap
+	// mode): the scanner runs the certified fast-path commit while the
+	// writer races it, so the explorer checks the leaner protocol — not
+	// just the full one — against the opacity oracle. The program's
+	// Check additionally requires at least one certified commit per
+	// schedule, so a silently disengaged manifest cannot pass.
+	WorkloadReadOnlyMix
 )
 
 // defaultRounds is the per-worker transaction count when Config.Rounds
@@ -117,7 +126,7 @@ func LevelFor(m libtm.Mode) oracle.Level {
 // recorder registration order (so Final maps use index i for name i).
 func workloadLocNames(w Workload) []string {
 	switch w {
-	case WorkloadPair:
+	case WorkloadPair, WorkloadReadOnlyMix:
 		return []string{"x", "y"}
 	case WorkloadIncrement:
 		return []string{"x"}
@@ -157,6 +166,33 @@ func workloadModel(w Workload) *model.TSA {
 		run = append(run, rev...)
 	}
 	return model.Build(len(ps), run).Prune(4)
+}
+
+// readonlyMixManifest certifies the scanner's transaction ID (101) for
+// WorkloadReadOnlyMix. The key is synthetic — the workload is built in
+// code, not analyzed from source — but flows through the same ROSet
+// plumbing, so a guard hit names it in the diagnostic.
+func readonlyMixManifest() *effect.Manifest {
+	return &effect.Manifest{Sites: []effect.Site{{
+		Key:   "gstm/internal/explorer.readonly-scan",
+		Tx:    "scan",
+		TxID:  101,
+		Class: effect.ReadOnly,
+	}}}
+}
+
+// requireROCommits wraps a Program.Check so a schedule only passes if
+// the certified fast path actually ran (WorkloadReadOnlyMix).
+func requireROCommits(inner func(sched.RunResult) error, roCommits func() uint64) func(sched.RunResult) error {
+	return func(r sched.RunResult) error {
+		if err := inner(r); err != nil {
+			return err
+		}
+		if roCommits() == 0 {
+			return fmt.Errorf("readonly-mix: no certified fast-path commits — the manifest did not engage")
+		}
+		return nil
+	}
 }
 
 // guideOptions is the deterministic guide configuration for the guided
@@ -211,6 +247,10 @@ func TL2Program(cfg TL2Config) func(yield func()) sched.Program {
 		if cfg.Path == PathEscalation {
 			opts.EscalateAfter = 1
 		}
+		if cfg.Workload == WorkloadReadOnlyMix {
+			opts.Manifest = readonlyMixManifest()
+			opts.ROGuard = effect.GuardTrap
+		}
 		s := tl2.New(opts)
 		rec := oracle.NewRecorder()
 		s.SetMonitor(rec)
@@ -230,9 +270,13 @@ func TL2Program(cfg TL2Config) func(yield func()) sched.Program {
 			s.SetGate(ctrl)
 		}
 		bodies, errs := tl2Bodies(s, cfg, rounds, locs)
+		check := checkFn(rec, oracle.Opacity, errs, final)
+		if cfg.Workload == WorkloadReadOnlyMix {
+			check = requireROCommits(check, s.ROCommits)
+		}
 		return sched.Program{
 			Bodies: bodies,
-			Check:  checkFn(rec, oracle.Opacity, errs, final),
+			Check:  check,
 		}
 	}
 }
@@ -244,7 +288,7 @@ func TL2Program(cfg TL2Config) func(yield func()) sched.Program {
 //gstm:ignore gstm010 -- every workload shares locs on purpose: conflicting schedules are the subject under test
 func tl2Bodies(s *tl2.STM, cfg TL2Config, rounds int, locs []*tl2.Var) ([]func(), []error) {
 	switch cfg.Workload {
-	case WorkloadPair:
+	case WorkloadPair, WorkloadReadOnlyMix:
 		x, y := locs[0], locs[1]
 		errs := make([]error, 2)
 		writer := func() {
@@ -378,6 +422,10 @@ func LibTMProgram(cfg LibTMConfig) func(yield func()) sched.Program {
 		if cfg.Path == PathEscalation {
 			opts.EscalateAfter = 1
 		}
+		if cfg.Workload == WorkloadReadOnlyMix {
+			opts.Manifest = readonlyMixManifest()
+			opts.ROGuard = effect.GuardTrap
+		}
 		s := libtm.New(opts)
 		rec := oracle.NewRecorder()
 		s.SetMonitor(rec)
@@ -397,9 +445,13 @@ func LibTMProgram(cfg LibTMConfig) func(yield func()) sched.Program {
 			s.SetGate(ctrl)
 		}
 		bodies, errs := libtmBodies(s, cfg, rounds, locs)
+		check := checkFn(rec, LevelFor(cfg.Mode), errs, final)
+		if cfg.Workload == WorkloadReadOnlyMix {
+			check = requireROCommits(check, s.ROCommits)
+		}
 		return sched.Program{
 			Bodies: bodies,
-			Check:  checkFn(rec, LevelFor(cfg.Mode), errs, final),
+			Check:  check,
 		}
 	}
 }
@@ -411,7 +463,7 @@ func LibTMProgram(cfg LibTMConfig) func(yield func()) sched.Program {
 //gstm:ignore gstm010 -- every workload shares locs on purpose: conflicting schedules are the subject under test
 func libtmBodies(s *libtm.STM, cfg LibTMConfig, rounds int, locs []*libtm.Obj) ([]func(), []error) {
 	switch cfg.Workload {
-	case WorkloadPair:
+	case WorkloadPair, WorkloadReadOnlyMix:
 		x, y := locs[0], locs[1]
 		errs := make([]error, 2)
 		writer := func() {

@@ -1,0 +1,80 @@
+package explorer
+
+import (
+	"strings"
+	"testing"
+
+	"gstm/internal/libtm"
+	"gstm/internal/sched"
+	"gstm/internal/tl2"
+)
+
+// TestTL2ReadOnlyMixExploration drives the certified read-only fast
+// path (validation-only commits, no read-set bookkeeping) against a
+// racing writer across >= 1000 schedules, every history checked at
+// Opacity. requireROCommits inside the program makes a disengaged
+// manifest a failure, not a vacuous pass.
+func TestTL2ReadOnlyMixExploration(t *testing.T) {
+	cases := []stockCase{
+		{"random", &sched.RandomWalk{Seed: 21}, budget(t, 800)},
+		{"pct", &sched.PCT{Seed: 22, Depth: 3}, budget(t, 400)},
+	}
+	total := 0
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			total += runStock(t, c.strat, c.n, TL2Program(TL2Config{Workload: WorkloadReadOnlyMix}))
+		})
+	}
+	if !testing.Short() && total < 1000 {
+		t.Errorf("explored %d readonly-mix schedules, want >= 1000", total)
+	}
+}
+
+// TestLibTMReadOnlyMixExploration is the LibTM half: the pooled
+// certified descriptor under both read protocols, >= 1000 schedules.
+func TestLibTMReadOnlyMixExploration(t *testing.T) {
+	cases := []struct {
+		stockCase
+		mode libtm.Mode
+	}{
+		{stockCase{"optimistic/random", &sched.RandomWalk{Seed: 23}, budget(t, 700)}, libtm.FullyOptimistic},
+		{stockCase{"pessimistic/random", &sched.RandomWalk{Seed: 24}, budget(t, 500)}, libtm.FullyPessimistic},
+	}
+	total := 0
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			total += runStock(t, c.strat, c.n, LibTMProgram(LibTMConfig{Mode: c.mode, Workload: WorkloadReadOnlyMix}))
+		})
+	}
+	if !testing.Short() && total < 1000 {
+		t.Errorf("explored %d readonly-mix schedules, want >= 1000", total)
+	}
+}
+
+// TestMutationTL2SkipROValidation: arming SkipROValidation lets the
+// certified scanner skip its per-read validation, so it can commit a
+// torn x/y snapshot — the explorer must catch the opacity violation.
+// This is the knockout proving the readonly suite watches the exact
+// validation the fast path is allowed to elide.
+func TestMutationTL2SkipROValidation(t *testing.T) {
+	msg := findViolation(t, TL2Program(TL2Config{
+		Workload: WorkloadReadOnlyMix,
+		Mutate:   tl2.Mutations{SkipROValidation: true},
+	}))
+	if !strings.Contains(msg, "OPACITY VIOLATION") {
+		t.Errorf("expected an opacity verdict, got:\n%s", msg)
+	}
+}
+
+// TestMutationLibTMSkipROValidation: the LibTM knockout — a certified
+// scanner whose commit-time invisible-read validation is skipped
+// commits torn snapshots even the committed-only check rejects.
+func TestMutationLibTMSkipROValidation(t *testing.T) {
+	findViolation(t, LibTMProgram(LibTMConfig{
+		Mode:     libtm.FullyOptimistic,
+		Workload: WorkloadReadOnlyMix,
+		Mutate:   libtm.Mutations{SkipROValidation: true},
+	}))
+}

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gstm/internal/effect"
 	"gstm/internal/fault"
 	"gstm/internal/model"
 	"gstm/internal/trace"
@@ -104,6 +105,15 @@ type Options struct {
 	// weight at 1 (prior-only, for measuring the cold-start gate in
 	// isolation). Ignored when Prior is nil.
 	BlendEvidence int
+	// Manifest, when non-nil, is the sealed static-effect manifest
+	// (internal/effect). Pairs whose transaction ID is certified
+	// readonly are admitted immediately and never held: a read-only
+	// transaction writes nothing, so it cannot cause the aborts the
+	// model predicts, and gating it buys nothing. Certified commits
+	// also skip the state-automaton update in OnCommit — they do not
+	// move the contention state — which removes the gate's per-commit
+	// allocations for those pairs entirely.
+	Manifest *effect.Manifest
 	// Inject, when non-nil, arms the fault.HoldStall injection hook
 	// inside the hold loop (deterministic thread-stall testing).
 	Inject *fault.Injector
@@ -131,6 +141,10 @@ type Stats struct {
 	// IrrevocableAdmits passed through AdmitIrrevocable — escalated
 	// transactions the gate must never hold.
 	IrrevocableAdmits uint64
+	// ReadOnlyAdmits carried a readonly certificate from
+	// Options.Manifest and bypassed gating (counted inside
+	// ImmediateAdmits as well).
+	ReadOnlyAdmits uint64
 
 	// RelaxedAdmits passed a first check against the relaxed
 	// (RelaxFactor× Tfactor) destination sets at LevelRelaxed.
@@ -211,8 +225,14 @@ type Controller struct {
 	health    *healthMonitor
 	perThread []threadCounters
 
+	// ro is the manifest's certified-readonly ID set; nil when no
+	// manifest (or nothing certified), which is the whole fast-path
+	// cost for ungated deployments.
+	ro *effect.ROSet
+
 	admits          atomic.Uint64
 	irrevAdmits     atomic.Uint64
+	roAdmits        atomic.Uint64
 	immediateAdmits atomic.Uint64
 	holds           atomic.Uint64
 	escapes         atomic.Uint64
@@ -270,6 +290,7 @@ func New(m *model.TSA, opts Options) *Controller {
 		perThread: make([]threadCounters, threads),
 		tf:        tf,
 		rf:        rf,
+		ro:        effect.NewROSet(opts.Manifest),
 	}
 	if opts.Prior != nil {
 		c.prior = opts.Prior
@@ -476,6 +497,7 @@ func (c *Controller) Stats() Stats {
 		Escapes:           c.escapes.Load(),
 		UnknownPasses:     c.unknownPasses.Load(),
 		IrrevocableAdmits: c.irrevAdmits.Load(),
+		ReadOnlyAdmits:    c.roAdmits.Load(),
 		RelaxedAdmits:     c.relaxedAdmits.Load(),
 		PassthroughAdmits: c.passAdmits.Load(),
 		Degradations:      c.degradations.Load(),
@@ -520,6 +542,14 @@ func (c *Controller) Reset() {
 // fresh state anchored by this commit (aborts it causes will accrete
 // via OnAbort).
 func (c *Controller) OnCommit(instance uint64, p tts.Pair) {
+	// A certified-readonly commit changes no transactional storage, so
+	// it cannot anchor a contention state: the state the model should
+	// track is still the last writer's. Returning before the state and
+	// key materialize also makes these commits allocation-free through
+	// the gate.
+	if c.ro != nil && c.ro.Certified(p.Tx) {
+		return
+	}
 	st := tts.State{Commit: p}
 	key := st.Key()
 	c.mu.Lock()
@@ -574,6 +604,18 @@ func (c *Controller) OnAbort(p tts.Pair, killer uint64) {
 // k re-checks. Every outcome feeds the health monitor.
 func (c *Controller) Admit(p tts.Pair) {
 	c.admits.Add(1)
+
+	// Certified-readonly transactions bypass the gate before any model
+	// consultation: they cannot cause aborts, so no destination set can
+	// justify holding them, and the bypass must not touch the hold
+	// machinery at all (no snapshot load, no per-thread counters).
+	if c.ro != nil && c.ro.Certified(p.Tx) {
+		c.roAdmits.Add(1)
+		c.immediateAdmits.Add(1)
+		c.noteOutcome(false, false)
+		return
+	}
+
 	pk := p.Key()
 
 	lvl := c.Level()
@@ -684,6 +726,9 @@ func (c *Controller) AdmitIrrevocable(p tts.Pair) {
 // non-blocking probe for simulators and diagnostics. unknown is true
 // when the answer comes from the current state having no guidance.
 func (c *Controller) WouldAdmit(p tts.Pair) (ok, unknown bool) {
+	if c.ro != nil && c.ro.Certified(p.Tx) {
+		return true, false
+	}
 	lvl := c.Level()
 	if lvl == LevelPassthrough {
 		return true, false

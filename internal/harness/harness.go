@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"gstm/internal/analyze"
+	"gstm/internal/effect"
 	"gstm/internal/fault"
 	"gstm/internal/guide"
 	"gstm/internal/model"
@@ -112,6 +113,11 @@ type Experiment struct {
 	// WatchdogWindow is the livelock watchdog's sampling window
 	// (0 = runtime default, negative disables).
 	WatchdogWindow time.Duration
+	// Manifest, when non-nil, is a sealed static-effect manifest
+	// (gstmlint -manifest) attached to every STM the experiment creates
+	// and to the guide gate, so certified-readonly transactions take
+	// the fast-path commit and bypass gating in all measured modes.
+	Manifest *effect.Manifest
 }
 
 // stmOptions builds the tl2 options every experiment-created STM uses.
@@ -121,6 +127,7 @@ func (e *Experiment) stmOptions() tl2.Options {
 		DefaultDeadline: e.TxDeadline,
 		EscalateAfter:   e.EscalateAfter,
 		WatchdogWindow:  e.WatchdogWindow,
+		Manifest:        e.Manifest,
 	}
 }
 
@@ -159,6 +166,9 @@ type ModeResult struct {
 	DistinctStates int
 	// Commits and Aborts are event totals over all runs.
 	Commits, Aborts uint64
+	// ROCommits counts commits that took the certified-readonly fast
+	// path (zero unless Experiment.Manifest certifies something).
+	ROCommits uint64
 	// MeanWall is the mean parallel-section wall time in seconds.
 	MeanWall float64
 	// Guide holds controller decision counters (guided mode only).
@@ -269,6 +279,7 @@ func (e Experiment) Measure(ctrl *guide.Controller) (ModeResult, error) {
 		allKeys = append(allKeys, trace.Keys(seq)...)
 		res.Commits += s.Commits()
 		res.Aborts += s.Aborts()
+		res.ROCommits += s.ROCommits()
 		ps := s.ProgressStats()
 		res.Progress.Escalations += ps.Escalations
 		res.Progress.DeadlineExceeded += ps.DeadlineExceeded
@@ -387,6 +398,7 @@ func (e Experiment) Run() (Outcome, error) {
 		pruned := m.Prune(e.Tfactor)
 		gopts := e.Guide
 		gopts.Tfactor, gopts.K, gopts.Inject = e.Tfactor, e.K, e.Inject
+		gopts.Manifest = e.Manifest
 		ctrl := guide.New(pruned, gopts)
 		out.Guided, err = e.Measure(ctrl)
 		if err != nil {
@@ -398,6 +410,7 @@ func (e Experiment) Run() (Outcome, error) {
 	if e.Prior != nil {
 		gopts := e.Guide
 		gopts.Tfactor, gopts.K, gopts.Inject = e.Tfactor, e.K, e.Inject
+		gopts.Manifest = e.Manifest
 		gopts.Prior = e.Prior
 		gopts.BlendEvidence = e.BlendEvidence
 		ctrl := guide.New(nil, gopts)

@@ -97,6 +97,10 @@ func (s *STM) runEscalated(ctx context.Context, tx *Tx, fn func(*Tx) error) erro
 	tx.doomed.Store(false)
 	tx.killer.Store(0)
 	tx.irrev = true
+	// An escalated attempt never runs certified: the serial path locks
+	// at encounter time and is always safe, and a stale roCert would
+	// misroute Write into the soundness guard.
+	tx.roCert = false
 	tx.mon = s.monLoad()
 	if tx.mon != nil {
 		tx.mon.OnTxBegin(tx.instance, tx.pair)

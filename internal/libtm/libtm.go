@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gstm/internal/effect"
 	"gstm/internal/fault"
 	"gstm/internal/progress"
 	"gstm/internal/trace"
@@ -156,6 +157,19 @@ type Options struct {
 	// is invisible to a cooperative scheduler. nil (the default) keeps
 	// the stock Gosched behavior.
 	Yield func()
+	// Manifest registers a sealed static-effect manifest (produced by
+	// `gstmlint -manifest`, loaded with effect.ReadFile). Transaction
+	// IDs whose every static site proved readonly draw their
+	// descriptor from a pool (alloc-free at steady state) and are
+	// guarded against writes. Nil — the default — costs one pointer
+	// check per call.
+	Manifest *effect.Manifest
+	// ROGuard selects the certified-readonly soundness guard's
+	// consequence when a certified transaction issues a write: trap
+	// the call with ErrReadOnlyViolation, or decertify and retry
+	// uncertified. The zero value (effect.GuardAuto) traps under -race
+	// builds and recovers in production.
+	ROGuard effect.GuardMode
 	// Mutate enables deliberate correctness knockouts for the opacity
 	// oracle's mutation harness (internal/oracle); see Mutations. All
 	// fields false (the default) leaves the runtime stock.
@@ -175,6 +189,12 @@ type Mutations struct {
 	// SkipReadValidation disables commit-time validation of invisible
 	// reads, letting a transaction commit on top of a torn snapshot.
 	SkipReadValidation bool
+	// SkipROValidation disables commit-time invisible-read validation
+	// on certified-readonly attempts only, so the explorer can prove
+	// the certified path's validation is load-bearing: with it knocked
+	// out, a certified scanner commits torn snapshots — an opacity
+	// violation the oracle must catch.
+	SkipROValidation bool
 }
 
 // defaultYieldEvery matches tl2's access interval between yields.
@@ -215,6 +235,13 @@ type STM struct {
 	escThreshold atomic.Int64
 	watchdog     *progress.Watchdog
 	lat          atomic.Pointer[latBox]
+
+	// Certified read-only fast path (see readonly.go): the manifest's
+	// certified transaction IDs, the certified-commit counter, and the
+	// soundness guard's violation log.
+	ro        *effect.ROSet
+	roCommits atomic.Uint64
+	roLog     effect.ViolationLog
 }
 
 type tracerBox struct{ t trace.Tracer }
@@ -231,6 +258,7 @@ func New(opts Options) *STM {
 		opts.YieldEvery = defaultYieldEvery
 	}
 	s := &STM{opts: opts}
+	s.ro = effect.NewROSet(opts.Manifest)
 	s.escThreshold.Store(configuredThreshold(opts.EscalateAfter))
 	if opts.WatchdogWindow >= 0 {
 		s.watchdog = progress.NewWatchdog(opts.WatchdogWindow)
@@ -402,6 +430,10 @@ type Tx struct {
 	ops int
 	// done is the AtomicCtx context's Done channel (nil = no deadline).
 	done <-chan struct{}
+	// roCert marks an attempt running under a certified-readonly
+	// transaction ID (Options.Manifest): the descriptor came from
+	// roTxPool and Write trips the soundness guard.
+	roCert bool
 	// irrev marks an escalated (irrevocable serial) attempt: reads and
 	// writes take write locks at encounter time and cannot abort.
 	irrev bool
@@ -507,6 +539,13 @@ func (tx *Tx) Read(o *Obj) int64 {
 // Write transactionally stores x into o. In encounter mode the write
 // lock is taken now; in commit mode the write is buffered.
 func (tx *Tx) Write(o *Obj, x int64) {
+	if tx.roCert {
+		// Soundness guard: the manifest certified this transaction ID
+		// readonly, so no write may ever reach here. Trap before
+		// anything is buffered or locked; runAttempt decides the
+		// consequence per Options.ROGuard.
+		panic(roViolation{key: tx.stm.ro.Key(tx.pair.Tx)})
+	}
 	tx.maybeYield()
 	tx.checkDoomed()
 	if tx.irrev {
@@ -629,7 +668,8 @@ func (tx *Tx) commit() {
 	// Validate invisible reads: version unchanged and no foreign writer.
 	// The mutation knockout (oracle sensitivity harness) skips this loop
 	// wholesale, committing on top of whatever snapshot the reads saw.
-	if !tx.stm.opts.Mutate.SkipReadValidation {
+	if !tx.stm.opts.Mutate.SkipReadValidation &&
+		!(tx.roCert && tx.stm.opts.Mutate.SkipROValidation) {
 		for _, r := range tx.invReads {
 			r.o.mu.Lock()
 			bad := r.o.version != r.ver || (r.o.writerInst != 0 && r.o.writerTx != tx)
@@ -668,6 +708,9 @@ func (tx *Tx) commit() {
 	}
 	tx.locked = nil
 	tx.releaseVisibleReads()
+	if tx.roCert {
+		tx.stm.roCommits.Add(1)
+	}
 }
 
 // cleanupAfterAbort releases everything the failed attempt held.
@@ -720,7 +763,22 @@ func (s *STM) AtomicCtx(ctx context.Context, thread, txID uint16, fn func(*Tx) e
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	tx := &Tx{stm: s, pair: tts.Pair{Tx: txID, Thread: thread}, done: ctx.Done()}
+	// Certified read-only transactions draw a pooled descriptor whose
+	// read-set slices keep their capacity across calls: the alloc-free
+	// fast path. Everything else keeps the per-call descriptor — write
+	// sets and doom pointers have unbounded, caller-driven lifetimes
+	// that pooling would have to defend against for no certain win.
+	var tx *Tx
+	roCert := s.ro != nil && s.ro.Certified(txID)
+	if roCert {
+		tx = roTxPool.Get().(*Tx)
+		tx.stm = s
+		tx.pair = tts.Pair{Tx: txID, Thread: thread}
+		tx.done = ctx.Done()
+		tx.roCert = true
+	} else {
+		tx = &Tx{stm: s, pair: tts.Pair{Tx: txID, Thread: thread}, done: ctx.Done()}
+	}
 
 	var t0 time.Time
 	var rec *progress.LatencyRecorder
@@ -733,6 +791,17 @@ func (s *STM) AtomicCtx(ctx context.Context, thread, txID uint16, fn func(*Tx) e
 	err := s.atomicCtx(ctx, tx, fn, t0)
 	if rec != nil {
 		rec.Record(tx.pair, time.Since(t0))
+	}
+	if roCert {
+		// Every attempt path (commit, abort, user error, escalation)
+		// deregisters the descriptor from reader maps and write locks
+		// before atomicCtx returns, so recycling it here is safe even
+		// though a recover-mode guard hit may have cleared tx.roCert.
+		tx.stm = nil
+		tx.done = nil
+		tx.mon = nil
+		tx.roCert = false
+		roTxPool.Put(tx)
 	}
 	return err
 }
@@ -862,12 +931,19 @@ func (s *STM) SetLatencyRecorder(r *progress.LatencyRecorder) {
 func (s *STM) runAttempt(tx *Tx, fn func(*Tx) error) (killer uint64, userErr error, committed bool) {
 	defer func() {
 		if r := recover(); r != nil {
-			if sig, ok := r.(abortSignal); ok {
+			switch sig := r.(type) {
+			case abortSignal:
 				tx.cleanupAfterAbort()
 				killer = sig.killer
-				return
+			case roViolation:
+				// Certified-readonly soundness guard: trap mode surfaces
+				// the violation to the caller; recover mode decertifies
+				// the ID and retries the attempt uncertified.
+				tx.cleanupAfterAbort()
+				userErr = s.handleROViolation(tx, sig)
+			default:
+				panic(r)
 			}
-			panic(r)
 		}
 	}()
 	if err := fn(tx); err != nil {

@@ -1,0 +1,67 @@
+package libtm
+
+// Certified read-only fast path, LibTM flavour: Options.Manifest
+// registers the sealed static-effect manifest, and attempts running
+// under a certified transaction ID draw their descriptor from a
+// sync.Pool instead of allocating one per AtomicCtx call. The read
+// protocol itself is untouched — invisible reads still validate at
+// commit, visible reads still register — because LibTM's modes differ
+// in exactly those mechanics and the certificate only proves the
+// absence of writes, not the absence of conflicting writers. What the
+// certificate buys is the allocation: a pooled descriptor whose read
+// sets retain their capacity makes a certified read-only transaction
+// alloc-free at steady state.
+//
+// The same dynamic soundness guard as tl2 backs the static proof:
+// Write under a certified attempt traps before buffering anything, and
+// Options.ROGuard picks the consequence (fail the call naming the site
+// key, or decertify and retry uncertified).
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrReadOnlyViolation is returned (wrapped, naming the site key) when
+// a transaction certified readonly by Options.Manifest issues a write
+// and the soundness guard is in trap mode.
+var ErrReadOnlyViolation = errors.New("libtm: write under a certified-readonly transaction")
+
+// roViolation is the control-flow signal raised by Write on a
+// certified attempt; runAttempt converts it per the guard mode.
+type roViolation struct {
+	key string
+}
+
+// roTxPool recycles certified read-only transaction descriptors. Only
+// certified attempts use it: they never grow a write set, their read
+// sets stabilize at workload size, and their lifecycle ends strictly
+// inside AtomicCtx, so pooling is both safe and profitable there.
+var roTxPool = sync.Pool{New: func() any { return new(Tx) }}
+
+// handleROViolation is runAttempt's response to the guard firing: trap
+// mode converts it into the caller-visible error; recover mode
+// decertifies the ID and lets the attempt retry uncertified.
+func (s *STM) handleROViolation(tx *Tx, sig roViolation) error {
+	s.roLog.Note(sig.key)
+	if s.opts.ROGuard.Traps() {
+		return fmt.Errorf("%w: site %s (tx %d) issued a transactional write; the manifest is stale or the effect analysis was bypassed",
+			ErrReadOnlyViolation, sig.key, tx.pair.Tx)
+	}
+	s.ro.Decertify(tx.pair.Tx)
+	tx.roCert = false
+	return nil
+}
+
+// ROCommits returns how many commits ran under a certified-readonly
+// transaction ID (the pooled descriptor path).
+func (s *STM) ROCommits() uint64 { return s.roCommits.Load() }
+
+// ROViolations returns how many writes the certified-readonly
+// soundness guard has trapped.
+func (s *STM) ROViolations() uint64 { return s.roLog.Total() }
+
+// ROViolationKeys returns the sampled distinct site keys whose
+// certified transactions issued writes.
+func (s *STM) ROViolationKeys() []string { return s.roLog.Keys() }

@@ -154,6 +154,9 @@ func (pr *program) traversable(callee *types.Func) *funcNode {
 // static transaction ID argument decoded when it is constant.
 type atomicSite struct {
 	call *ast.CallExpr
+	// body is the transaction-body argument (AtomicCtx shifts it one
+	// position right of the Atomic/AtomicIrrevocable layout).
+	body ast.Expr
 	// closure is the function-literal body argument (nil when the body
 	// is passed as a named function or variable).
 	closure *ast.FuncLit
@@ -167,8 +170,10 @@ type atomicSite struct {
 	irrevocable bool
 }
 
-// atomicSitesIn finds every Atomic call site in pkg (skipping STM
-// implementation packages, which host the machinery itself).
+// atomicSitesIn finds every Atomic/AtomicCtx call site in pkg
+// (skipping STM implementation packages, which host the machinery
+// itself). AtomicCtx's leading context argument shifts the transaction
+// ID and body one position right.
 func atomicSitesIn(pkg *Package) []*atomicSite {
 	var sites []*atomicSite
 	if isSTMImplPackage(pkg.Path) {
@@ -181,14 +186,21 @@ func atomicSitesIn(pkg *Package) []*atomicSite {
 				return true
 			}
 			name, ok := atomicMethod(pkg.calleeFunc(call))
-			if !ok || len(call.Args) < 3 {
+			if !ok {
 				return true
 			}
-			site := &atomicSite{call: call, txLabel: "?", txID: -1, irrevocable: name == "AtomicIrrevocable"}
-			if fl, ok := ast.Unparen(call.Args[2]).(*ast.FuncLit); ok {
+			shift := 0
+			if name == "AtomicCtx" {
+				shift = 1
+			}
+			if len(call.Args) < 3+shift {
+				return true
+			}
+			site := &atomicSite{call: call, body: call.Args[2+shift], txLabel: "?", txID: -1, irrevocable: name == "AtomicIrrevocable"}
+			if fl, ok := ast.Unparen(site.body).(*ast.FuncLit); ok {
 				site.closure = fl
 			}
-			txArg := ast.Unparen(call.Args[1])
+			txArg := ast.Unparen(call.Args[1+shift])
 			if tv, ok := pkg.Info.Types[txArg]; ok && tv.Value != nil {
 				site.txLabel = tv.Value.ExactString()
 				site.txID = -1

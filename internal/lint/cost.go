@@ -73,13 +73,30 @@ func capMult(m float64) float64 {
 	return m
 }
 
+// maxCostEstimate saturates the accumulated access counts. capMult
+// bounds one body's own loop nesting at maxLoopMult, but helper-call
+// folding multiplies the *callee's whole estimate* by the caller's
+// multiplier, so clamped-at-64 loops nested across helper boundaries
+// still compound by 64 per level — deep enough chains used to run the
+// float estimate off to +Inf and wreck the prior's weight arithmetic.
+// Saturating each accumulation keeps estimates finite and monotonic;
+// past this point "enormous" carries no extra signal anyway.
+const maxCostEstimate = 1 << 20
+
+func satCost(x float64) float64 {
+	if x > maxCostEstimate {
+		return maxCostEstimate
+	}
+	return x
+}
+
 // siteCost computes the loop-weighted cost estimate of one Atomic
 // site, mirroring siteFootprint's traversal (same closure/function
 // resolution, same nested-site exclusion).
 func (pr *program) siteCost(pkg *Package, site *atomicSite) CostEstimate {
 	var est CostEstimate
 	if site.closure == nil {
-		if fn, ok := resolveFuncRef(pkg, site.call.Args[2]); ok {
+		if fn, ok := resolveFuncRef(pkg, site.body); ok {
 			if node := pr.node(fn); node != nil {
 				est = pr.funcCost(node, map[*funcNode]bool{})
 			}
@@ -181,9 +198,9 @@ func (pr *program) costCall(pkg *Package, call *ast.CallExpr, mult float64, est 
 	if ops, ok := stmPrimitive(pkg, fn, call); ok {
 		for _, op := range ops {
 			if op.write {
-				est.Writes += mult
+				est.Writes = satCost(est.Writes + mult)
 			} else {
-				est.Reads += mult
+				est.Reads = satCost(est.Reads + mult)
 			}
 		}
 		return
@@ -191,8 +208,8 @@ func (pr *program) costCall(pkg *Package, call *ast.CallExpr, mult float64, est 
 	if fn.Pkg() != nil && !isSTMPackagePath(fn.Pkg().Path()) {
 		if node := pr.node(fn); node != nil {
 			c := pr.funcCost(node, visiting)
-			est.Reads += mult * c.Reads
-			est.Writes += mult * c.Writes
+			est.Reads = satCost(est.Reads + mult*c.Reads)
+			est.Writes = satCost(est.Writes + mult*c.Writes)
 			est.UnboundedLoops += c.UnboundedLoops
 		}
 	}

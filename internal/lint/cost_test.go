@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+// TestCostSaturation pins the nested-loop weight fix: five helper
+// levels of clamped-at-64 loops used to compound to 64^5 ≈ 1.07e9 (and
+// deeper chains to +Inf); every accumulation now saturates at
+// maxCostEstimate, so the estimate stays finite and the prior's weight
+// arithmetic stays sane.
+func TestCostSaturation(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.Load(filepath.Join("testdata", "src", "costsat"))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Fatalf("fixture does not type-check: %v", terr)
+		}
+	}
+	g := Footprint(pkgs, loader.ModuleRoot)
+	if len(g.Sites) != 2 {
+		t.Fatalf("got %d sites, want 2", len(g.Sites))
+	}
+
+	deep := g.Sites[0]
+	if deep.Cost.Reads != maxCostEstimate {
+		t.Errorf("deep chain reads = %g, want saturation at %d", deep.Cost.Reads, int(maxCostEstimate))
+	}
+	if math.IsInf(deep.Cost.Commit(), 1) || math.IsNaN(deep.Cost.Commit()) {
+		t.Errorf("deep chain commit cost = %g, must stay finite", deep.Cost.Commit())
+	}
+
+	// Below the ceiling nothing changes: two clamped loop levels are
+	// still the exact 64*64 product.
+	shallow := g.Sites[1]
+	if want := 64.0 * 64.0; shallow.Cost.Reads != want {
+		t.Errorf("shallow reads = %g, want %g", shallow.Cost.Reads, want)
+	}
+}

@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gstm/internal/effect"
+)
+
+// effectsPath is the effect-inference unit fixture's import path.
+const effectsPath = "gstm/internal/lint/testdata/src/effects"
+
+func loadEffectsFixture(t *testing.T) []SiteEffect {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.Load(filepath.Join("testdata", "src", "effects"))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Fatalf("fixture does not type-check: %v", terr)
+		}
+	}
+	return InferEffects(pkgs, loader.ModuleRoot)
+}
+
+// TestInferEffectsFixture pins the verdict for each site shape:
+// readonly through helpers / AtomicCtx / named bodies, write-bounded
+// with a concrete write set, and the unknown poisons.
+func TestInferEffectsFixture(t *testing.T) {
+	effs := loadEffectsFixture(t)
+	if len(effs) != 10 {
+		t.Fatalf("got %d sites, want 10:\n%+v", len(effs), effs)
+	}
+
+	// Sites come back in source order; the fixture numbers them 0..8
+	// with transaction 7 appearing twice (reader then writer).
+	wantTx := []int{0, 1, 2, 3, 4, 5, 6, 7, 7, 8}
+	wantClass := []effect.Class{
+		effect.ReadOnly,     // 0: reads through a helper
+		effect.WriteBounded, // 1: one concrete write
+		effect.Unknown,      // 2: dynamic dispatch
+		effect.Unknown,      // 3: handle stored in a package var
+		effect.ReadOnly,     // 4: AtomicCtx
+		effect.ReadOnly,     // 5: named function body
+		effect.ReadOnly,     // 6: irrevocable (class is still readonly)
+		effect.ReadOnly,     // 7A
+		effect.WriteBounded, // 7B
+		effect.Unknown,      // 8: handle returned inside a helper
+	}
+	for i, e := range effs {
+		if e.Site.TxID != wantTx[i] {
+			t.Errorf("site %d: tx = %d, want %d", i, e.Site.TxID, wantTx[i])
+		}
+		if e.Class != wantClass[i] {
+			t.Errorf("site %d (tx %d): class = %v (%q), want %v", i, e.Site.TxID, e.Class, e.Reason, wantClass[i])
+		}
+	}
+
+	// Readonly verdicts carry no reason; the rest explain themselves.
+	for i, substr := range map[int]string{
+		1: "body writes " + effectsPath + ".balance",
+		2: "dynamic call",
+		3: "package variable",
+		8: "body writes " + effectsPath + ".ledger",
+		9: "handle returned",
+	} {
+		if !strings.Contains(effs[i].Reason, substr) {
+			t.Errorf("site %d reason = %q, want substring %q", i, effs[i].Reason, substr)
+		}
+	}
+	for _, i := range []int{0, 4, 5, 6, 7} {
+		if effs[i].Reason != "" {
+			t.Errorf("site %d readonly reason = %q, want empty", i, effs[i].Reason)
+		}
+	}
+
+	// Helper folding: the tx-0 site reads both vars through sumBoth.
+	if want := []string{effectsPath + ".balance", effectsPath + ".ledger"}; !reflect.DeepEqual(effs[0].Site.Reads, want) {
+		t.Errorf("site 0 reads = %v, want %v", effs[0].Site.Reads, want)
+	}
+	// The named body (tx 5) folds the same helper through resolveFuncRef.
+	if want := []string{effectsPath + ".balance", effectsPath + ".ledger"}; !reflect.DeepEqual(effs[5].Site.Reads, want) {
+		t.Errorf("site 5 reads = %v, want %v", effs[5].Site.Reads, want)
+	}
+	if !effs[6].Site.Irrevocable {
+		t.Error("site 6 should be marked irrevocable")
+	}
+
+	// Keys are module-relative and name the enclosing function.
+	key := SiteEffect{Site: effs[0].Site}.Key()
+	if !strings.HasPrefix(key, effectsPath+".run@internal/lint/testdata/src/effects/effects.go:") {
+		t.Errorf("site 0 key = %q, want module-relative pkg.func@file:line", key)
+	}
+}
+
+// TestBuildManifestCertification lowers the fixture verdicts into the
+// sealed manifest and checks what survives certification: irrevocable
+// sites never certify, and a transaction ID with any non-readonly site
+// is poisoned for all of them.
+func TestBuildManifestCertification(t *testing.T) {
+	m := BuildManifest(loadEffectsFixture(t))
+	ro, wb, unk := m.Counts()
+	if ro != 5 || wb != 2 || unk != 3 {
+		t.Fatalf("counts = %d/%d/%d, want 5 readonly, 2 write-bounded, 3 unknown", ro, wb, unk)
+	}
+
+	certified := m.CertifiedReadOnly()
+	if len(certified) != 3 {
+		t.Fatalf("certified = %v, want exactly tx 0, 4, 5", certified)
+	}
+	for _, id := range []uint16{0, 4, 5} {
+		if certified[id] == "" {
+			t.Errorf("tx %d missing from certified set %v", id, certified)
+		}
+	}
+	// tx 6 is readonly but irrevocable; tx 7 is poisoned by its writer.
+	for _, id := range []uint16{6, 7} {
+		if key, ok := certified[id]; ok {
+			t.Errorf("tx %d must not certify (got key %s)", id, key)
+		}
+	}
+
+	// Only write-bounded sites carry a certified write set.
+	for _, s := range m.Sites {
+		if (s.Class == effect.WriteBounded) != (len(s.Writes) > 0) {
+			t.Errorf("site %s: class %v with writes %v", s.Key, s.Class, s.Writes)
+		}
+	}
+
+	// The sealed container round-trips the certification decision.
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	back, err := effect.Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(back.CertifiedReadOnly(), certified) {
+		t.Errorf("round-trip certified = %v, want %v", back.CertifiedReadOnly(), certified)
+	}
+}

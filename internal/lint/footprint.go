@@ -329,7 +329,7 @@ func (pr *program) siteFootprint(pkg *Package, site *atomicSite) *fpSummary {
 	} else {
 		// The body is passed as a function value; resolve it when it is
 		// a plain reference to a declared function.
-		if fn, ok := resolveFuncRef(pkg, site.call.Args[2]); ok {
+		if fn, ok := resolveFuncRef(pkg, site.body); ok {
 			if node := pr.node(fn); node != nil {
 				callee := pr.summarize(node, map[*funcNode]bool{})
 				mergeCall(pkg, sum, callee, nil, nil, params, pr)

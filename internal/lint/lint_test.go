@@ -22,6 +22,7 @@ var fixtureDirs = []string{
 	"unboundedloop",
 	"hotspot",
 	"hygiene",
+	"readonlydecl",
 	"clean",
 }
 

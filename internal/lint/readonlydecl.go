@@ -1,0 +1,117 @@
+package lint
+
+// gstm011 unproven-readonly: hand annotations get the same teeth as
+// the manifest. A `//gstm:readonly` comment on (or directly above) an
+// Atomic/AtomicCtx call declares the author's intent that the site
+// never writes transactional storage; this check runs the effect
+// inference (effects.go) over the site and reports every declaration
+// the analysis cannot prove — including why: the write, the escape,
+// or the analysis horizon that blocks the proof. A declaration with
+// no Atomic call to attach to is reported too, so a refactor cannot
+// silently strand the annotation.
+
+import (
+	"go/token"
+	"strings"
+
+	"gstm/internal/effect"
+)
+
+// readonlyDirective is the annotation comment prefix.
+const readonlyDirective = "gstm:readonly"
+
+func init() { Register(readonlyDecl{}) }
+
+type readonlyDecl struct{}
+
+func (readonlyDecl) ID() string   { return "gstm011" }
+func (readonlyDecl) Name() string { return "unproven-readonly" }
+func (readonlyDecl) Doc() string {
+	return "//gstm:readonly declares an Atomic site never writes transactional storage; " +
+		"this check reports declarations the interprocedural effect inference cannot prove " +
+		"(a reachable write, an escaped handle, or dynamic dispatch the analysis cannot see past), " +
+		"and declarations stranded without an Atomic call. Unproven sites are not certified: " +
+		"the runtime fast path only trusts manifest entries the analysis stands behind."
+}
+
+func (c readonlyDecl) Check(p *Pass) {
+	marks := readonlyMarks(p.Pkg)
+	if len(marks) == 0 {
+		return
+	}
+	esc := newEscapeIndex(p.prog)
+	used := map[token.Position]bool{}
+	for _, site := range atomicSitesIn(p.Pkg) {
+		pos := p.Fset.Position(site.call.Pos())
+		// A directive covers its own line and the line below, like
+		// //gstm:ignore.
+		var dir token.Position
+		var ok bool
+		for _, l := range []int{pos.Line, pos.Line - 1} {
+			if d, have := marks[lineKey{pos.Filename, l}]; have {
+				dir, ok = d, true
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		used[dir] = true
+		if site.irrevocable {
+			p.Reportf(site.call.Pos(), "//gstm:readonly on an AtomicIrrevocable site: irrevocable transactions run under global locks and are never certified readonly")
+			continue
+		}
+		if cls, reason := p.prog.classifySite(p.Pkg, site, esc); cls != effect.ReadOnly {
+			p.Reportf(site.call.Pos(), "//gstm:readonly declaration cannot be proven: %s", reason)
+		}
+	}
+	seen := map[token.Position]bool{}
+	for _, dir := range marks {
+		if used[dir] || seen[dir] {
+			continue
+		}
+		seen[dir] = true
+		p.ReportAtf(dir, "//gstm:readonly has no Atomic call on this or the next line; the declaration certifies nothing")
+	}
+}
+
+// isDirective reports whether a comment's text is the named gstm
+// directive (with a word boundary, so gstm:readonly does not match a
+// hypothetical gstm:readonly2).
+func isDirective(text, name string) bool {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimPrefix(text, "/*")
+	text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+	if !strings.HasPrefix(text, name) {
+		return false
+	}
+	rest := text[len(name):]
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t' || strings.HasPrefix(rest, "--")
+}
+
+// readonlyMarks collects the package's //gstm:readonly directives,
+// keyed by every line they cover (their own and the one below).
+func readonlyMarks(pkg *Package) map[lineKey]token.Position {
+	marks := map[lineKey]token.Position{}
+	for _, f := range pkg.Files {
+		tokFile := pkg.Fset.File(f.Pos())
+		if tokFile == nil {
+			continue
+		}
+		fname := tokFile.Name()
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !isDirective(c.Text, readonlyDirective) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, l := range []int{pos.Line, pos.Line + 1} {
+					if _, dup := marks[lineKey{fname, l}]; !dup {
+						marks[lineKey{fname, l}] = pos
+					}
+				}
+			}
+		}
+	}
+	return marks
+}

@@ -99,13 +99,13 @@ func isSTMDataType(t types.Type) (string, bool) {
 	return name, true
 }
 
-// atomicMethod reports whether fn is STM.Atomic or
+// atomicMethod reports whether fn is STM.Atomic, STM.AtomicCtx or
 // STM.AtomicIrrevocable from one of the STM runtimes.
 func atomicMethod(fn *types.Func) (name string, ok bool) {
 	if fn == nil {
 		return "", false
 	}
-	if fn.Name() != "Atomic" && fn.Name() != "AtomicIrrevocable" {
+	if fn.Name() != "Atomic" && fn.Name() != "AtomicCtx" && fn.Name() != "AtomicIrrevocable" {
 		return "", false
 	}
 	sig, ok := fn.Type().(*types.Signature)

@@ -1,0 +1,58 @@
+// Package costsat is the cost-saturation regression fixture: loops
+// clamped at maxConstTrip nested across helper boundaries compound by
+// 64 per level, which used to run the float estimate toward +Inf.
+// The estimate must instead saturate at maxCostEstimate.
+package costsat
+
+import "gstm"
+
+var cell = gstm.NewVar(0)
+
+func level5(tx *gstm.Tx) {
+	for i := 0; i < 100; i++ {
+		v := tx.Read(cell)
+		_ = v
+	}
+}
+
+func level4(tx *gstm.Tx) {
+	for i := 0; i < 100; i++ {
+		level5(tx)
+	}
+}
+
+func level3(tx *gstm.Tx) {
+	for i := 0; i < 100; i++ {
+		level4(tx)
+	}
+}
+
+func level2(tx *gstm.Tx) {
+	for i := 0; i < 100; i++ {
+		level3(tx)
+	}
+}
+
+func level1(tx *gstm.Tx) {
+	for i := 0; i < 100; i++ {
+		level2(tx)
+	}
+}
+
+func deep(s *gstm.STM) {
+	_ = s.Atomic(0, 0, func(tx *gstm.Tx) error {
+		level1(tx)
+		return nil
+	})
+}
+
+// shallow pins a non-saturated reference point in the same fixture:
+// two nested 100-trip loops clamp to 64 each, 4096 reads total.
+func shallow(s *gstm.STM) {
+	_ = s.Atomic(0, 1, func(tx *gstm.Tx) error {
+		for i := 0; i < 100; i++ {
+			level5(tx)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,104 @@
+// Package effects is the unit fixture for the effect-inference pass:
+// one site per verdict shape — readonly through helpers, readonly via
+// AtomicCtx and via a named function body, write-bounded, and the
+// unknown poisons (dynamic dispatch, handle escape direct and through
+// a helper), plus an irrevocable site and a transaction ID shared by a
+// reader and a writer (certification must refuse it).
+package effects
+
+import (
+	"context"
+
+	"gstm"
+	"gstm/internal/tl2"
+)
+
+var (
+	balance = gstm.NewVar(0)
+	ledger  = gstm.NewVar(0)
+
+	// hook makes a call site the analysis cannot resolve.
+	hook func(tx *gstm.Tx) int64
+
+	// leaked gives the escape site somewhere to store the handle.
+	leaked *gstm.Tx
+)
+
+// sumBoth is a read-only helper taking the handle; its accesses fold
+// into each caller.
+func sumBoth(tx *gstm.Tx) int64 { return tx.Read(balance) + tx.Read(ledger) }
+
+// giveBack returns the handle — gstm002's catalogue, rechecked by the
+// effect pass when certifying callers.
+func giveBack(tx *gstm.Tx) *gstm.Tx { return tx }
+
+// scanAll is a named transaction body (no closure at the site).
+func scanAll(tx *gstm.Tx) error {
+	total := sumBoth(tx)
+	_ = total
+	return nil
+}
+
+func run(s *gstm.STM, ctx context.Context) {
+	// tx 0: readonly — reads only, including through a helper.
+	_ = s.Atomic(0, 0, func(tx *gstm.Tx) error {
+		total := sumBoth(tx)
+		_ = total
+		return nil
+	})
+
+	// tx 1: write-bounded — the write set is one concrete label.
+	_ = s.Atomic(0, 1, func(tx *gstm.Tx) error {
+		tx.Write(balance, tx.Read(balance)+1)
+		return nil
+	})
+
+	// tx 2: unknown — dynamic dispatch through a func value.
+	_ = s.Atomic(0, 2, func(tx *gstm.Tx) error {
+		v := hook(tx)
+		_ = v
+		return nil
+	})
+
+	// tx 3: unknown — the handle escapes into a package variable.
+	_ = s.Atomic(0, 3, func(tx *gstm.Tx) error {
+		leaked = tx
+		return nil
+	})
+
+	// tx 4: readonly through AtomicCtx (the shifted argument layout).
+	_ = s.AtomicCtx(ctx, 0, 4, func(tx *gstm.Tx) error {
+		v := tx.Read(ledger)
+		_ = v
+		return nil
+	})
+
+	// tx 5: readonly with the body passed as a declared function.
+	_ = s.Atomic(0, 5, scanAll)
+
+	// tx 6: irrevocable — read-only body, but never certifiable.
+	_ = s.AtomicIrrevocable(0, 6, func(tx *tl2.IrrevTx) error {
+		v := tx.Read(balance)
+		_ = v
+		return nil
+	})
+
+	// tx 7, site A: readonly on its own ...
+	_ = s.Atomic(0, 7, func(tx *gstm.Tx) error {
+		v := tx.Read(balance)
+		_ = v
+		return nil
+	})
+	// ... but tx 7, site B writes: the shared ID must not certify.
+	_ = s.Atomic(1, 7, func(tx *gstm.Tx) error {
+		tx.Write(ledger, 0)
+		return nil
+	})
+
+	// tx 8: unknown — the handle escapes inside a helper (returned).
+	_ = s.Atomic(0, 8, func(tx *gstm.Tx) error {
+		t := giveBack(tx)
+		_ = t
+		return nil
+	})
+}

@@ -1,0 +1,51 @@
+// Package readonlydecl is the gstm011 fixture: //gstm:readonly
+// declarations the effect inference can and cannot prove.
+package readonlydecl
+
+import (
+	"gstm"
+	"gstm/internal/tl2"
+)
+
+var counter = gstm.NewVar(0)
+
+var probe func(tx *gstm.Tx) int64
+
+func provable(s *gstm.STM) {
+	//gstm:readonly
+	_ = s.Atomic(0, 20, func(tx *gstm.Tx) error {
+		v := tx.Read(counter)
+		_ = v
+		return nil
+	})
+}
+
+func writer(s *gstm.STM) {
+	//gstm:readonly
+	_ = s.Atomic(0, 21, func(tx *gstm.Tx) error { // want "gstm011"
+		tx.Write(counter, 1)
+		return nil
+	})
+}
+
+func dynamic(s *gstm.STM) {
+	//gstm:readonly
+	_ = s.Atomic(0, 22, func(tx *gstm.Tx) error { // want "gstm011"
+		v := probe(tx)
+		_ = v
+		return nil
+	})
+}
+
+func irrevocable(s *gstm.STM) {
+	//gstm:readonly
+	_ = s.AtomicIrrevocable(0, 23, func(tx *tl2.IrrevTx) error { // want "gstm011"
+		v := tx.Read(counter)
+		_ = v
+		return nil
+	})
+}
+
+//gstm:readonly -- stranded: nothing transactional below // want "gstm011"
+
+func unrelated() int { return 1 }

@@ -222,6 +222,10 @@ func (s *STM) runEscalated(ctx context.Context, tx *Tx, fn func(*Tx) error) erro
 
 	tx.reset(s.clock.Load(), s.instances.Add(1))
 	tx.irrev = true
+	// An escalated attempt never runs certified: the serial path locks
+	// at encounter time and is always safe, and a stale roCert from the
+	// optimistic attempts would misroute Write into the guard.
+	tx.roCert = false
 	tx.mon = s.monLoad()
 	if tx.mon != nil {
 		tx.mon.OnTxBegin(tx.instance, tx.pair)

@@ -1,0 +1,61 @@
+package tl2
+
+// Certified read-only fast path: Options.Manifest registers the sealed
+// static-effect manifest (internal/effect, produced by `gstmlint
+// -manifest`). Transaction IDs whose every static site proved readonly
+// run a leaner protocol — Read skips the read-set append (the per-read
+// inline validation against rv IS the whole commit-time obligation of
+// a read-only TL2 transaction), so a certified attempt commits without
+// write locks, clock bumps or read-set bookkeeping of any kind.
+//
+// Static proofs get a dynamic backstop: every Write issued under a
+// certified attempt is trapped before it buffers anything. The
+// consequence is Options.ROGuard's choice — fail the Atomic call with
+// ErrReadOnlyViolation naming the offending site key (trap mode, the
+// default under -race and in the schedule explorer), or decertify the
+// transaction ID, count the event, and retry the attempt uncertified
+// (recover mode, the production default). Either way a wrong manifest
+// can cost throughput, never correctness.
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrReadOnlyViolation is returned (wrapped, naming the site key) when
+// a transaction certified readonly by Options.Manifest issues a write
+// and the soundness guard is in trap mode.
+var ErrReadOnlyViolation = errors.New("tl2: write under a certified-readonly transaction")
+
+// roViolation is the control-flow signal raised by Write on a
+// certified attempt; runAttempt converts it per the guard mode.
+type roViolation struct {
+	key string
+}
+
+// handleROViolation is runAttempt's response to the guard firing: trap
+// mode converts it into the caller-visible error; recover mode
+// decertifies the ID (subsequent attempts run the full protocol) and
+// lets the attempt retry as an ordinary abort.
+func (s *STM) handleROViolation(tx *Tx, sig roViolation) error {
+	s.roLog.Note(sig.key)
+	if s.opts.ROGuard.Traps() {
+		return fmt.Errorf("%w: site %s (tx %d) issued a transactional write; the manifest is stale or the effect analysis was bypassed",
+			ErrReadOnlyViolation, sig.key, tx.pair.Tx)
+	}
+	s.ro.Decertify(tx.pair.Tx)
+	tx.roCert = false
+	return nil
+}
+
+// ROCommits returns how many commits took the certified read-only fast
+// path.
+func (s *STM) ROCommits() uint64 { return s.roCommits.Load() }
+
+// ROViolations returns how many writes the certified-readonly
+// soundness guard has trapped.
+func (s *STM) ROViolations() uint64 { return s.roLog.Total() }
+
+// ROViolationKeys returns the sampled distinct site keys whose
+// certified transactions issued writes.
+func (s *STM) ROViolationKeys() []string { return s.roLog.Keys() }

@@ -1,0 +1,132 @@
+package tl2
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"gstm/internal/effect"
+)
+
+// roManifest builds an in-code manifest certifying the given
+// transaction IDs readonly under synthetic site keys.
+func roManifest(ids ...uint16) *effect.Manifest {
+	m := &effect.Manifest{}
+	for _, id := range ids {
+		m.Sites = append(m.Sites, effect.Site{
+			Key:   "test.site" + string(rune('A'+id)) + "@readonly_test.go:1",
+			Tx:    "ro",
+			TxID:  int(id),
+			Class: effect.ReadOnly,
+		})
+	}
+	return m
+}
+
+// TestCertifiedReadOnlyCommit runs a certified scanner against a
+// writer and checks the fast-path counter moves only for the
+// certified ID while values stay consistent.
+func TestCertifiedReadOnlyCommit(t *testing.T) {
+	s := New(Options{Manifest: roManifest(7), YieldEvery: -1})
+	a, b := NewVar(1), NewVar(2)
+
+	for i := 0; i < 100; i++ {
+		if err := s.Atomic(0, 7, func(tx *Tx) error {
+			if tx.Read(a)+tx.Read(b) != 3 {
+				t.Error("inconsistent snapshot")
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("certified scan: %v", err)
+		}
+	}
+	if got := s.ROCommits(); got != 100 {
+		t.Errorf("ROCommits = %d, want 100", got)
+	}
+
+	// An uncertified read-only transaction commits fine but does not
+	// take the certified path.
+	if err := s.Atomic(0, 9, func(tx *Tx) error { _ = tx.Read(a); return nil }); err != nil {
+		t.Fatalf("uncertified scan: %v", err)
+	}
+	if got := s.ROCommits(); got != 100 {
+		t.Errorf("ROCommits after uncertified scan = %d, want still 100", got)
+	}
+	if got := s.ROViolations(); got != 0 {
+		t.Errorf("ROViolations = %d, want 0", got)
+	}
+}
+
+// TestROGuardTrap seeds a misclassified site — a certified-readonly
+// transaction that writes — and requires the soundness guard to fail
+// the call with ErrReadOnlyViolation naming the offending site key.
+func TestROGuardTrap(t *testing.T) {
+	m := roManifest(3)
+	s := New(Options{Manifest: m, ROGuard: effect.GuardTrap, YieldEvery: -1})
+	v := NewVar(0)
+
+	err := s.Atomic(0, 3, func(tx *Tx) error {
+		tx.Write(v, 42)
+		return nil
+	})
+	if !errors.Is(err, ErrReadOnlyViolation) {
+		t.Fatalf("err = %v, want ErrReadOnlyViolation", err)
+	}
+	if key := m.Sites[0].Key; !strings.Contains(err.Error(), key) {
+		t.Errorf("diagnostic %q does not name the site key %q", err, key)
+	}
+	if v.Value() != 0 {
+		t.Errorf("trapped write reached memory: %d", v.Value())
+	}
+	if got := s.ROViolations(); got != 1 {
+		t.Errorf("ROViolations = %d, want 1", got)
+	}
+	if keys := s.ROViolationKeys(); len(keys) != 1 || keys[0] != m.Sites[0].Key {
+		t.Errorf("ROViolationKeys = %v, want the offending key", keys)
+	}
+}
+
+// TestROGuardRecover checks the production response: the violation is
+// counted, the ID decertified, and the retry commits the write through
+// the full protocol — throughput lost, correctness kept.
+func TestROGuardRecover(t *testing.T) {
+	s := New(Options{Manifest: roManifest(3), ROGuard: effect.GuardRecover, YieldEvery: -1})
+	v := NewVar(0)
+
+	write := func() error {
+		return s.Atomic(0, 3, func(tx *Tx) error {
+			tx.Write(v, tx.Read(v)+1)
+			return nil
+		})
+	}
+	if err := write(); err != nil {
+		t.Fatalf("recover-mode write: %v", err)
+	}
+	if v.Value() != 1 {
+		t.Errorf("value = %d, want 1 (retry must land the write)", v.Value())
+	}
+	if got := s.ROViolations(); got != 1 {
+		t.Errorf("ROViolations = %d, want 1", got)
+	}
+
+	// Decertified: subsequent calls run uncertified with no new
+	// violations and no fast-path commits.
+	if err := write(); err != nil {
+		t.Fatalf("post-decertify write: %v", err)
+	}
+	if got := s.ROViolations(); got != 1 {
+		t.Errorf("ROViolations after decertify = %d, want still 1", got)
+	}
+	if got := s.ROCommits(); got != 0 {
+		t.Errorf("ROCommits = %d, want 0", got)
+	}
+}
+
+// TestGuardAutoFollowsRace pins GuardAuto's resolution to the build's
+// race flag, so explorer/-race runs trap and production recovers.
+func TestGuardAutoFollowsRace(t *testing.T) {
+	if effect.GuardMode(effect.GuardAuto).Traps() != effect.RaceEnabled {
+		t.Errorf("GuardAuto.Traps() = %v, want RaceEnabled (%v)",
+			effect.GuardAuto.Traps(), effect.RaceEnabled)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gstm/internal/effect"
 	"gstm/internal/fault"
 	"gstm/internal/progress"
 	"gstm/internal/trace"
@@ -175,6 +176,18 @@ type Options struct {
 	// here to serialize goroutine interleavings under a seed. Nil (the
 	// default) keeps the stock runtime.Gosched behaviour.
 	Yield func()
+	// Manifest registers a sealed static-effect manifest (produced by
+	// `gstmlint -manifest`, loaded with effect.ReadFile). Transaction
+	// IDs whose every static site proved readonly run the certified
+	// fast path: no read-set bookkeeping, validation-only commit. Nil —
+	// the default — costs one pointer check per attempt.
+	Manifest *effect.Manifest
+	// ROGuard selects the certified-readonly soundness guard's
+	// consequence when a certified transaction issues a write: trap the
+	// Atomic call with ErrReadOnlyViolation, or decertify and retry
+	// uncertified. The zero value (effect.GuardAuto) traps under -race
+	// builds and recovers in production. See internal/effect.
+	ROGuard effect.GuardMode
 	// Mutate arms testing-only correctness knockouts that deliberately
 	// break the TL2 protocol so the opacity oracle (internal/oracle)
 	// can prove it would catch a real bug. Never set outside tests.
@@ -197,6 +210,12 @@ type Mutations struct {
 	// letting transactions commit against stale reads — a strict-
 	// serializability violation (write skew becomes observable).
 	SkipReadSetValidation bool
+	// SkipROValidation disables the per-read inline validation on
+	// certified-readonly attempts only. The certified fast path commits
+	// on the strength of exactly that validation (it keeps no read set
+	// to re-validate), so this knockout turns the validation-only
+	// commit into an opacity violation the explorer must catch.
+	SkipROValidation bool
 }
 
 // defaultYieldEvery is the access interval between scheduler yields.
@@ -244,6 +263,13 @@ type STM struct {
 	escThreshold atomic.Int64
 	watchdog     *progress.Watchdog
 	lat          atomic.Pointer[latBox]
+
+	// Certified read-only fast path (see readonly.go): the manifest's
+	// certified transaction IDs, the fast-path commit counter, and the
+	// soundness guard's violation log.
+	ro        *effect.ROSet
+	roCommits atomic.Uint64
+	roLog     effect.ViolationLog
 }
 
 type tracerBox struct{ t trace.Tracer }
@@ -255,6 +281,7 @@ type monBox struct{ m Monitor }
 func New(opts Options) *STM {
 	opts.fill()
 	s := &STM{opts: opts}
+	s.ro = effect.NewROSet(opts.Manifest)
 	s.escThreshold.Store(configuredThreshold(opts.EscalateAfter))
 	if opts.WatchdogWindow >= 0 {
 		s.watchdog = progress.NewWatchdog(opts.WatchdogWindow)
@@ -326,15 +353,20 @@ func (s *STM) yield() {
 	runtime.Gosched()
 }
 
-// Commits returns the total number of committed transactions.
-func (s *STM) Commits() uint64 { return s.commits.Load() }
+// Commits returns the total number of committed transactions. Certified
+// read-only commits are counted in roCommits only (one atomic add on
+// the fast path instead of two) and folded in here.
+func (s *STM) Commits() uint64 { return s.commits.Load() + s.roCommits.Load() }
 
 // Aborts returns the total number of aborted transaction attempts.
 func (s *STM) Aborts() uint64 { return s.aborts.Load() }
 
-// ResetCounters zeroes the commit/abort counters (between runs).
+// ResetCounters zeroes the commit/abort counters (between runs),
+// including the certified read-only commit count that Commits() folds
+// in.
 func (s *STM) ResetCounters() {
 	s.commits.Store(0)
+	s.roCommits.Store(0)
 	s.aborts.Store(0)
 }
 
@@ -373,8 +405,11 @@ type Tx struct {
 	// writeIdx accelerates read-own-write lookups once the write set
 	// grows beyond linear-scan comfort.
 	writeIdx map[*Var]int
-	// ops counts transactional accesses for YieldEvery interleaving.
-	ops int
+	// ops counts transactional accesses for YieldEvery interleaving;
+	// yielding caches opts.YieldEvery > 0 so maybeYield's off switch
+	// inlines into Read and Write.
+	ops      int
+	yielding bool
 	// done is the AtomicCtx context's Done channel (nil when the call
 	// has no deadline); spin loops and backoff sleeps observe it.
 	done <-chan struct{}
@@ -384,6 +419,10 @@ type Tx struct {
 	// mon is the armed per-operation monitor, loaded once per attempt
 	// (nil when off); see SetMonitor.
 	mon Monitor
+	// roCert marks an attempt running under a certified-readonly
+	// transaction ID (Options.Manifest): Read keeps no read set, commit
+	// is validation-only, and Write trips the soundness guard.
+	roCert bool
 	// irrev marks an escalated (irrevocable serial) attempt: reads and
 	// writes lock Vars at encounter time and cannot abort. ilocked,
 	// iprev and iprevWho track the acquired locks and their pre-lock
@@ -409,13 +448,18 @@ func (tx *Tx) ctxDone() bool {
 
 // maybeYield emulates multicore interleaving of transactional code on
 // under-provisioned hosts (see Options.YieldEvery).
+// maybeYield is split so the YieldEvery<=0 fast path stays under the
+// inlining budget: with interleaving off, Read and Write pay one flag
+// load and a branch here instead of a function call.
 func (tx *Tx) maybeYield() {
-	ye := tx.stm.opts.YieldEvery
-	if ye <= 0 {
-		return
+	if tx.yielding {
+		tx.yieldEvery()
 	}
+}
+
+func (tx *Tx) yieldEvery() {
 	tx.ops++
-	if tx.ops%ye == 0 {
+	if tx.ops%tx.stm.opts.YieldEvery == 0 {
 		tx.stm.yield()
 	}
 }
@@ -426,6 +470,7 @@ func (tx *Tx) reset(rv uint64, instance uint64) {
 	tx.rv = rv
 	tx.instance = instance
 	tx.ops = 0
+	tx.yielding = tx.stm.opts.YieldEvery > 0
 	tx.reads = tx.reads[:0]
 	tx.writes = tx.writes[:0]
 	tx.ilocked = tx.ilocked[:0]
@@ -490,17 +535,36 @@ func (tx *Tx) Read(v *Var) int64 {
 	}
 	x := v.val.Load()
 	l2 := v.lock.Load()
-	if !tx.stm.opts.Mutate.SkipReadPostCheck && (l1 != l2 || l2>>1 > tx.rv) {
+	if (l1 != l2 || l2>>1 > tx.rv) && !tx.skipReadCheck() {
 		tx.abort(v.who.Load())
 	}
-	tx.reads = append(tx.reads, v)
+	if !tx.roCert {
+		// Certified-readonly attempts keep no read set: the inline
+		// validation above is the entire commit obligation, so commit
+		// has nothing left to visit.
+		tx.reads = append(tx.reads, v)
+	}
 	tx.monRead(v, x)
 	return x
+}
+
+// skipReadCheck gathers the mutation knockouts that disable Read's
+// inline validation; off the mutation paths it folds to two false
+// flags. Only consulted when the validation would have failed.
+func (tx *Tx) skipReadCheck() bool {
+	m := &tx.stm.opts.Mutate
+	return m.SkipReadPostCheck || (m.SkipROValidation && tx.roCert)
 }
 
 // Write buffers a transactional store of x into v (write-back: shared
 // memory is untouched until commit).
 func (tx *Tx) Write(v *Var, x int64) {
+	if tx.roCert {
+		// Soundness guard: the manifest certified this transaction ID
+		// readonly, so no write may ever reach here. Trap before
+		// anything is buffered; runAttempt decides the consequence.
+		panic(roViolation{key: tx.stm.ro.Key(tx.pair.Tx)})
+	}
 	tx.maybeYield()
 	if tx.mon != nil {
 		tx.mon.OnTxWrite(tx.instance, v, x)
@@ -563,7 +627,12 @@ func (tx *Tx) commit() {
 	}
 	if len(tx.writes) == 0 {
 		// Read-only fast path: per-read validation against rv already
-		// guarantees a consistent snapshot at rv.
+		// guarantees a consistent snapshot at rv. Certified attempts
+		// always land here (Write is trapped), with the read-set append
+		// skipped too — the validation-only commit.
+		if tx.roCert {
+			tx.stm.roCommits.Add(1)
+		}
 		return
 	}
 	s := tx.stm
@@ -735,6 +804,7 @@ func (s *STM) atomicCtx(ctx context.Context, tx *Tx, fn func(*Tx) error, t0 time
 		rv := s.clock.Load()
 		inst := s.instances.Add(1)
 		tx.reset(rv, inst)
+		tx.roCert = s.ro != nil && s.ro.Certified(tx.pair.Tx)
 		tx.mon = s.monLoad()
 		if tx.mon != nil {
 			tx.mon.OnTxBegin(inst, tx.pair)
@@ -745,7 +815,12 @@ func (s *STM) atomicCtx(ctx context.Context, tx *Tx, fn func(*Tx) error, t0 time
 			if tx.mon != nil {
 				tx.mon.OnTxCommit(inst)
 			}
-			s.commits.Add(1)
+			if !tx.roCert {
+				// Certified attempts were already counted by commit()'s
+				// roCommits.Add; Commits() reports the sum of the two
+				// counters, keeping the fast path at one atomic add.
+				s.commits.Add(1)
+			}
 			if b := s.cm.Load(); b != nil {
 				b.cm.OnCommit(tx)
 			}
@@ -799,7 +874,7 @@ func (s *STM) observeWatchdog() {
 	if s.watchdog == nil {
 		return
 	}
-	switch s.watchdog.Observe(time.Now(), s.commits.Load(), s.aborts.Load()) {
+	switch s.watchdog.Observe(time.Now(), s.Commits(), s.aborts.Load()) {
 	case progress.VerdictTrip:
 		if th := s.escThreshold.Load(); th > 1 {
 			s.escThreshold.CompareAndSwap(th, max64(th/2, 1))
@@ -848,11 +923,17 @@ func (s *STM) SetLatencyRecorder(r *progress.LatencyRecorder) {
 func (s *STM) runAttempt(tx *Tx, fn func(*Tx) error) (killer uint64, userErr error, committed bool) {
 	defer func() {
 		if r := recover(); r != nil {
-			if sig, ok := r.(abortSignal); ok {
+			switch sig := r.(type) {
+			case abortSignal:
 				killer = sig.killer
-				return
+			case roViolation:
+				// Certified-readonly soundness guard: trap mode surfaces
+				// the violation to the caller; recover mode decertifies
+				// the ID and retries the attempt uncertified.
+				userErr = s.handleROViolation(tx, sig)
+			default:
+				panic(r)
 			}
-			panic(r)
 		}
 	}()
 	if err := fn(tx); err != nil {

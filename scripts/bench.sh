@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# bench.sh — records a benchmark baseline into BENCH_baseline.json.
+# bench.sh — records benchmark baselines into BENCH_baseline.json and
+# BENCH_rofast.json.
 #
 # Runs the micro-benchmarks (STM primitives, mode matrix, gate
 # overhead) with -benchmem and writes one JSON document capturing the
@@ -7,37 +8,36 @@
 # allocs/op. The committed BENCH_baseline.json is the reference point
 # a perf-sensitive PR diffs its own run against (re-run this script,
 # compare, and refresh the file when a deliberate change moves the
-# numbers).
+# numbers). A second stanza records the certified read-only fast-path
+# suite (^BenchmarkROFast) into BENCH_rofast.json at a longer benchtime
+# — those benchmarks assert single-digit-ns deltas, so they need the
+# extra settling time.
 #
 # Knobs:
-#   GSTM_BENCH      benchmark regex    (default: the micro set)
-#   GSTM_BENCHTIME  -benchtime value   (default: 100ms)
-#   GSTM_BENCH_FULL non-empty adds the paper-table/figure suites at
-#                   -benchtime=1x (slow; report-shaped, not latency-
-#                   shaped, so they are excluded from the default set)
-#   $1              output path        (default: BENCH_baseline.json)
+#   GSTM_BENCH          benchmark regex    (default: the micro set)
+#   GSTM_BENCHTIME      -benchtime value   (default: 100ms)
+#   GSTM_ROFAST_BENCHTIME  -benchtime for the ROFast suite (default: 2s)
+#   GSTM_BENCH_FULL     non-empty adds the paper-table/figure suites at
+#                       -benchtime=1x (slow; report-shaped, not latency-
+#                       shaped, so they are excluded from the default set)
+#   $1                  output path        (default: BENCH_baseline.json)
+#   $2                  ROFast output path (default: BENCH_rofast.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_baseline.json}"
+rofast_out="${2:-BENCH_rofast.json}"
 bench="${GSTM_BENCH:-^(BenchmarkTL2|BenchmarkLibTMModesRMW|BenchmarkGateOverhead|BenchmarkSynQuakeFrame)}"
 benchtime="${GSTM_BENCHTIME:-100ms}"
+rofast_benchtime="${GSTM_ROFAST_BENCHTIME:-2s}"
 
-echo "== bench: $bench (benchtime $benchtime) =="
-raw="$(go test -run='^$' -bench "$bench" -benchtime "$benchtime" -benchmem .)"
-echo "$raw"
-
-if [ -n "${GSTM_BENCH_FULL:-}" ]; then
-    echo "== bench: paper tables/figures (benchtime 1x) =="
-    full="$(go test -run='^$' -bench '^Benchmark(Table|Figure)' -benchtime 1x -benchmem .)"
-    echo "$full"
-    raw="$raw"$'\n'"$full"
-fi
-
-echo "$raw" | awk \
-    -v go_version="$(go version | awk '{print $3}')" \
-    -v benchtime="$benchtime" \
-    -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+# write_json <benchtime> <outpath> — reads raw `go test -bench` output
+# on stdin and writes the machine-stamped JSON document.
+write_json() {
+    awk \
+        -v go_version="$(go version | awk '{print $3}')" \
+        -v benchtime="$1" \
+        -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 /^goos:/  { goos = $2 }
 /^goarch:/ { goarch = $2 }
 /^cpu:/   { sub(/^cpu: /, ""); cpu = $0 }
@@ -61,6 +61,25 @@ END {
     printf "  \"cpu\": \"%s\",\n", cpu
     printf "  \"benchtime\": \"%s\",\n", benchtime
     printf "  \"benchmarks\": [\n%s\n  ]\n}\n", rows
-}' > "$out"
+}' > "$2"
+}
 
+echo "== bench: $bench (benchtime $benchtime) =="
+raw="$(go test -run='^$' -bench "$bench" -benchtime "$benchtime" -benchmem .)"
+echo "$raw"
+
+if [ -n "${GSTM_BENCH_FULL:-}" ]; then
+    echo "== bench: paper tables/figures (benchtime 1x) =="
+    full="$(go test -run='^$' -bench '^Benchmark(Table|Figure)' -benchtime 1x -benchmem .)"
+    echo "$full"
+    raw="$raw"$'\n'"$full"
+fi
+
+echo "$raw" | write_json "$benchtime" "$out"
 echo "== wrote $out =="
+
+echo "== bench: certified read-only fast path (benchtime $rofast_benchtime) =="
+rofast_raw="$(go test -run='^$' -bench '^BenchmarkROFast' -benchtime "$rofast_benchtime" -benchmem .)"
+echo "$rofast_raw"
+echo "$rofast_raw" | write_json "$rofast_benchtime" "$rofast_out"
+echo "== wrote $rofast_out =="

@@ -15,8 +15,11 @@
 # fix left unapplied in the tree fails the build with the diff it
 # would make — and finishes with a static-prior smoke: synthesize a
 # cold-start model from the examples (gstmlint -prior) and run one
-# tiny gstm -op coldstart pipeline against it. Exits non-zero on the
-# first failure. CI runs this same script
+# tiny gstm -op coldstart pipeline against it. A manifest-freshness
+# gate then regenerates the effect manifest (gstmlint -manifest) over
+# the same packages and fails if it differs from the committed
+# MANIFEST.gsm — a stale certificate is a soundness hazard, not just
+# drift. Exits non-zero on the first failure. CI runs this same script
 # (.github/workflows/ci.yml). Set GSTM_FUZZTIME to lengthen the fuzz
 # smoke (default 10s per target).
 set -euo pipefail
@@ -66,9 +69,18 @@ fi
 
 echo "== static prior smoke (gstmlint -prior -> gstm -op coldstart) =="
 prior=$(mktemp)
-trap 'rm -f "$prior"' EXIT
+manifest=$(mktemp)
+trap 'rm -f "$prior" "$manifest"' EXIT
 go run ./cmd/gstmlint -prior "$prior" -prior-threads 4 ./examples/... ./cmd/synquake/...
 go run ./cmd/gstm -bench kmeans -threads 4 -runs 2 -size small \
     -op coldstart -static-prior "$prior" -model "$prior.nonexistent"
+
+echo "== manifest freshness (gstmlint -manifest vs MANIFEST.gsm) =="
+go run ./cmd/gstmlint -manifest "$manifest" ./examples/... ./cmd/synquake/...
+if ! cmp -s "$manifest" MANIFEST.gsm; then
+    echo "MANIFEST.gsm is stale against the current sources; regenerate with:" >&2
+    echo "  go run ./cmd/gstmlint -manifest MANIFEST.gsm ./examples/... ./cmd/synquake/..." >&2
+    exit 1
+fi
 
 echo "all checks passed"
