@@ -25,6 +25,13 @@
 // default execution, plus against profiled guidance when -model names
 // an existing trained model.
 //
+// Online guidance: -op online runs the drifting-workload simulator
+// three ways — passthrough, a frozen offline-profiled model, and the
+// continuously-learning online controller — and reports post-shift
+// variance, aborts and guard activity side by side. -epoch-events,
+// -state-budget and -drift-trip tune the learner; -runs is the seed
+// count.
+//
 // Robustness knobs: -fault injects deterministic faults (see
 // fault.ParseSpec; e.g. "commit-abort:50,hold-stall:~10:1ms"),
 // -fault-seed fixes the injection schedule, and -health-window /
@@ -73,7 +80,7 @@ func main() {
 		bench        = flag.String("bench", "kmeans", "benchmark: "+fmt.Sprint(harness.WorkloadNames))
 		threads      = flag.Int("threads", 8, "worker thread count")
 		runs         = flag.Int("runs", 20, "number of runs")
-		op           = flag.String("op", "default", "operation: mcmc_data|analyze|model|default|ND_mcmc|ND_only|coldstart|inspect|dot|trace")
+		op           = flag.String("op", "default", "operation: mcmc_data|analyze|model|default|ND_mcmc|ND_only|coldstart|online|inspect|dot|trace")
 		modelPath    = flag.String("model", "state_data", "model file path")
 		staticPrior  = flag.String("static-prior", "", "cold-start model synthesized by gstmlint -prior (required by -op coldstart)")
 		blendEv      = flag.Int("blend-evidence", 0, "commits to decay the static prior's weight to zero (0 = default, <0 = prior-only)")
@@ -88,6 +95,9 @@ func main() {
 		relaxFactor  = flag.Float64("relax-factor", 0, "Tfactor multiplier at the relaxed ladder level (0 = default)")
 		rearmWindows = flag.Int("rearm-windows", 0, "healthy windows before re-arming a tripped ladder (0 = default)")
 		manifestPath = flag.String("manifest", "", "sealed static-effect manifest (gstmlint -manifest); certified-readonly transactions take the fast-path commit and bypass the gate")
+		epochEvents  = flag.Int("epoch-events", 0, "online learner epoch length in events (0 = default)")
+		stateBudget  = flag.Int("state-budget", 0, "online learner accumulator state budget (0 = default)")
+		driftTrip    = flag.Float64("drift-trip", 0, "online learner divergence quarantine threshold in [0,1] (0 = default)")
 		deadline     = flag.Duration("deadline", 0, "per-Atomic-call deadline (0 = none); a miss exits with code 5")
 		escAfter     = flag.Int("escalate-after", 0, "aborts before irrevocable escalation (0 = default, <0 = disable)")
 		watchdogWin  = flag.Duration("watchdog-window", 0, "livelock watchdog sampling window (0 = default, <0 = disable)")
@@ -260,6 +270,43 @@ func main() {
 			printComparison("profiled vs default", harness.Compare(def, prof))
 		} else {
 			fmt.Printf("no trained model at %s: skipping the profiled side (run -op mcmc_data to compare)\n", *modelPath)
+		}
+
+	case "online":
+		// The drifting-workload three-way: passthrough vs frozen
+		// offline model vs the continuously-learning online controller,
+		// on the same seeded simulator runs. -freq left at its default
+		// uses the simulator's own sim-scale Tfactor.
+		o := harness.DriftCompareOptions{
+			Seeds:       *runs,
+			EpochEvents: *epochEvents,
+			StateBudget: *stateBudget,
+			DriftTrip:   *driftTrip,
+		}
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "freq" {
+				o.Tfactor = *freq
+			}
+		})
+		cmp := harness.CompareDrift(o)
+		fmt.Printf("drifting workload, %d seeds: offline model %d states after pruning\n",
+			o.Seeds, cmp.ProfiledStates)
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "mode\tfinish stddev\tpost-shift aborts")
+		fmt.Fprintf(tw, "passthrough\t%.3f\t%d\n", cmp.PassSD, cmp.PassPost)
+		fmt.Fprintf(tw, "frozen offline\t%.3f\t%d\n", cmp.FrozenSD, cmp.FrozenPost)
+		fmt.Fprintf(tw, "online\t%.3f\t%d\n", cmp.OnlineSD, cmp.OnlinePost)
+		tw.Flush()
+		fmt.Printf("frozen gate: %d health-ladder degradations\n", cmp.FrozenDegradations)
+		fmt.Printf("online guards: %d quarantines, %d re-arms, %d model swaps\n",
+			cmp.OnlineQuarantines, cmp.OnlineRearms, cmp.OnlineSwaps)
+		switch {
+		case cmp.OnlineSD <= cmp.PassSD && cmp.OnlineSD <= cmp.FrozenSD:
+			fmt.Println("verdict: online guidance has the lowest post-shift variance")
+		case cmp.OnlineSD <= cmp.FrozenSD:
+			fmt.Println("verdict: online beats the frozen model but not passthrough on this run")
+		default:
+			fmt.Println("verdict: online did not win on this run (try more -runs seeds)")
 		}
 
 	case "default", "orig", "ND_only":

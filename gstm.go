@@ -42,6 +42,7 @@ import (
 	"gstm/internal/effect"
 	"gstm/internal/guide"
 	"gstm/internal/model"
+	"gstm/internal/online"
 	"gstm/internal/progress"
 	"gstm/internal/tl2"
 	"gstm/internal/trace"
@@ -130,6 +131,22 @@ type (
 	// GuardMode selects the certified-readonly soundness guard's
 	// response to a trapped write (Options.ROGuard).
 	GuardMode = effect.GuardMode
+)
+
+// Online continuously-learning guidance (see internal/online): a
+// background learner drains the live commit/abort stream into epoch
+// snapshots, audits each snapshot, and swaps healthy models into the
+// controller lock-free; drift and staleness guards quarantine the gate
+// to passthrough and re-arm it when a later epoch probes healthy.
+type (
+	// OnlineLearner is the streaming TSA controller; attach it with
+	// GuideOnline (or wire it as one sink of a MultiTracer).
+	OnlineLearner = online.Learner
+	// OnlineOptions configures epoch length, state budget, decay,
+	// drift/staleness thresholds and event-ring shape.
+	OnlineOptions = online.Options
+	// OnlineStats is the learner's counter snapshot.
+	OnlineStats = online.Stats
 )
 
 // Guard modes for Options.ROGuard.
@@ -230,6 +247,28 @@ func Guide(s *STM, ctrl *Controller, col *Collector) {
 		s.SetTracer(ctrl)
 	}
 	s.SetGate(ctrl)
+}
+
+// GuideOnline wires continuously-learning guidance into an STM: ctrl
+// gates transaction starts while a background learner drains the
+// commit/abort stream, builds epoch snapshots and swaps healthy models
+// into ctrl lock-free. The controller may start empty
+// (guide.New(nil, ...)); it admits everything until the first healthy
+// snapshot lands. The returned learner is already started — call its
+// Close method at end of run to flush the final partial epoch, and
+// Unguide to detach the STM. If col is non-nil it receives the same
+// event stream.
+func GuideOnline(s *STM, ctrl *Controller, opts OnlineOptions, col *Collector) *OnlineLearner {
+	ctrl.Reset()
+	l := online.New(ctrl, opts)
+	sinks := []Tracer{ctrl, l}
+	if col != nil {
+		sinks = append(sinks, col)
+	}
+	s.SetTracer(trace.Multi(sinks...))
+	s.SetGate(ctrl)
+	l.Start()
+	return l
 }
 
 // Unguide removes guidance from an STM, restoring default execution

@@ -36,6 +36,12 @@ type Options struct {
 	// MinStates rejects models with fewer states. ≤ 0 means
 	// DefaultMinStates.
 	MinStates int
+	// MaxMetric rejects models whose guidance metric is at or above
+	// this percentage. ≤ 0 means UnfitMetricThreshold. Callers that
+	// re-audit a model continuously (the online learner) may accept a
+	// laxer bar than a one-shot offline verdict: a marginal model
+	// installed online is re-scored against reality every epoch.
+	MaxMetric float64
 }
 
 // Report is the analyzer's verdict on one model.
@@ -77,6 +83,10 @@ func Analyze(m *model.TSA, opts Options) Report {
 	if minStates <= 0 {
 		minStates = DefaultMinStates
 	}
+	maxMetric := opts.MaxMetric
+	if maxMetric <= 0 {
+		maxMetric = UnfitMetricThreshold
+	}
 
 	totalEdges, guidedEdges := 0, 0
 	for _, n := range m.Nodes {
@@ -102,9 +112,9 @@ func Analyze(m *model.TSA, opts Options) Report {
 	switch {
 	case m.NumStates() < minStates:
 		r.Reason = fmt.Sprintf("too few states (%d < %d)", m.NumStates(), minStates)
-	case r.Metric >= UnfitMetricThreshold:
+	case r.Metric >= maxMetric:
 		r.Reason = fmt.Sprintf("metric %.0f%% ≥ %.0f%%: transitions are near-uniform, no bias to exploit",
-			r.Metric, UnfitMetricThreshold)
+			r.Metric, maxMetric)
 	default:
 		r.Fit = true
 	}

@@ -1,0 +1,77 @@
+package analyze
+
+import "gstm/internal/model"
+
+// Transition is one observed state-to-state step from the live stream,
+// by canonical state key. The online learner records the epoch's
+// transitions and asks Coverage how well the currently-installed model
+// predicted them — the drift signal.
+type Transition struct {
+	From, To string
+}
+
+// CoverageReport quantifies how well a model predicted a batch of
+// observed transitions.
+type CoverageReport struct {
+	// Observed is the number of transitions scored.
+	Observed int
+	// Hits is how many landed inside the model's high-probability
+	// destination set of their source state.
+	Hits int
+	// UnknownFrom is how many started from a state the model does not
+	// contain at all — the signature of a drifted workload (every
+	// admission from such a state is an unknown pass at the gate too).
+	UnknownFrom int
+}
+
+// Coverage returns the hit rate in [0, 1]; 1 with no observations
+// (no evidence of drift).
+func (r CoverageReport) Coverage() float64 {
+	if r.Observed == 0 {
+		return 1
+	}
+	return float64(r.Hits) / float64(r.Observed)
+}
+
+// Divergence is 1 − Coverage: the fraction of live transitions the
+// model failed to predict. The online learner trips its drift guard
+// when this crosses the configured threshold.
+func (r CoverageReport) Divergence() float64 { return 1 - r.Coverage() }
+
+// CoverageOf scores observed transitions against m: a transition hits
+// when its destination is in the high-probability destination set
+// (HighProbDests under tfactor) of its source state. A nil model
+// predicts nothing and scores zero hits.
+func CoverageOf(m *model.TSA, transitions []Transition, tfactor float64) CoverageReport {
+	if tfactor <= 0 {
+		tfactor = model.DefaultTfactor
+	}
+	r := CoverageReport{Observed: len(transitions)}
+	if m == nil {
+		r.UnknownFrom = len(transitions)
+		return r
+	}
+	// Memoize per source state: one epoch's transitions concentrate on
+	// few sources, and HighProbDests sorts.
+	dests := make(map[string]map[string]bool)
+	for _, tr := range transitions {
+		set, ok := dests[tr.From]
+		if !ok {
+			if n := m.Node(tr.From); n != nil {
+				set = make(map[string]bool)
+				for _, d := range n.HighProbDests(tfactor) {
+					set[d] = true
+				}
+			}
+			dests[tr.From] = set
+		}
+		if set == nil {
+			r.UnknownFrom++
+			continue
+		}
+		if set[tr.To] {
+			r.Hits++
+		}
+	}
+	return r
+}

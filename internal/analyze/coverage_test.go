@@ -1,0 +1,54 @@
+package analyze
+
+import (
+	"testing"
+
+	"gstm/internal/model"
+	"gstm/internal/tts"
+)
+
+func covState(tx, th uint16) tts.State {
+	return tts.State{Commit: tts.Pair{Tx: tx, Thread: th}}
+}
+
+func TestCoverageOf(t *testing.T) {
+	// a -> b 9 times, a -> c once: b is high-probability under
+	// tfactor 4 (threshold 0.9/4), c is not... (0.1 >= 0.225 is false).
+	runs := make([][]tts.State, 0, 10)
+	for i := 0; i < 9; i++ {
+		runs = append(runs, []tts.State{covState(0, 0), covState(1, 1)})
+	}
+	runs = append(runs, []tts.State{covState(0, 0), covState(2, 2)})
+	m := model.Build(4, runs...)
+
+	a, b, c := covState(0, 0).Key(), covState(1, 1).Key(), covState(2, 2).Key()
+	x := covState(9, 3).Key() // never profiled
+	rep := CoverageOf(m, []Transition{
+		{From: a, To: b}, // hit
+		{From: a, To: b}, // hit
+		{From: a, To: c}, // miss: below the threshold
+		{From: x, To: b}, // unknown source
+	}, 4)
+	if rep.Observed != 4 || rep.Hits != 2 || rep.UnknownFrom != 1 {
+		t.Fatalf("report = %+v, want observed 4, hits 2, unknownFrom 1", rep)
+	}
+	if got := rep.Coverage(); got != 0.5 {
+		t.Errorf("Coverage = %v, want 0.5", got)
+	}
+	if got := rep.Divergence(); got != 0.5 {
+		t.Errorf("Divergence = %v, want 0.5", got)
+	}
+}
+
+func TestCoverageEdgeCases(t *testing.T) {
+	if got := (CoverageReport{}).Coverage(); got != 1 {
+		t.Errorf("empty coverage = %v, want 1 (no evidence of drift)", got)
+	}
+	rep := CoverageOf(nil, []Transition{{From: "a", To: "b"}}, 0)
+	if rep.Hits != 0 || rep.UnknownFrom != 1 {
+		t.Errorf("nil model report = %+v, want 0 hits, 1 unknown", rep)
+	}
+	if rep.Divergence() != 1 {
+		t.Errorf("nil model divergence = %v, want 1", rep.Divergence())
+	}
+}

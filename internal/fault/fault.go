@@ -47,6 +47,22 @@ const (
 	TraceDrop
 	// TraceDup delivers a trace event twice.
 	TraceDup
+	// EpochSwapStall stalls the online learner between building an
+	// epoch snapshot and installing it into the guide controller,
+	// simulating a descheduled or wedged learner goroutine. The commit
+	// path must keep running on the previous model throughout.
+	EpochSwapStall
+	// StreamDrop silently discards an event before it reaches the
+	// online learner's per-thread ring (the streaming analogue of
+	// TraceDrop; the two are separate classes so the offline collector
+	// and the online accumulator can be damaged independently).
+	StreamDrop
+	// StreamDup delivers an event to the online learner's ring twice.
+	StreamDup
+	// SnapshotAbort aborts an epoch's snapshot build before it
+	// completes: the epoch produces no new model and the learner's
+	// staleness guard must eventually degrade the gate to passthrough.
+	SnapshotAbort
 	numClasses
 )
 
@@ -57,6 +73,10 @@ var classNames = map[Class]string{
 	HoldStall:        "hold-stall",
 	TraceDrop:        "trace-drop",
 	TraceDup:         "trace-dup",
+	EpochSwapStall:   "epoch-swap-stall",
+	StreamDrop:       "stream-drop",
+	StreamDup:        "stream-dup",
+	SnapshotAbort:    "snapshot-abort",
 }
 
 // String returns the spec name of the class (e.g. "commit-abort").
@@ -211,7 +231,8 @@ func (i *Injector) Counts() string {
 //	class:~permille[:delay]    e.g. hold-stall:~50:200us
 //
 // where class is one of commit-abort, commit-delay, lock-release-delay,
-// hold-stall, trace-drop, trace-dup; every is a firing period (fire on
+// hold-stall, trace-drop, trace-dup, epoch-swap-stall, stream-drop,
+// stream-dup, snapshot-abort; every is a firing period (fire on
 // every Nth opportunity), ~permille a pseudo-random rate out of 1000,
 // and delay a Go duration for stall classes. An empty spec yields a nil
 // injector (injection off).

@@ -129,7 +129,7 @@ func TestStreamedModelTakesOver(t *testing.T) {
 	if w := c.Stats().PriorWeight; w != 0 {
 		t.Errorf("PriorWeight = %v, want 0 after hand-over", w)
 	}
-	if c.base.NumStates() == 0 {
+	if c.Model().NumStates() == 0 {
 		t.Error("streaming learned no states")
 	}
 }

@@ -124,12 +124,15 @@ type Options struct {
 	Yield func()
 }
 
-// Stats counts controller decisions, for reporting and tests.
+// Stats counts controller decisions, for reporting and tests. Every
+// Admit call lands in exactly one disposition bucket, so
+// Admits == ImmediateAdmits + Holds + ReadOnlyAdmits always holds —
+// including across SwapModel calls, which touch no counters.
 type Stats struct {
 	// Admits is the total number of Admit calls.
 	Admits uint64
 	// ImmediateAdmits passed on the first check (including passthrough
-	// admits).
+	// admits) without a readonly certificate.
 	ImmediateAdmits uint64
 	// Holds waited at least one re-check before passing.
 	Holds uint64
@@ -142,8 +145,8 @@ type Stats struct {
 	// transactions the gate must never hold.
 	IrrevocableAdmits uint64
 	// ReadOnlyAdmits carried a readonly certificate from
-	// Options.Manifest and bypassed gating (counted inside
-	// ImmediateAdmits as well).
+	// Options.Manifest and bypassed gating. Disjoint from
+	// ImmediateAdmits and Holds — the three partition Admits.
 	ReadOnlyAdmits uint64
 
 	// RelaxedAdmits passed a first check against the relaxed
@@ -169,8 +172,15 @@ type Stats struct {
 	// weight: 1 on a cold start, 0 once the profiled model has full
 	// trust. Zero when no prior is configured.
 	PriorWeight float64
-	// Evidence is the number of commits observed toward blend decay.
+	// Evidence is the number of non-readonly commits the controller has
+	// traced. Counted exactly once per commit — model swaps never add
+	// to it — so it drives blend decay monotonically.
 	Evidence uint64
+	// ModelSwaps is the number of SwapModel installations.
+	ModelSwaps uint64
+	// Quarantined reports whether the ladder is latched at passthrough
+	// by Quarantine (online drift guard) awaiting Rearm.
+	Quarantined bool
 }
 
 // snapshot is the controller's view of the current state; replaced
@@ -192,26 +202,45 @@ type blendSets struct {
 	allowed, relaxed map[uint32]struct{}
 }
 
+// modelTables is everything the controller derives from its active
+// base model. It is immutable once published and replaced wholesale by
+// SwapModel through an atomic pointer, so admission-set resolution
+// never waits on a lock a swapper could be holding — the online
+// learner can rebuild and install models forever without ever adding a
+// mutex to the commit path.
+type modelTables struct {
+	// allowed/relaxed are the precomputed per-state admission sets
+	// (no-prior mode; nil maps in blend mode, where sets are computed
+	// per state from base and cached under blendMu).
+	allowed map[string]map[uint32]struct{}
+	relaxed map[string]map[uint32]struct{}
+	// base is the profiled, streamed, or swapped-in live model the
+	// blend path mixes with the prior.
+	base *model.TSA
+	// gen is the swap generation, used to invalidate the blend cache.
+	gen uint64
+}
+
 // Controller guides an STM using a trained, analyzed model.
 type Controller struct {
-	allowedByState map[string]map[uint32]struct{}
-	relaxedByState map[string]map[uint32]struct{}
-	k              int
-	holdDelay      time.Duration
-	inject         *fault.Injector
-	yield          func()
+	// tables holds the active model's derived state; see modelTables.
+	tables    atomic.Pointer[modelTables]
+	k         int
+	holdDelay time.Duration
+	inject    *fault.Injector
+	yield     func()
 
 	// Static-prior blending (nil prior disables all of it; the
-	// precomputed maps above are then the only lookup path).
+	// precomputed tables maps are then the only lookup path).
 	prior         *model.TSA
-	base          *model.TSA // profiled model, or the streamed live one
 	tf, rf        float64
 	blendEvidence int
-	stream        bool // base started empty: learn it from traced commits
+	stream        atomic.Bool // base started empty: learn it from traced commits
 	evidence      atomic.Uint64
-	blendMu       sync.Mutex // guards blendCache/blendBucket; nested inside mu
+	blendMu       sync.Mutex // guards blendCache/blendBucket/blendGen; nested inside mu
 	blendCache    map[string]blendSets
 	blendBucket   int
+	blendGen      uint64
 	havePrev      bool      // under mu: a finalized state exists to stream from
 	prevFinal     tts.State // under mu: last finalized (superseded) state
 
@@ -220,10 +249,13 @@ type Controller struct {
 	gen atomic.Uint64
 
 	// level is the degradation-ladder position (see health.go); the
-	// health monitor moves it, Admit polls it.
-	level     atomic.Int32
-	health    *healthMonitor
-	perThread []threadCounters
+	// health monitor moves it, Admit polls it. quarantined latches the
+	// ladder at passthrough until an external supervisor (the online
+	// learner) re-arms it.
+	level       atomic.Int32
+	quarantined atomic.Bool
+	health      *healthMonitor
+	perThread   []threadCounters
 
 	// ro is the manifest's certified-readonly ID set; nil when no
 	// manifest (or nothing certified), which is the whole fast-path
@@ -241,6 +273,7 @@ type Controller struct {
 	passAdmits      atomic.Uint64
 	degradations    atomic.Uint64
 	rearms          atomic.Uint64
+	swaps           atomic.Uint64
 	maxHoldRechecks atomic.Uint64
 }
 
@@ -252,7 +285,11 @@ var _ trace.Tracer = (*Controller)(nil)
 // analyze.Analyze first; New does not re-check. When opts.Prior is
 // set, m may be nil: the controller starts on the prior alone and
 // streams a live model from the commits it traces; when both are
-// given, admission sets blend the two by accumulated evidence.
+// given, admission sets blend the two by accumulated evidence. With
+// neither a model nor a prior the controller starts with no guidance —
+// every state is unknown, everything passes — which is the cold-start
+// posture of an online learner that will SwapModel in its first
+// snapshot once it has seen enough of the stream.
 func New(m *model.TSA, opts Options) *Controller {
 	tf := opts.Tfactor
 	if tf <= 0 {
@@ -292,23 +329,24 @@ func New(m *model.TSA, opts Options) *Controller {
 		rf:        rf,
 		ro:        effect.NewROSet(opts.Manifest),
 	}
+	tb := &modelTables{base: m}
 	if opts.Prior != nil {
 		c.prior = opts.Prior
 		c.blendEvidence = opts.BlendEvidence
 		if c.blendEvidence == 0 {
 			c.blendEvidence = DefaultBlendEvidence
 		}
-		c.base = m
-		if c.base == nil {
-			c.base = model.New(threads)
-			c.stream = true
+		if tb.base == nil {
+			tb.base = model.New(threads)
+			c.stream.Store(true)
 		}
 		c.blendCache = make(map[string]blendSets)
 		c.blendBucket = -1 // no bucket computed yet
-	} else {
-		c.allowedByState = buildAllowed(m, tf)
-		c.relaxedByState = buildAllowed(m, tf*rf)
+	} else if m != nil {
+		tb.allowed = buildAllowed(m, tf)
+		tb.relaxed = buildAllowed(m, tf*rf)
 	}
+	c.tables.Store(tb)
 	if opts.HealthWindow >= 0 {
 		w := opts.HealthWindow
 		if w == 0 {
@@ -351,7 +389,7 @@ func buildAllowed(m *model.TSA, tf float64) map[string]map[uint32]struct{} {
 			if dn == nil {
 				continue
 			}
-			for _, p := range dn.State.Pairs() {
+			for _, p := range admissiblePairs(dn.State) {
 				set[p.Key()] = struct{}{}
 			}
 		}
@@ -364,24 +402,27 @@ func buildAllowed(m *model.TSA, tf float64) map[string]map[uint32]struct{} {
 
 // setsFor resolves the admission-set pair for a state key: the
 // precomputed maps when no prior is configured, otherwise the blended
-// sets (cached per weight bucket).
+// sets (cached per weight bucket and swap generation).
 func (c *Controller) setsFor(key string) (allowed, relaxed map[uint32]struct{}) {
+	tb := c.tables.Load()
 	if c.prior == nil {
-		return c.allowedByState[key], c.relaxedByState[key]
+		return tb.allowed[key], tb.relaxed[key]
 	}
 	bucket := c.weightBucket()
 	c.blendMu.Lock()
 	defer c.blendMu.Unlock()
-	if bucket != c.blendBucket {
-		// The prior's weight crossed a quantization step: every cached
-		// set was computed under the old mix.
+	if bucket != c.blendBucket || tb.gen != c.blendGen {
+		// The prior's weight crossed a quantization step, or a model swap
+		// replaced the base: every cached set was computed under the old
+		// mix.
 		c.blendBucket = bucket
+		c.blendGen = tb.gen
 		clear(c.blendCache)
 	}
 	if s, ok := c.blendCache[key]; ok {
 		return s.allowed, s.relaxed
 	}
-	s := c.computeBlend(key, float64(bucket)/blendBuckets)
+	s := c.computeBlend(tb.base, key, float64(bucket)/blendBuckets)
 	c.blendCache[key] = s
 	return s.allowed, s.relaxed
 }
@@ -405,7 +446,7 @@ func (c *Controller) weightBucket() int {
 // destination distribution w·P_prior + (1−w)·P_base. A state unknown
 // to both models yields nil sets ("no guidance: admit everyone"), the
 // same contract as the precomputed path.
-func (c *Controller) computeBlend(key string, w float64) blendSets {
+func (c *Controller) computeBlend(base *model.TSA, key string, w float64) blendSets {
 	probs := make(map[string]float64)
 	accum := func(m *model.TSA, weight float64) {
 		if m == nil || weight <= 0 {
@@ -420,7 +461,7 @@ func (c *Controller) computeBlend(key string, w float64) blendSets {
 		}
 	}
 	accum(c.prior, w)
-	accum(c.base, 1-w)
+	accum(base, 1-w)
 	if len(probs) == 0 {
 		return blendSets{}
 	}
@@ -436,7 +477,7 @@ func (c *Controller) computeBlend(key string, w float64) blendSets {
 			if p < pmax/tf {
 				continue
 			}
-			for _, pr := range c.destPairs(d) {
+			for _, pr := range destPairs(c.prior, base, d) {
 				set[pr.Key()] = struct{}{}
 			}
 		}
@@ -448,28 +489,41 @@ func (c *Controller) computeBlend(key string, w float64) blendSets {
 	return blendSets{allowed: collect(c.tf), relaxed: collect(c.tf * c.rf)}
 }
 
-// destPairs recovers the pair tuple of a destination state key,
+// admissiblePairs is the admission reading of a destination state: the
+// commit pair only. A state's tuple also lists the casualties aborted by
+// that commit, but admitting a pair the model predicts will only lose
+// its work re-creates the very conflict the guidance exists to remove —
+// the gate holds predicted casualties behind the predicted committer
+// (the paper's commit optimization), and the progress escape bounds the
+// cost when the prediction is wrong.
+func admissiblePairs(st tts.State) []tts.Pair {
+	return []tts.Pair{st.Commit}
+}
+
+// destPairs recovers the admissible pairs of a destination state key,
 // preferring a materialized node (either model) over re-parsing.
-func (c *Controller) destPairs(key string) []tts.Pair {
-	if n := c.prior.Node(key); n != nil {
-		return n.State.Pairs()
+func destPairs(prior, base *model.TSA, key string) []tts.Pair {
+	if n := prior.Node(key); n != nil {
+		return admissiblePairs(n.State)
 	}
-	if n := c.base.Node(key); n != nil {
-		return n.State.Pairs()
+	if n := base.Node(key); n != nil {
+		return admissiblePairs(n.State)
 	}
 	if st, err := tts.ParseKey(key); err == nil {
-		return st.Pairs()
+		return admissiblePairs(st)
 	}
 	return nil
 }
 
-// observeCommitLocked accounts one traced commit toward blend decay
-// and, when the base model is being streamed, folds the superseded
-// snapshot state (now final — this commit ends its accretion) into it
-// as a transition from the previous final state. Caller holds c.mu.
+// observeCommitLocked, when the base model is being streamed, folds the
+// superseded snapshot state (now final — this commit ends its
+// accretion) into it as a transition from the previous final state.
+// Caller holds c.mu. Blend-decay evidence is NOT counted here — OnCommit
+// counts it exactly once per traced commit, whether or not the base is
+// streamed, swapped, or absent, so repeated SwapModel calls can never
+// double-count a commit.
 func (c *Controller) observeCommitLocked() {
-	c.evidence.Add(1)
-	if !c.stream {
+	if !c.stream.Load() {
 		return
 	}
 	snap := c.cur.Load()
@@ -477,9 +531,10 @@ func (c *Controller) observeCommitLocked() {
 		c.havePrev = false
 		return
 	}
+	base := c.tables.Load().base
 	final := snap.state
-	if c.havePrev && c.base.NumStates() < maxStreamStates {
-		c.base.AddRun([]tts.State{c.prevFinal, final})
+	if c.havePrev && base.NumStates() < maxStreamStates {
+		base.AddRun([]tts.State{c.prevFinal, final})
 		c.blendMu.Lock()
 		delete(c.blendCache, c.prevFinal.Key())
 		c.blendMu.Unlock()
@@ -506,6 +561,9 @@ func (c *Controller) Stats() Stats {
 		MaxHoldRechecks:   c.maxHoldRechecks.Load(),
 		ThreadEscapes:     make([]uint64, len(c.perThread)),
 		ThreadHoldTime:    make([]time.Duration, len(c.perThread)),
+		Evidence:          c.evidence.Load(),
+		ModelSwaps:        c.swaps.Load(),
+		Quarantined:       c.quarantined.Load(),
 	}
 	for i := range c.perThread {
 		st.ThreadEscapes[i] = c.perThread[i].escapes.Load()
@@ -513,7 +571,6 @@ func (c *Controller) Stats() Stats {
 	}
 	if c.prior != nil {
 		st.PriorWeight = float64(c.weightBucket()) / blendBuckets
-		st.Evidence = c.evidence.Load()
 	}
 	return st
 }
@@ -524,17 +581,87 @@ func (c *Controller) replaceLocked(next *snapshot) {
 	c.cur.Store(next)
 }
 
+// SwapModel atomically replaces the controller's base model with next
+// (non-nil), e.g. a fresh epoch snapshot from the online learner. The
+// admission tables are precomputed here, off the commit path, and
+// installed with a single atomic pointer store — Admit, OnCommit, and
+// OnAbort never block on a swap in progress, and a swapper stalled
+// before calling SwapModel holds nothing the commit path waits on.
+// With a prior configured the new base keeps blending against the
+// accumulated evidence (the prior's remaining weight is unchanged: a
+// swap is new data, not new commits). Swapping also stops the
+// controller's internal base streaming — the external learner owns the
+// base now, and the same commit must not be folded into both its
+// accumulator and ours.
+func (c *Controller) SwapModel(next *model.TSA) {
+	if next == nil {
+		return
+	}
+	nt := &modelTables{base: next}
+	if c.prior == nil {
+		nt.allowed = buildAllowed(next, c.tf)
+		nt.relaxed = buildAllowed(next, c.tf*c.rf)
+	}
+	c.stream.Store(false)
+	nt.gen = c.swaps.Add(1)
+	c.tables.Store(nt)
+	// Refresh the current snapshot's admission sets against the new
+	// model so transactions held right now re-check fresh guidance
+	// instead of waiting for the next commit. Bounded work under mu
+	// (one set resolution), after the lock-free install above.
+	c.mu.Lock()
+	if snap := c.cur.Load(); snap != nil {
+		allowed, relaxed := c.setsFor(snap.state.Key())
+		c.replaceLocked(&snapshot{
+			instance: snap.instance,
+			state:    snap.state,
+			allowed:  allowed,
+			relaxed:  relaxed,
+			gen:      c.gen.Add(1),
+		})
+	}
+	c.mu.Unlock()
+	// A fresh model must not inherit the health debt its predecessor
+	// ran up: the window's unknown/escape evidence indicts tables that
+	// no longer exist (a cold gate trips on 100% unknown passes before
+	// anything installs at all). Clear the window and step a
+	// non-quarantined ladder back to guided; the quarantine latch
+	// belongs to whoever set it (the learner) and is left alone.
+	if !c.quarantined.Load() {
+		if lvl := c.Level(); lvl > LevelGuided {
+			c.level.Store(int32(LevelGuided))
+			c.rearms.Add(1)
+		}
+	}
+	if h := c.health; h != nil {
+		h.mu.Lock()
+		h.unknowns.Store(0)
+		h.escapes.Store(0)
+		h.healthy = 0
+		h.mu.Unlock()
+	}
+}
+
+// Model returns the active base model — the one New received, the
+// streamed live model, or the latest SwapModel installation.
+func (c *Controller) Model() *model.TSA {
+	return c.tables.Load().base
+}
+
 // Reset clears the dynamic state — the current snapshot, the health
-// window, and the degradation ladder — between runs; the trained model,
-// options, and cumulative counters are kept.
-// Accumulated blend evidence and the streamed model are learned state,
-// not run state, so they survive Reset; only the stream's transition
-// chain is cut (runs are independent histories).
+// window, the degradation ladder, and any quarantine latch — between
+// runs; the trained model, options, and cumulative counters are kept.
+// Accumulated blend evidence, the streamed model, and any swapped-in
+// model are learned state, not run state, so they survive Reset; only
+// the stream's transition chain is cut (runs are independent
+// histories). A learner that still distrusts its model simply
+// quarantines again after the next epoch.
 func (c *Controller) Reset() {
 	c.mu.Lock()
 	c.replaceLocked(nil)
 	c.havePrev = false
 	c.mu.Unlock()
+	c.quarantined.Store(false)
 	c.resetHealth()
 }
 
@@ -550,12 +677,11 @@ func (c *Controller) OnCommit(instance uint64, p tts.Pair) {
 	if c.ro != nil && c.ro.Certified(p.Tx) {
 		return
 	}
+	c.evidence.Add(1)
 	st := tts.State{Commit: p}
 	key := st.Key()
 	c.mu.Lock()
-	if c.prior != nil {
-		c.observeCommitLocked()
-	}
+	c.observeCommitLocked()
 	allowed, relaxed := c.setsFor(key)
 	c.replaceLocked(&snapshot{
 		instance: instance,
@@ -611,7 +737,6 @@ func (c *Controller) Admit(p tts.Pair) {
 	// machinery at all (no snapshot load, no per-thread counters).
 	if c.ro != nil && c.ro.Certified(p.Tx) {
 		c.roAdmits.Add(1)
-		c.immediateAdmits.Add(1)
 		c.noteOutcome(false, false)
 		return
 	}
@@ -712,8 +837,9 @@ func (c *Controller) Admit(p tts.Pair) {
 // loop's fault.HoldStall injection site must not be reachable either,
 // so this path deliberately shares no code with Admit. The outcome
 // still feeds the counters (as an immediate admit, preserving
-// Admits == ImmediateAdmits + Holds) and the health window: a burst of
-// escalations is exactly the distress the ladder should see.
+// Admits == ImmediateAdmits + Holds + ReadOnlyAdmits) and the health
+// window: a burst of escalations is exactly the distress the ladder
+// should see.
 func (c *Controller) AdmitIrrevocable(p tts.Pair) {
 	c.admits.Add(1)
 	c.irrevAdmits.Add(1)

@@ -73,7 +73,7 @@ func TestStatsConsistency(t *testing.T) {
 	c.Admit(tts.Pair{Tx: 2, Thread: 2}) // hold → escape
 	c.Admit(tts.Pair{Tx: 2, Thread: 2}) // hold → escape
 	st := c.Stats()
-	if st.Admits != st.ImmediateAdmits+st.Holds {
+	if st.Admits != st.ImmediateAdmits+st.Holds+st.ReadOnlyAdmits {
 		t.Errorf("admits %d != immediate %d + holds %d", st.Admits, st.ImmediateAdmits, st.Holds)
 	}
 	if st.Escapes > st.Holds {

@@ -147,10 +147,58 @@ func (c *Controller) evaluateWindow() {
 		return
 	}
 	h.healthy++
-	if lvl > LevelGuided && h.healthy >= h.rearmWindows {
+	// A quarantine latch suspends the probing re-arm: the online
+	// learner pinned the ladder at passthrough because the *model* is
+	// untrustworthy, and at passthrough every window looks healthy by
+	// construction — only a healthy replacement model (Rearm) may lift
+	// it.
+	if lvl > LevelGuided && h.healthy >= h.rearmWindows && !c.quarantined.Load() {
 		c.level.Store(int32(lvl - 1))
 		c.rearms.Add(1)
 		h.healthy = 0
+	}
+}
+
+// Quarantine forces the ladder to LevelPassthrough and latches it
+// there: the health monitor's probing re-arm is suspended until Rearm
+// lifts the latch. The online learner quarantines the gate when its
+// drift or staleness guards fire — unlike an ordinary trip, which
+// re-probes on its own, a quarantine says "the model itself is bad; do
+// not resume guidance until a better one is installed". Idempotent and
+// safe from any goroutine.
+func (c *Controller) Quarantine() {
+	first := !c.quarantined.Swap(true)
+	if lvl := c.Level(); lvl < LevelPassthrough {
+		c.level.Store(int32(LevelPassthrough))
+		c.degradations.Add(1)
+	} else if !first {
+		return
+	}
+	if h := c.health; h != nil {
+		h.mu.Lock()
+		h.healthy = 0
+		h.mu.Unlock()
+	}
+}
+
+// Rearm lifts a quarantine latch and steps the ladder straight back to
+// LevelGuided. The online learner calls it after installing a snapshot
+// its guards scored healthy; if the new model is in fact still bad,
+// the ordinary health monitor trips again within a window. A no-op
+// when not quarantined (the probing re-arm machinery owns ordinary
+// trips).
+func (c *Controller) Rearm() {
+	if !c.quarantined.Swap(false) {
+		return
+	}
+	if lvl := c.Level(); lvl > LevelGuided {
+		c.level.Store(int32(LevelGuided))
+		c.rearms.Add(1)
+	}
+	if h := c.health; h != nil {
+		h.mu.Lock()
+		h.healthy = 0
+		h.mu.Unlock()
 	}
 }
 

@@ -25,7 +25,7 @@ func certManifest(ids ...uint16) *effect.Manifest {
 // TestCertifiedReadOnlyAdmitsImmediately pins the gate bypass: a pair
 // whose transaction ID carries a readonly certificate is admitted at
 // once even when the model would hold it, and the counters keep the
-// Admits == ImmediateAdmits + Holds invariant.
+// Admits == ImmediateAdmits + Holds + ReadOnlyAdmits invariant.
 func TestCertifiedReadOnlyAdmitsImmediately(t *testing.T) {
 	c := New(twoStateModel(), Options{K: 5, HoldDelay: time.Microsecond, Manifest: certManifest(2)})
 	c.OnCommit(1, tts.Pair{Tx: 0, Thread: 0})
@@ -43,8 +43,11 @@ func TestCertifiedReadOnlyAdmitsImmediately(t *testing.T) {
 	if st.Holds != 0 || st.Escapes != 0 {
 		t.Errorf("certified admit touched hold machinery: %+v", st)
 	}
-	if st.Admits != st.ImmediateAdmits+st.Holds {
+	if st.Admits != st.ImmediateAdmits+st.Holds+st.ReadOnlyAdmits {
 		t.Errorf("counter invariant broken: %+v", st)
+	}
+	if st.ImmediateAdmits != 0 {
+		t.Errorf("ImmediateAdmits = %d, want 0: certified admits are their own bucket", st.ImmediateAdmits)
 	}
 	if ok, unknown := c.WouldAdmit(tts.Pair{Tx: 2, Thread: 2}); !ok || unknown {
 		t.Errorf("WouldAdmit(certified) = %v, %v, want true, false", ok, unknown)

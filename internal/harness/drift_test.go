@@ -1,0 +1,151 @@
+package harness
+
+import (
+	"testing"
+
+	"gstm/internal/guide"
+	"gstm/internal/model"
+	"gstm/internal/online"
+	"gstm/internal/trace"
+	"gstm/internal/tts"
+)
+
+// TestDriftSimShifts pins the generator itself: with a shift
+// configured the hot set rotates mid-run, both phases produce
+// contention, and every thread finishes.
+func TestDriftSimShifts(t *testing.T) {
+	threads, conflicts := DefaultDriftWorkload()
+	res := RunDrift(DriftConfig{
+		Threads: threads, Conflicts: conflicts,
+		ShiftAfter: 100, Seed: 42,
+	})
+	if res.ShiftTick == 0 {
+		t.Fatal("hot set never rotated")
+	}
+	if res.PreAborts == 0 || res.PostAborts == 0 {
+		t.Fatalf("want contention in both phases, got pre=%d post=%d", res.PreAborts, res.PostAborts)
+	}
+	for i, f := range res.Finish {
+		if f == 0 {
+			t.Fatalf("thread %d never finished", i)
+		}
+	}
+	if res.Commits != 200 {
+		t.Errorf("Commits = %d, want 200 (total quota)", res.Commits)
+	}
+	// Determinism: same seed, same trace.
+	res2 := RunDrift(DriftConfig{
+		Threads: threads, Conflicts: conflicts,
+		ShiftAfter: 100, Seed: 42,
+	})
+	if res2.Aborts != res.Aborts || res2.ShiftTick != res.ShiftTick {
+		t.Errorf("same seed diverged: %+v vs %+v", res, res2)
+	}
+}
+
+// TestFrozenModelTripsLadderOnShift pins the failure mode the online
+// learner exists to fix: a gate frozen on the pre-shift model meets the
+// rotated hot set, every admission becomes an unknown pass, and the
+// health ladder trips — guidance is gone and is not coming back.
+func TestFrozenModelTripsLadderOnShift(t *testing.T) {
+	threads, conflicts := DefaultDriftWorkload()
+	m := model.New(len(threads))
+	for p := 0; p < 5; p++ {
+		col := trace.NewCollector()
+		RunDrift(DriftConfig{Threads: threads, Conflicts: conflicts, Seed: int64(9000 + p), Sink: col})
+		seq, _ := col.Sequence()
+		m.AddRun(seq)
+	}
+	ctrl := guide.New(m.Prune(1.5), guide.Options{Tfactor: 1.5, HealthWindow: 32})
+	res := RunDrift(DriftConfig{
+		Threads: threads, Conflicts: conflicts,
+		ShiftAfter: 100, Seed: 7, Gate: ctrl, Sink: ctrl,
+	})
+	if res.ShiftTick == 0 {
+		t.Fatal("no shift happened")
+	}
+	gs := ctrl.Stats()
+	if gs.Degradations == 0 {
+		t.Fatalf("frozen gate never tripped its ladder: %+v", gs)
+	}
+	if gs.UnknownPasses == 0 {
+		t.Fatalf("post-shift states should be unknown to the frozen model: %+v", gs)
+	}
+	if gs.Admits != gs.ImmediateAdmits+gs.Holds+gs.ReadOnlyAdmits {
+		t.Errorf("admit partition broken: %+v", gs)
+	}
+}
+
+// TestOnlineRecoversAfterShift is the deterministic recovery pin: on
+// the same drifting workload, the online learner (a) learns the first
+// regime and installs guidance, (b) quarantines when the hot set
+// rotates away from its model, and (c) relearns and re-arms — ending
+// the run guided on the NEW hot set, which the frozen model never
+// manages.
+func TestOnlineRecoversAfterShift(t *testing.T) {
+	threads, conflicts := DefaultDriftWorkload()
+	ctrl := guide.New(nil, guide.Options{Tfactor: 1.5, HealthWindow: 32})
+	learner := online.New(ctrl, online.Options{
+		EpochEvents: 32,
+		Tfactor:     1.5,
+		Decay:       0.5,
+		MaxMetric:   80,
+		Synchronous: true,
+	})
+	res := RunDrift(DriftConfig{
+		Threads: threads, Conflicts: conflicts,
+		ShiftAfter: 100, Seed: 7,
+		Gate: ctrl, Sink: trace.Multi(ctrl, learner),
+	})
+	if res.ShiftTick == 0 {
+		t.Fatal("no shift happened")
+	}
+	learner.Close() // flush the final partial epoch
+	st := learner.Stats()
+	t.Logf("learner: %+v", st)
+	if st.Swaps < 2 {
+		t.Fatalf("want ≥ 2 swaps (one per regime), got %+v", st)
+	}
+	if st.Quarantines == 0 {
+		t.Fatalf("the shift never quarantined the gate: %+v", st)
+	}
+	if st.Rearms == 0 || st.Quarantined {
+		t.Fatalf("the learner never re-armed after relearning: %+v", st)
+	}
+	if lvl := ctrl.Level(); lvl != guide.LevelGuided {
+		t.Fatalf("gate level = %v at end of run, want guided", lvl)
+	}
+	// The installed model must know the post-shift hot set.
+	final := ctrl.Model()
+	postHot := tts.State{Commit: tts.Pair{Tx: 2, Thread: 0}}
+	if final == nil || final.Node(postHot.Key()) == nil {
+		t.Errorf("installed model does not contain the post-shift hot state %v", postHot)
+	}
+}
+
+// TestCompareDriftOrdersModes is the acceptance measurement (the same
+// comparison cmd/gstm -op online prints): after the shift the online
+// learner absorbs contention the other two modes eat. Variance is
+// logged; the abort ordering is the deterministic part of the claim.
+func TestCompareDriftOrdersModes(t *testing.T) {
+	cmp := CompareDrift(DriftCompareOptions{Seeds: 8})
+	t.Logf("comparison: %+v", cmp)
+	if cmp.OnlinePost >= cmp.PassPost {
+		t.Errorf("online post-shift aborts = %d, want below passthrough's %d", cmp.OnlinePost, cmp.PassPost)
+	}
+	if cmp.OnlinePost >= cmp.FrozenPost {
+		t.Errorf("online post-shift aborts = %d, want below frozen's %d", cmp.OnlinePost, cmp.FrozenPost)
+	}
+	if cmp.FrozenDegradations == 0 {
+		t.Error("frozen gate never tripped across any seed")
+	}
+	if cmp.OnlineRearms == 0 {
+		t.Error("online learner never re-armed across any seed")
+	}
+	if cmp.OnlineSD >= cmp.PassSD {
+		t.Errorf("online meanSD = %.3f, want below passthrough's %.3f", cmp.OnlineSD, cmp.PassSD)
+	}
+	if cmp.OnlineSD >= cmp.FrozenSD {
+		t.Errorf("online meanSD = %.3f, want below frozen's %.3f", cmp.OnlineSD, cmp.FrozenSD)
+	}
+}

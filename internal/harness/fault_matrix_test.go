@@ -6,12 +6,15 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"gstm/internal/fault"
 	"gstm/internal/guide"
+	"gstm/internal/libtm"
 	"gstm/internal/model"
+	"gstm/internal/online"
 	"gstm/internal/stamp"
 	"gstm/internal/tl2"
 	"gstm/internal/trace"
@@ -77,7 +80,7 @@ func TestFaultMatrix(t *testing.T) {
 			t.Error("stalled gate prevented all commits")
 		}
 		gs := out.Guided.Guide
-		if gs.Admits != gs.ImmediateAdmits+gs.Holds {
+		if gs.Admits != gs.ImmediateAdmits+gs.Holds+gs.ReadOnlyAdmits {
 			t.Errorf("stats inconsistent under stalls: admits=%d immediate=%d holds=%d",
 				gs.Admits, gs.ImmediateAdmits, gs.Holds)
 		}
@@ -244,9 +247,138 @@ func TestFaultMatrix(t *testing.T) {
 		if gs.IrrevocableAdmits == 0 {
 			t.Errorf("no irrevocable admits recorded (escalations=%d)", res.Progress.Escalations)
 		}
-		if gs.Admits != gs.ImmediateAdmits+gs.Holds {
+		if gs.Admits != gs.ImmediateAdmits+gs.Holds+gs.ReadOnlyAdmits {
 			t.Errorf("gate stats inconsistent under escalation: admits=%d immediate=%d holds=%d",
 				gs.Admits, gs.ImmediateAdmits, gs.Holds)
+		}
+	})
+
+	t.Run("OnlineEpochSwapStall", func(t *testing.T) {
+		// A wedged model swapper must stall only the learner goroutine:
+		// the commit path keeps committing at full speed and the swaps
+		// that do land arrive late, not never.
+		e := fastExperiment("kmeans", 4)
+		e.MeasureRuns = 2
+		e.EpochEvents = 256
+		e.Inject = fault.NewInjector(31).
+			Set(fault.EpochSwapStall, fault.Rule{Every: 1, Delay: 2 * time.Millisecond})
+		res, st, err := e.MeasureOnline()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Commits == 0 {
+			t.Error("stalled swapper prevented commits")
+		}
+		if st.Epochs == 0 {
+			t.Errorf("no epochs processed under swap stalls: %+v", st)
+		}
+		if st.Swaps > 0 && e.Inject.Fired(fault.EpochSwapStall) == 0 {
+			t.Errorf("swaps landed without the stall firing: %s", e.Inject.Counts())
+		}
+		gs := res.Guide
+		if gs.Admits != gs.ImmediateAdmits+gs.Holds+gs.ReadOnlyAdmits {
+			t.Errorf("admit partition broken under swap stalls: %+v", gs)
+		}
+	})
+
+	t.Run("OnlineStreamDropDup", func(t *testing.T) {
+		// Dropped and duplicated events in the learner's stream skew the
+		// counts, never the commit path: epochs keep processing and the
+		// faults are accounted, not fatal.
+		e := fastExperiment("kmeans", 4)
+		e.MeasureRuns = 2
+		e.EpochEvents = 256
+		e.Inject = fault.NewInjector(37).
+			Set(fault.StreamDrop, fault.Rule{Every: 9}).
+			Set(fault.StreamDup, fault.Rule{Every: 14})
+		res, st, err := e.MeasureOnline()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Commits == 0 {
+			t.Error("stream faults prevented commits")
+		}
+		if st.Dropped == 0 || st.Dups == 0 {
+			t.Errorf("stream faults did not register: %+v (%s)", st, e.Inject.Counts())
+		}
+		if st.Epochs == 0 {
+			t.Errorf("no epochs processed under stream faults: %+v", st)
+		}
+	})
+
+	t.Run("OnlineSnapshotAbort", func(t *testing.T) {
+		// Every snapshot build fails: the learner can never install a
+		// model, so the staleness guard must park the gate at
+		// passthrough — degraded, not wedged — while the run completes.
+		e := fastExperiment("kmeans", 4)
+		e.MeasureRuns = 2
+		e.EpochEvents = 256
+		e.Inject = fault.NewInjector(41).
+			Set(fault.SnapshotAbort, fault.Rule{Every: 1})
+		res, st, err := e.MeasureOnline()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Commits == 0 {
+			t.Error("snapshot aborts prevented commits")
+		}
+		if st.SnapshotAborts == 0 || st.Swaps != 0 {
+			t.Errorf("snapshot aborts did not take effect: %+v", st)
+		}
+		if !st.Quarantined {
+			t.Errorf("learner did not quarantine a gate it can never feed: %+v", st)
+		}
+		if res.Guide.Level != guide.LevelPassthrough {
+			t.Errorf("gate level = %v, want passthrough", res.Guide.Level)
+		}
+	})
+
+	t.Run("OnlineLearnerOnLibtm", func(t *testing.T) {
+		// The learner is runtime-agnostic: wire it to the libtm runtime's
+		// trace fan-out (with stream faults armed) and drive real
+		// contention; the commit path must be unaffected and the learner
+		// must still account for every event it was shown.
+		inj := fault.NewInjector(43).
+			Set(fault.StreamDrop, fault.Rule{Every: 11})
+		ctrl := guide.New(nil, guide.Options{})
+		l := online.New(ctrl, online.Options{EpochEvents: 128, Inject: inj})
+		l.Start()
+		s := libtm.New(libtm.Options{Mode: libtm.FullyOptimistic})
+		s.SetTracer(l)
+		s.SetGate(ctrl)
+		o := libtm.NewObj(0)
+		const workers, iters = 4, 300
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					_ = s.Atomic(uint16(w), uint16(w%2), func(tx *libtm.Tx) error {
+						tx.Write(o, tx.Read(o)+1)
+						return nil
+					})
+				}
+			}(w)
+		}
+		wg.Wait()
+		l.Close()
+		st := l.Stats()
+		if st.Events == 0 || st.Epochs == 0 {
+			t.Errorf("learner saw nothing on libtm: %+v", st)
+		}
+		if st.Dropped == 0 {
+			t.Errorf("stream-drop fault never fired on libtm: %s", inj.Counts())
+		}
+		var sum int64
+		if err := s.Atomic(0, 0, func(tx *libtm.Tx) error {
+			sum = tx.Read(o)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if sum != workers*iters {
+			t.Errorf("commit path corrupted under online faults: sum = %d, want %d", sum, workers*iters)
 		}
 	})
 

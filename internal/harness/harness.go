@@ -16,6 +16,7 @@ import (
 	"gstm/internal/fault"
 	"gstm/internal/guide"
 	"gstm/internal/model"
+	"gstm/internal/online"
 	"gstm/internal/progress"
 	"gstm/internal/stamp"
 	"gstm/internal/stamp/genome"
@@ -118,6 +119,21 @@ type Experiment struct {
 	// and to the guide gate, so certified-readonly transactions take
 	// the fast-path commit and bypass gating in all measured modes.
 	Manifest *effect.Manifest
+	// Online, when true, adds a fourth measured mode to Run: a gate
+	// built with no offline model at all, fed by an online learner
+	// (internal/online) that streams the TSA from the live trace and
+	// swaps epoch snapshots into the gate as they prove healthy.
+	Online bool
+	// EpochEvents and StateBudget tune the online learner (0 = the
+	// learner's defaults). Ignored unless Online is set.
+	EpochEvents int
+	StateBudget int
+	// MaxMetric is the online learner's snapshot fitness ceiling (0 =
+	// the offline analyzer's bar). Soaks and small workloads may relax
+	// it: the drift guard re-scores every installed snapshot each
+	// epoch, so a lax audit bar trades admission quality for swap
+	// traffic, not correctness.
+	MaxMetric float64
 }
 
 // stmOptions builds the tl2 options every experiment-created STM uses.
@@ -229,6 +245,41 @@ func wrapRunErr(phase string, run int, s *tl2.STM, err error) error {
 // Measure runs the measurement phase in default mode (ctrl nil) or
 // guided mode (ctrl non-nil).
 func (e Experiment) Measure(ctrl *guide.Controller) (ModeResult, error) {
+	return e.measureWith(ctrl, nil)
+}
+
+// MeasureOnline runs the measurement phase in online-guided mode: the
+// gate starts with no model and an online learner streams one from the
+// live trace, swapping epoch snapshots in as they prove healthy.
+// Learned state (the accumulator, the installed model) persists across
+// the measurement runs — that continuity is the mode being measured.
+func (e Experiment) MeasureOnline() (ModeResult, online.Stats, error) {
+	e.fill()
+	gopts := e.Guide
+	gopts.Tfactor, gopts.K, gopts.Inject = e.Tfactor, e.K, e.Inject
+	gopts.Manifest = e.Manifest
+	ctrl := guide.New(nil, gopts)
+	l := online.New(ctrl, online.Options{
+		EpochEvents: e.EpochEvents,
+		StateBudget: e.StateBudget,
+		MaxMetric:   e.MaxMetric,
+		Tfactor:     e.Tfactor,
+		Inject:      e.Inject,
+	})
+	l.Start()
+	res, err := e.measureWith(ctrl, l)
+	l.Close()
+	// Close flushes the final partial epoch, which may install one
+	// more snapshot; re-snapshot the gate so its counters and the
+	// learner's agree on what this mode did.
+	res.Guide = ctrl.Stats()
+	return res, l.Stats(), err
+}
+
+// measureWith is the shared measurement loop. learner, when non-nil,
+// is added to the trace fan-out and survives across runs (only the
+// gate's run-local state is reset).
+func (e Experiment) measureWith(ctrl *guide.Controller, learner *online.Learner) (ModeResult, error) {
 	e.fill()
 	w, err := NewWorkload(e.Workload)
 	if err != nil {
@@ -254,11 +305,16 @@ func (e Experiment) Measure(ctrl *guide.Controller) (ModeResult, error) {
 			if e.CM != nil {
 				s.SetContentionManager(e.CM)
 			}
-			if ctrl != nil {
+			switch {
+			case ctrl != nil && learner != nil:
+				ctrl.Reset()
+				s.SetTracer(trace.Multi(ctrl, learner, col))
+				s.SetGate(ctrl)
+			case ctrl != nil:
 				ctrl.Reset()
 				s.SetTracer(trace.Multi(ctrl, col))
 				s.SetGate(ctrl)
-			} else {
+			default:
 				s.SetTracer(col)
 			}
 		}
@@ -372,6 +428,16 @@ type Outcome struct {
 	// does not wait for the analyzer verdict — the prior exists exactly
 	// when no profiled model does.
 	ColdCompared *Comparison
+	// OnlineMode holds the measurement result of the online-learned
+	// mode and OnlineLearn the learner's counters; zero unless
+	// Experiment.Online was set.
+	OnlineMode  ModeResult
+	OnlineLearn online.Stats
+	// OnlineCompared contrasts online-learned guidance against default
+	// execution; non-nil when Experiment.Online was set. Like the
+	// cold-start mode it never waits for an offline analyzer verdict —
+	// the learner audits its own snapshots every epoch.
+	OnlineCompared *Comparison
 	// Elapsed is the total pipeline wall time.
 	Elapsed time.Duration
 }
@@ -420,6 +486,14 @@ func (e Experiment) Run() (Outcome, error) {
 		}
 		cmp := Compare(out.Default, out.ColdStart)
 		out.ColdCompared = &cmp
+	}
+	if e.Online {
+		out.OnlineMode, out.OnlineLearn, err = e.MeasureOnline()
+		if err != nil {
+			return out, err
+		}
+		cmp := Compare(out.Default, out.OnlineMode)
+		out.OnlineCompared = &cmp
 	}
 	out.Elapsed = time.Since(t0)
 	return out, nil

@@ -1,0 +1,105 @@
+package model
+
+import "sort"
+
+// This file holds the operations the streaming (online) learner needs
+// on top of the paper's offline Build/Prune: snapshot copying, count
+// decay so old traffic fades as the workload drifts, and hard state
+// eviction so a long-running accumulator's memory is bounded by
+// configuration rather than by uptime.
+
+// Clone returns a deep copy of the model. The online learner snapshots
+// its accumulator with Clone (via Prune) so the swapped-in model is
+// immutable while the accumulator keeps accreting.
+func (m *TSA) Clone() *TSA {
+	out := New(m.Threads)
+	for key, node := range m.Nodes {
+		nn := out.ensure(key, node.State)
+		for d, c := range node.Out {
+			nn.Out[d] = c
+		}
+		nn.Total = node.Total
+	}
+	return out
+}
+
+// Decay multiplies every transition count by factor (0 < factor < 1),
+// flooring at the integer truncation, and drops edges whose count
+// reaches zero and nodes left with no in- or out-edges. This is the
+// online learner's forgetting step: applied once per epoch, it turns
+// the accumulator into an exponentially weighted window over the live
+// stream, so a workload shift stops being outvoted by history after a
+// few epochs. A factor outside (0, 1) is a no-op.
+func (m *TSA) Decay(factor float64) {
+	if factor <= 0 || factor >= 1 {
+		return
+	}
+	referenced := make(map[string]bool, len(m.Nodes))
+	for _, node := range m.Nodes {
+		node.Total = 0
+		for d, c := range node.Out {
+			nc := int(float64(c) * factor)
+			if nc <= 0 {
+				delete(node.Out, d)
+				continue
+			}
+			node.Out[d] = nc
+			node.Total += nc
+			referenced[d] = true
+		}
+	}
+	for key, node := range m.Nodes {
+		if len(node.Out) == 0 && !referenced[key] {
+			delete(m.Nodes, key)
+		}
+	}
+}
+
+// EvictToBudget removes lowest-weight states until the model holds at
+// most budget states, severing edges into the evicted states as it
+// goes (so Totals stay consistent with the surviving edges). Weight is
+// a state's outbound total plus its inbound count — a state that is a
+// popular destination carries guidance even when it is terminal.
+// budget <= 0 means unlimited. This is the paper's Section VI size cut
+// applied continuously: the accumulator cannot grow without bound no
+// matter how long the service runs or how adversarial the traffic.
+func (m *TSA) EvictToBudget(budget int) {
+	if budget <= 0 || len(m.Nodes) <= budget {
+		return
+	}
+	inbound := make(map[string]int, len(m.Nodes))
+	for _, node := range m.Nodes {
+		for d, c := range node.Out {
+			inbound[d] += c
+		}
+	}
+	type sw struct {
+		key    string
+		weight int
+	}
+	weights := make([]sw, 0, len(m.Nodes))
+	for key, node := range m.Nodes {
+		weights = append(weights, sw{key, node.Total + inbound[key]})
+	}
+	sort.Slice(weights, func(i, j int) bool {
+		if weights[i].weight != weights[j].weight {
+			return weights[i].weight < weights[j].weight
+		}
+		return weights[i].key < weights[j].key // deterministic tie-break
+	})
+	evict := make(map[string]bool, len(m.Nodes)-budget)
+	for _, w := range weights[:len(m.Nodes)-budget] {
+		evict[w.key] = true
+	}
+	for key := range evict {
+		delete(m.Nodes, key)
+	}
+	for _, node := range m.Nodes {
+		for d, c := range node.Out {
+			if evict[d] {
+				delete(node.Out, d)
+				node.Total -= c
+			}
+		}
+	}
+}

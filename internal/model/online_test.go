@@ -1,0 +1,107 @@
+package model
+
+import (
+	"testing"
+
+	"gstm/internal/tts"
+)
+
+func st(tx, th uint16) tts.State {
+	return tts.State{Commit: tts.Pair{Tx: tx, Thread: th}}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := Build(4, []tts.State{st(0, 0), st(1, 1), st(0, 0), st(2, 2)})
+	c := m.Clone()
+	if c.NumStates() != m.NumStates() || c.NumEdges() != m.NumEdges() || c.Threads != m.Threads {
+		t.Fatalf("clone shape (%d states, %d edges) != original (%d, %d)",
+			c.NumStates(), c.NumEdges(), m.NumStates(), m.NumEdges())
+	}
+	// Mutating the original must not leak into the clone.
+	m.AddRun([]tts.State{st(7, 7), st(8, 8)})
+	for key, node := range m.Nodes {
+		node.Out[key] += 100
+	}
+	if c.NumStates() == m.NumStates() {
+		t.Error("clone gained the original's new states")
+	}
+	for key, node := range c.Nodes {
+		if node.Out[key] >= 100 {
+			t.Errorf("clone node %q saw the original's count mutation", tts.MustParseKey(key))
+		}
+	}
+}
+
+func TestDecayForgetsAndDropsEmpties(t *testing.T) {
+	// a->b 8 times, a->c once: after two halvings a->c is gone and c
+	// (terminal, unreferenced) is evicted with it.
+	runs := make([][]tts.State, 0, 9)
+	for i := 0; i < 8; i++ {
+		runs = append(runs, []tts.State{st(0, 0), st(1, 1)})
+	}
+	runs = append(runs, []tts.State{st(0, 0), st(2, 2)})
+	m := Build(4, runs...)
+	if m.NumStates() != 3 || m.NumEdges() != 2 {
+		t.Fatalf("setup: %d states %d edges, want 3/2", m.NumStates(), m.NumEdges())
+	}
+	m.Decay(0.5)
+	m.Decay(0.5)
+	a := m.Node(st(0, 0).Key())
+	if a == nil || a.Total != 2 || len(a.Out) != 1 {
+		t.Fatalf("after two halvings a = %+v, want total 2, one edge", a)
+	}
+	if m.Node(st(2, 2).Key()) != nil {
+		t.Error("decayed-to-zero destination state survived")
+	}
+	// Out-of-range factors are no-ops.
+	before := m.NumEdges()
+	m.Decay(0)
+	m.Decay(1)
+	m.Decay(2)
+	if m.NumEdges() != before {
+		t.Error("no-op decay changed the model")
+	}
+}
+
+func TestEvictToBudget(t *testing.T) {
+	// A hub with many spokes: the budget keeps the heavy core.
+	var run []tts.State
+	for i := 0; i < 10; i++ {
+		run = append(run, st(0, 0), st(uint16(i+1), 1))
+	}
+	// Make states 1..3 heavy by revisiting them.
+	for i := 0; i < 5; i++ {
+		run = append(run, st(1, 1), st(2, 1), st(3, 1))
+	}
+	m := Build(4, run)
+	m.EvictToBudget(4)
+	if got := m.NumStates(); got != 4 {
+		t.Fatalf("NumStates after eviction = %d, want 4", got)
+	}
+	for _, key := range []string{st(0, 0).Key(), st(1, 1).Key(), st(2, 1).Key(), st(3, 1).Key()} {
+		if m.Node(key) == nil {
+			t.Errorf("heavy state %v evicted", tts.MustParseKey(key))
+		}
+	}
+	// Totals must match the surviving edges exactly.
+	for key, node := range m.Nodes {
+		sum := 0
+		for d, c := range node.Out {
+			if m.Node(d) == nil {
+				t.Errorf("state %v keeps an edge to evicted %v", tts.MustParseKey(key), tts.MustParseKey(d))
+			}
+			sum += c
+		}
+		if node.Total != sum {
+			t.Errorf("state %v Total = %d, want %d (sum of surviving edges)",
+				tts.MustParseKey(key), node.Total, sum)
+		}
+	}
+	// A budget at or above the size is a no-op.
+	before := m.NumStates()
+	m.EvictToBudget(before)
+	m.EvictToBudget(0)
+	if m.NumStates() != before {
+		t.Error("no-op eviction changed the model")
+	}
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"sync/atomic"
+
+	"gstm/internal/tts"
+)
+
+// EventKind distinguishes the two trace event types when they are
+// flattened into an Event record.
+type EventKind uint8
+
+// Event kinds.
+const (
+	// EventCommit is an OnCommit event; Inst is the committing
+	// attempt's instance ID.
+	EventCommit EventKind = iota
+	// EventAbort is an OnAbort event; Inst is the killer's instance ID
+	// (0 when unknown).
+	EventAbort
+)
+
+// Event is one commit/abort event flattened into a fixed-size record,
+// suitable for lock-free buffering. Seq is a producer-assigned global
+// sequence number: per-source rings lose the cross-thread event order,
+// and the consumer merge-sorts on Seq to restore it.
+type Event struct {
+	Seq  uint64
+	Inst uint64
+	Pair tts.Pair
+	Kind EventKind
+}
+
+// ringSlot pairs one event with its publication sequence (the Vyukov
+// bounded-queue protocol): seq == pos means the slot is free for the
+// producer claiming position pos; seq == pos+1 means the event at pos
+// is published and readable.
+type ringSlot struct {
+	seq atomic.Uint64
+	ev  Event
+}
+
+// EventRing is a bounded lock-free queue of trace events (Dmitry
+// Vyukov's bounded MPMC design, used here with a single consumer).
+// Producers never block and never allocate: when the ring is full,
+// Enqueue fails and the event is dropped — the online learner prefers
+// losing a sample to stalling a commit. The drop count is the
+// caller's to keep (it knows whether a drop was injected or real).
+type EventRing struct {
+	slots []ringSlot
+	mask  uint64
+	head  atomic.Uint64 // next position to claim for enqueue
+	tail  atomic.Uint64 // next position to read
+}
+
+// NewEventRing returns a ring holding at least capacity events
+// (rounded up to a power of two, minimum 2).
+func NewEventRing(capacity int) *EventRing {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	r := &EventRing{slots: make([]ringSlot, n), mask: uint64(n - 1)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// Cap returns the ring's capacity.
+func (r *EventRing) Cap() int { return len(r.slots) }
+
+// Enqueue publishes ev, returning false (without blocking or
+// spinning unboundedly) when the ring is full.
+func (r *EventRing) Enqueue(ev Event) bool {
+	for {
+		pos := r.head.Load()
+		slot := &r.slots[pos&r.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == pos:
+			// Slot free at our position: claim it.
+			if r.head.CompareAndSwap(pos, pos+1) {
+				slot.ev = ev
+				slot.seq.Store(pos + 1)
+				return true
+			}
+		case seq < pos:
+			// The consumer has not freed this slot yet: full.
+			return false
+		}
+		// seq > pos: another producer claimed pos; retry with a fresh
+		// head read.
+	}
+}
+
+// Dequeue pops the oldest event. Single-consumer only: the online
+// learner's epoch drainer is the one reader.
+func (r *EventRing) Dequeue() (Event, bool) {
+	pos := r.tail.Load()
+	slot := &r.slots[pos&r.mask]
+	seq := slot.seq.Load()
+	if seq < pos+1 {
+		return Event{}, false // nothing published at tail yet
+	}
+	ev := slot.ev
+	slot.seq.Store(pos + uint64(len(r.slots)))
+	r.tail.Store(pos + 1)
+	return ev, true
+}
+
+// Drain appends every currently-readable event to dst and returns the
+// extended slice. Single-consumer, like Dequeue.
+func (r *EventRing) Drain(dst []Event) []Event {
+	for {
+		ev, ok := r.Dequeue()
+		if !ok {
+			return dst
+		}
+		dst = append(dst, ev)
+	}
+}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"gstm/internal/tts"
+)
+
+func TestEventRingFIFO(t *testing.T) {
+	r := NewEventRing(8)
+	for i := 0; i < 5; i++ {
+		if !r.Enqueue(Event{Seq: uint64(i)}) {
+			t.Fatalf("enqueue %d failed on a non-full ring", i)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		ev, ok := r.Dequeue()
+		if !ok || ev.Seq != uint64(i) {
+			t.Fatalf("dequeue %d = (%+v, %v), want seq %d", i, ev, ok, i)
+		}
+	}
+	if _, ok := r.Dequeue(); ok {
+		t.Error("dequeue on an empty ring succeeded")
+	}
+}
+
+func TestEventRingFullDrops(t *testing.T) {
+	r := NewEventRing(4)
+	if r.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", r.Cap())
+	}
+	for i := 0; i < 4; i++ {
+		if !r.Enqueue(Event{Seq: uint64(i)}) {
+			t.Fatalf("enqueue %d failed before the ring filled", i)
+		}
+	}
+	if r.Enqueue(Event{Seq: 99}) {
+		t.Error("enqueue on a full ring succeeded")
+	}
+	// Free one slot; the ring must accept exactly one more.
+	if _, ok := r.Dequeue(); !ok {
+		t.Fatal("dequeue on a full ring failed")
+	}
+	if !r.Enqueue(Event{Seq: 4}) {
+		t.Error("enqueue after a dequeue failed")
+	}
+	got := r.Drain(nil)
+	want := []uint64{1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("drained %d events, want %d", len(got), len(want))
+	}
+	for i, ev := range got {
+		if ev.Seq != want[i] {
+			t.Errorf("drained[%d].Seq = %d, want %d", i, ev.Seq, want[i])
+		}
+	}
+}
+
+func TestEventRingCapacityRounding(t *testing.T) {
+	for capIn, want := range map[int]int{0: 2, 1: 2, 2: 2, 3: 4, 5: 8, 8: 8, 1000: 1024} {
+		if got := NewEventRing(capIn).Cap(); got != want {
+			t.Errorf("NewEventRing(%d).Cap() = %d, want %d", capIn, got, want)
+		}
+	}
+}
+
+// TestEventRingConcurrentProducers hammers the ring with several
+// producers and one consumer (the learner's shape when thread IDs
+// collide onto one ring) and checks no event is duplicated or
+// corrupted. Run under -race in check.sh's explorer/runtime stages.
+func TestEventRingConcurrentProducers(t *testing.T) {
+	const producers = 4
+	const perProducer = 2000
+	r := NewEventRing(64)
+	var seq atomic.Uint64
+	var dropped atomic.Uint64
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+
+	var got []Event
+	var consumer sync.WaitGroup
+	consumer.Add(1)
+	go func() {
+		defer consumer.Done()
+		for {
+			got = r.Drain(got)
+			select {
+			case <-done:
+				got = r.Drain(got)
+				return
+			default:
+			}
+		}
+	}()
+
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				ev := Event{
+					Seq:  seq.Add(1),
+					Inst: uint64(p)<<32 | uint64(i),
+					Pair: tts.Pair{Tx: uint16(p), Thread: uint16(i)},
+				}
+				if !r.Enqueue(ev) {
+					dropped.Add(1)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(done)
+	consumer.Wait()
+
+	if uint64(len(got))+dropped.Load() != producers*perProducer {
+		t.Fatalf("events: delivered %d + dropped %d != produced %d",
+			len(got), dropped.Load(), producers*perProducer)
+	}
+	seen := make(map[uint64]Event, len(got))
+	for _, ev := range got {
+		if prev, dup := seen[ev.Seq]; dup {
+			t.Fatalf("seq %d delivered twice: %+v and %+v", ev.Seq, prev, ev)
+		}
+		seen[ev.Seq] = ev
+	}
+	// Per-producer order is preserved modulo drops: instances from one
+	// producer must arrive in increasing order once sorted by seq.
+	sort.Slice(got, func(i, j int) bool { return got[i].Seq < got[j].Seq })
+	last := make(map[uint16]uint64)
+	for _, ev := range got {
+		if prev, ok := last[ev.Pair.Tx]; ok && ev.Inst <= prev {
+			t.Fatalf("producer %d order broken: inst %d after %d", ev.Pair.Tx, ev.Inst, prev)
+		}
+		last[ev.Pair.Tx] = ev.Inst
+	}
+}

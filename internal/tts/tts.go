@@ -131,6 +131,17 @@ func ParseKey(key string) (State, error) {
 	return st, nil
 }
 
+// MustParseKey is ParseKey for keys known to be well-formed (map keys
+// of a built model); it panics on malformed input. Diagnostics and
+// tests use it to render state keys without error plumbing.
+func MustParseKey(key string) State {
+	st, err := ParseKey(key)
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
 // Pairs returns every (transaction, thread) pair participating in the
 // state — the aborted ones and the committing one. The guide's admission
 // check asks whether a starting transaction is "part of any of the state

@@ -11,25 +11,34 @@
 # numbers). A second stanza records the certified read-only fast-path
 # suite (^BenchmarkROFast) into BENCH_rofast.json at a longer benchtime
 # — those benchmarks assert single-digit-ns deltas, so they need the
-# extra settling time.
+# extra settling time. A third stanza records the online-guidance
+# overheads (^BenchmarkOnline) into BENCH_online.json: the streaming
+# accumulator's per-event enqueue, the amortized epoch build + model
+# swap, and the end-to-end gated commit path with the learner attached
+# (diff against BenchmarkGateOverhead in BENCH_baseline.json — the
+# delta is the online controller's whole commit-path footprint).
 #
 # Knobs:
 #   GSTM_BENCH          benchmark regex    (default: the micro set)
 #   GSTM_BENCHTIME      -benchtime value   (default: 100ms)
 #   GSTM_ROFAST_BENCHTIME  -benchtime for the ROFast suite (default: 2s)
+#   GSTM_ONLINE_BENCHTIME  -benchtime for the Online suite (default: 1s)
 #   GSTM_BENCH_FULL     non-empty adds the paper-table/figure suites at
 #                       -benchtime=1x (slow; report-shaped, not latency-
 #                       shaped, so they are excluded from the default set)
 #   $1                  output path        (default: BENCH_baseline.json)
 #   $2                  ROFast output path (default: BENCH_rofast.json)
+#   $3                  Online output path (default: BENCH_online.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_baseline.json}"
 rofast_out="${2:-BENCH_rofast.json}"
+online_out="${3:-BENCH_online.json}"
 bench="${GSTM_BENCH:-^(BenchmarkTL2|BenchmarkLibTMModesRMW|BenchmarkGateOverhead|BenchmarkSynQuakeFrame)}"
 benchtime="${GSTM_BENCHTIME:-100ms}"
 rofast_benchtime="${GSTM_ROFAST_BENCHTIME:-2s}"
+online_benchtime="${GSTM_ONLINE_BENCHTIME:-1s}"
 
 # write_json <benchtime> <outpath> — reads raw `go test -bench` output
 # on stdin and writes the machine-stamped JSON document.
@@ -83,3 +92,9 @@ rofast_raw="$(go test -run='^$' -bench '^BenchmarkROFast' -benchtime "$rofast_be
 echo "$rofast_raw"
 echo "$rofast_raw" | write_json "$rofast_benchtime" "$rofast_out"
 echo "== wrote $rofast_out =="
+
+echo "== bench: online guidance overhead (benchtime $online_benchtime) =="
+online_raw="$(go test -run='^$' -bench '^BenchmarkOnline' -benchtime "$online_benchtime" -benchmem .)"
+echo "$online_raw"
+echo "$online_raw" | write_json "$online_benchtime" "$online_out"
+echo "== wrote $online_out =="

@@ -7,7 +7,10 @@
 # the race detector over both STM runtimes plus the fault matrix
 # (injected aborts/stalls must never deadlock the gate), a race-mode
 # smoke of the schedule explorer and its oracle/scheduler stack
-# (-short trims the schedule budgets), a fuzz smoke over the binary
+# (-short trims the schedule budgets), a bounded online-controller
+# soak under the race detector (the streaming learner building epoch
+# snapshots and swapping them into a live gate while the commit path
+# runs), a fuzz smoke over the binary
 # decoders and the tts key codecs, and gstmlint (the STM-aware
 # transaction-safety linter, checks gstm000..gstm010, including the
 # interprocedural gstm006 over the module-wide call graph). The lint
@@ -46,6 +49,13 @@ go test -race -run TestFaultMatrix ./internal/harness
 
 echo "== explorer smoke (scheduler + oracle, race mode) =="
 go test -race -short ./internal/sched ./internal/oracle ./internal/explorer
+
+echo "== online controller soak (epoch swaps under race) =="
+# Bounded runs with the background learner swapping models into the
+# live gate: the commit path, the epoch pipeline and the drift guards
+# all racing for real. The learner's own package races alongside.
+go test -race ./internal/online
+go test -race -run TestOnlineSoak ./internal/harness
 
 echo "== fuzz smoke (binary decoders + tts key codecs) =="
 FUZZTIME="${GSTM_FUZZTIME:-10s}"
