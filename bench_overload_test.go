@@ -1,0 +1,120 @@
+package gstm
+
+// Overload-control benchmarks (scripts/bench.sh writes them to
+// BENCH_overload.json). Two claims:
+//
+//   - BenchmarkOverloadShedPath / BenchmarkOverloadShedPathStorm: the
+//     shed fast path — taken precisely when the system is drowning —
+//     costs a few atomic reads and zero allocations (the sentinel
+//     errors are preallocated; TestShedFastPathAllocFree pins the
+//     0-alloc bar outside -race builds).
+//   - BenchmarkOverloadCurve: the contention-collapse curve at each
+//     oversubscription factor, reported as protected vs unprotected
+//     commits/tick custom metrics — the JSON record of the "protected
+//     throughput holds while unprotected collapses" acceptance claim.
+//
+// BenchmarkOverloadAcquireRelease is the healthy-path baseline the
+// shed numbers are read against: one token round trip, uncontended.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"gstm/internal/fault"
+	"gstm/internal/harness"
+)
+
+// shedSaturated builds a limiter whose single token is held and whose
+// execution estimate is seeded, so any deadline-bounded Acquire sheds
+// on the wait forecast without entering the wait loop.
+func shedSaturated(b *testing.B) *Limiter {
+	b.Helper()
+	lim := NewLimiter(LimiterOptions{MaxInflight: 1})
+	ctx := context.Background()
+	if err := lim.Acquire(ctx, PriCritical); err != nil {
+		b.Fatal(err)
+	}
+	// Release with an old start stamp seeds the p50 execution estimate
+	// the wait forecast multiplies by; re-acquire to hold the cap again.
+	lim.Release(lim.Now().Add(-time.Millisecond), true)
+	if err := lim.Acquire(ctx, PriCritical); err != nil {
+		b.Fatal(err)
+	}
+	return lim
+}
+
+// BenchmarkOverloadShedPath measures the deadline-aware shed: a
+// saturated limiter rejecting a call whose remaining deadline is below
+// the predicted queue wait.
+func BenchmarkOverloadShedPath(b *testing.B) {
+	lim := shedSaturated(b)
+	ctx, cancel := context.WithDeadline(context.Background(), lim.Now().Add(time.Microsecond))
+	defer cancel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := lim.Acquire(ctx, PriNormal); !errors.Is(err, ErrShed) {
+			b.Fatalf("want shed, got %v", err)
+		}
+	}
+}
+
+// BenchmarkOverloadShedPathStorm measures the injected-storm shed, the
+// shortest path through Acquire.
+func BenchmarkOverloadShedPathStorm(b *testing.B) {
+	inj := fault.NewInjector(1).Set(fault.ShedStorm, fault.Rule{Every: 1})
+	lim := NewLimiter(LimiterOptions{MaxInflight: 8, Inject: inj})
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := lim.Acquire(ctx, PriLow); !errors.Is(err, ErrShed) {
+			b.Fatalf("want shed, got %v", err)
+		}
+	}
+}
+
+// BenchmarkOverloadAcquireRelease is the healthy-path baseline: one
+// uncontended token round trip through the admission gate.
+func BenchmarkOverloadAcquireRelease(b *testing.B) {
+	lim := NewLimiter(LimiterOptions{MaxInflight: 8})
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := lim.Acquire(ctx, PriNormal); err != nil {
+			b.Fatal(err)
+		}
+		lim.Release(lim.Now(), true)
+	}
+}
+
+// BenchmarkOverloadCurve records the collapse curve: one sub-benchmark
+// per oversubscription factor, each reporting the protected and
+// unprotected mean commits/tick as custom metrics. scripts/bench.sh
+// captures every metric column into BENCH_overload.json, so the curve
+// (and its retention ratio) is diffable across PRs like any other
+// benchmark number.
+func BenchmarkOverloadCurve(b *testing.B) {
+	for _, f := range []int{1, 2, 4, 8} {
+		f := f
+		b.Run(fmt.Sprintf("%dx", f), func(b *testing.B) {
+			var pt harness.OversubPoint
+			for i := 0; i < b.N; i++ {
+				cmp := harness.CompareOversub(harness.OversubCompareOptions{
+					Factors: []int{f},
+					Seeds:   3,
+					Ticks:   2000,
+				})
+				pt = cmp.Points[0]
+			}
+			b.ReportMetric(pt.ProtectedThr, "protected-commits/tick")
+			b.ReportMetric(pt.UnprotectedThr, "unprotected-commits/tick")
+			b.ReportMetric(pt.ProtectedAborts, "protected-aborts/commit")
+			b.ReportMetric(pt.UnprotectedAborts, "unprotected-aborts/commit")
+		})
+	}
+}

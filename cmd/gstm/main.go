@@ -32,6 +32,18 @@
 // -state-budget and -drift-trip tune the learner; -runs is the seed
 // count.
 //
+// Overload control: -op overload measures the contention-collapse
+// curve — the same seeded oversubscription workload at 1×/2×/4×/8×
+// with and without the AIMD admission controller — and reports
+// throughput retention side by side. -max-inflight sets the in-flight
+// cap (0 = 2×cores for the curve; for the measure ops, 0 leaves the
+// limiter off entirely), -limiter picks aimd or fixed, and -shed is
+// the tolerated shed fraction: a run whose admission rejections exceed
+// it — or a measured run that fails with ErrShed — exits with code 6
+// (shed-exhausted). The new fault classes (load-spike, limiter-stall,
+// shed-storm) compose: `-op overload -fault shed-storm:~500 -shed 0.1`
+// demonstrates the shed exit path deterministically.
+//
 // Robustness knobs: -fault injects deterministic faults (see
 // fault.ParseSpec; e.g. "commit-abort:50,hold-stall:~10:1ms"),
 // -fault-seed fixes the injection schedule, and -health-window /
@@ -41,7 +53,8 @@
 // threshold, -watchdog-window tunes the livelock watchdog. Model and
 // trace files are written atomically (temp file + fsync + rename).
 // Exit codes: 1 unexpected, 2 usage, 3 file I/O, 4 pipeline failure,
-// 5 transaction deadline exceeded.
+// 5 transaction deadline exceeded, 6 shed-exhausted (admission control
+// rejected the run or more than the -shed budget).
 package main
 
 import (
@@ -59,6 +72,7 @@ import (
 	"gstm/internal/guide"
 	"gstm/internal/harness"
 	"gstm/internal/model"
+	"gstm/internal/overload"
 	"gstm/internal/safeio"
 	"gstm/internal/stamp"
 	"gstm/internal/tl2"
@@ -73,6 +87,7 @@ const (
 	exitIO       = 3
 	exitPipeline = 4
 	exitDeadline = 5
+	exitShed     = 6
 )
 
 func main() {
@@ -80,7 +95,7 @@ func main() {
 		bench        = flag.String("bench", "kmeans", "benchmark: "+fmt.Sprint(harness.WorkloadNames))
 		threads      = flag.Int("threads", 8, "worker thread count")
 		runs         = flag.Int("runs", 20, "number of runs")
-		op           = flag.String("op", "default", "operation: mcmc_data|analyze|model|default|ND_mcmc|ND_only|coldstart|online|inspect|dot|trace")
+		op           = flag.String("op", "default", "operation: mcmc_data|analyze|model|default|ND_mcmc|ND_only|coldstart|online|overload|inspect|dot|trace")
 		modelPath    = flag.String("model", "state_data", "model file path")
 		staticPrior  = flag.String("static-prior", "", "cold-start model synthesized by gstmlint -prior (required by -op coldstart)")
 		blendEv      = flag.Int("blend-evidence", 0, "commits to decay the static prior's weight to zero (0 = default, <0 = prior-only)")
@@ -99,6 +114,9 @@ func main() {
 		stateBudget  = flag.Int("state-budget", 0, "online learner accumulator state budget (0 = default)")
 		driftTrip    = flag.Float64("drift-trip", 0, "online learner divergence quarantine threshold in [0,1] (0 = default)")
 		deadline     = flag.Duration("deadline", 0, "per-Atomic-call deadline (0 = none); a miss exits with code 5")
+		maxInflight  = flag.Int("max-inflight", 0, "admission-controlled in-flight transaction cap (0 = limiter off; for -op overload, 0 = 2x cores)")
+		limiterMode  = flag.String("limiter", "aimd", "limit policy: aimd (adaptive) or fixed")
+		shedBudget   = flag.Float64("shed", 1, "tolerated shed fraction of admission attempts; exceeding it exits with code 6")
 		escAfter     = flag.Int("escalate-after", 0, "aborts before irrevocable escalation (0 = default, <0 = disable)")
 		watchdogWin  = flag.Duration("watchdog-window", 0, "livelock watchdog sampling window (0 = default, <0 = disable)")
 	)
@@ -120,6 +138,10 @@ func main() {
 		HealthWindow: *healthWindow,
 		RelaxFactor:  *relaxFactor,
 		RearmWindows: *rearmWindows,
+	}
+	limMode, err := overload.ParseMode(*limiterMode)
+	if err != nil {
+		fatalf(exitUsage, "%v", err)
 	}
 
 	e := harness.Experiment{
@@ -149,6 +171,13 @@ func main() {
 			fatalf(exitIO, "loading manifest: %v", err)
 		}
 		e.Manifest = m
+	}
+	if *maxInflight > 0 {
+		e.Overload = overload.New(overload.Options{
+			MaxInflight: *maxInflight,
+			Mode:        limMode,
+			Inject:      inj,
+		})
 	}
 
 	switch *op {
@@ -212,6 +241,7 @@ func main() {
 			fatalf(measureExitCode(err), "guided run: %v", err)
 		}
 		printSummary("guided", *bench, res, *op == "ND_mcmc")
+		reportLimiter(res.Overload, *shedBudget)
 		gs := res.Guide
 		fmt.Printf("gate: %d admits, %d holds, %d escapes, %d unknown-state passes, %d irrevocable admits\n",
 			gs.Admits, gs.Holds, gs.Escapes, gs.UnknownPasses, gs.IrrevocableAdmits)
@@ -309,12 +339,56 @@ func main() {
 			fmt.Println("verdict: online did not win on this run (try more -runs seeds)")
 		}
 
+	case "overload":
+		// The contention-collapse curve: each oversubscription factor
+		// runs the same seeded workloads with and without the admission
+		// controller. -runs is the seed count per point; -threads the
+		// simulated core width.
+		o := harness.OversubCompareOptions{
+			Cores: *threads,
+			Seeds: *runs,
+			Limiter: overload.Options{
+				MaxInflight: *maxInflight,
+				Mode:        limMode,
+				Inject:      inj,
+			},
+		}
+		cmp := harness.CompareOversub(o)
+		fmt.Printf("oversubscription collapse curve: %d cores, %d seeds per point, %s limiter\n",
+			cmp.Cores, o.Seeds, limMode)
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "factor\tworkers\tprotected thr\tunprotected thr\tprot ab/commit\tunprot ab/commit\tend limit\tsheds")
+		for _, pt := range cmp.Points {
+			fmt.Fprintf(tw, "%dx\t%d\t%.3f\t%.3f\t%.2f\t%.2f\t%.1f\t%d\n",
+				pt.Factor, pt.Workers, pt.ProtectedThr, pt.UnprotectedThr,
+				pt.ProtectedAborts, pt.UnprotectedAborts, pt.EndLimit, pt.Sheds)
+		}
+		tw.Flush()
+		last := cmp.Points[len(cmp.Points)-1]
+		fmt.Printf("retention at %dx: protected %.2f, unprotected %.2f (AIMD moves: %d backoffs, %d growths)\n",
+			last.Factor, cmp.ProtectedRetention, cmp.UnprotectedRetention, last.Backoffs, last.Growths)
+		if cmp.ProtectedRetention >= 0.7 && cmp.ProtectedRetention > cmp.UnprotectedRetention {
+			fmt.Println("verdict: admission control holds the collapse curve")
+		} else {
+			fmt.Println("verdict: protection did not hold on this run (try more -runs seeds)")
+		}
+		if inj != nil {
+			fmt.Printf("faults: %s\n", inj.Counts())
+		}
+		if last.Acquires > 0 {
+			if frac := float64(last.Sheds) / float64(last.Acquires); frac > *shedBudget {
+				fatalf(exitShed, "shed-exhausted: %.1f%% of admission attempts shed at %dx (budget %.1f%%)",
+					100*frac, last.Factor, 100**shedBudget)
+			}
+		}
+
 	case "default", "orig", "ND_only":
 		res, err := e.Measure(nil)
 		if err != nil {
 			fatalf(measureExitCode(err), "default run: %v", err)
 		}
 		printSummary("default", *bench, res, *op == "ND_only")
+		reportLimiter(res.Overload, *shedBudget)
 		if inj != nil {
 			fmt.Printf("faults: %s\n", inj.Counts())
 		}
@@ -360,14 +434,35 @@ func loadModel(path string) *model.TSA {
 // printSummary mimics the artifact's AvgSummary files: per-thread mean
 // and standard deviation of execution time, plus (for the ND ops) the
 // state count and abort distribution.
-// measureExitCode distinguishes a transaction deadline miss (exit 5)
-// from other pipeline failures (exit 4), so driver scripts can tell
-// "the workload starved past -deadline" from "the run broke".
+// measureExitCode distinguishes a shed-exhausted run (exit 6, the
+// admission controller rejected calls before they touched the runtime)
+// from a transaction deadline miss (exit 5, the runtime ran and lost
+// to the clock) from other pipeline failures (exit 4). Shed wins the
+// tiebreak when both wrapped sentinels are present — a shed storm is
+// the root cause of the deadline misses it provokes.
 func measureExitCode(err error) int {
-	if errors.Is(err, tl2.ErrDeadline) {
+	switch {
+	case errors.Is(err, overload.ErrShed):
+		return exitShed
+	case errors.Is(err, tl2.ErrDeadline):
 		return exitDeadline
 	}
 	return exitPipeline
+}
+
+// reportLimiter prints the measured runs' admission-control ledger and
+// enforces the -shed budget: rejections beyond the tolerated fraction
+// of admission attempts exit shed-exhausted. A run without a limiter
+// attached (-max-inflight 0) prints nothing.
+func reportLimiter(st overload.Stats, budget float64) {
+	if st.Acquires == 0 {
+		return
+	}
+	fmt.Printf("%s\n", st) // Stats.String carries the "overload:" prefix
+	if frac := float64(st.Sheds) / float64(st.Acquires); frac > budget {
+		fatalf(exitShed, "shed-exhausted: %.1f%% of admission attempts shed (budget %.1f%%)",
+			100*frac, 100*budget)
+	}
 }
 
 func printSummary(mode, bench string, res harness.ModeResult, nd bool) {

@@ -43,6 +43,7 @@ import (
 	"gstm/internal/guide"
 	"gstm/internal/model"
 	"gstm/internal/online"
+	"gstm/internal/overload"
 	"gstm/internal/progress"
 	"gstm/internal/tl2"
 	"gstm/internal/trace"
@@ -148,6 +149,50 @@ type (
 	// OnlineStats is the learner's counter snapshot.
 	OnlineStats = online.Stats
 )
+
+// Adaptive overload control (see internal/overload): an AIMD
+// concurrency limiter with contention-collapse detection and
+// deadline-aware, priority-weighted load shedding, attached via
+// Options.Overload. Shed calls fail fast with ErrShed before touching
+// the runtime; STM.AtomicPri selects the priority class.
+type (
+	// Limiter is the adaptive admission controller; build with
+	// NewLimiter and attach via Options.Overload.
+	Limiter = overload.Limiter
+	// LimiterOptions configures a Limiter (cap, floor, mode, window,
+	// collapse thresholds).
+	LimiterOptions = overload.Options
+	// LimiterMode selects the limit policy (LimiterAIMD/LimiterFixed).
+	LimiterMode = overload.Mode
+	// LimiterStats is the limiter's counter snapshot.
+	LimiterStats = overload.Stats
+	// Pri is an admission priority class for STM.AtomicPri (0..3;
+	// lower sheds first).
+	Pri = overload.Pri
+)
+
+// Limiter modes and priority classes.
+const (
+	// LimiterAIMD adapts the in-flight cap from collapse signals.
+	LimiterAIMD = overload.ModeAIMD
+	// LimiterFixed pins the cap at MaxInflight.
+	LimiterFixed = overload.ModeFixed
+	// PriLow sheds first under backlog pressure; PriCritical last.
+	PriLow      = overload.PriLow
+	PriNormal   = overload.PriNormal
+	PriHigh     = overload.PriHigh
+	PriCritical = overload.PriCritical
+)
+
+// NewLimiter builds an adaptive admission controller.
+func NewLimiter(opts LimiterOptions) *Limiter { return overload.New(opts) }
+
+// ErrShed is returned (wrapped) by Atomic calls the overload limiter
+// rejected before any transactional work: the remaining deadline was
+// below the predicted queue wait, the priority class's backlog budget
+// was exhausted, or an injected shed storm fired. Distinguishable from
+// ErrDeadline, which means the runtime ran and lost to the clock.
+var ErrShed = overload.ErrShed
 
 // Guard modes for Options.ROGuard.
 const (

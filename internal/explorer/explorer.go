@@ -30,6 +30,7 @@ import (
 	"gstm/internal/libtm"
 	"gstm/internal/model"
 	"gstm/internal/oracle"
+	"gstm/internal/overload"
 	"gstm/internal/sched"
 	"gstm/internal/tl2"
 	"gstm/internal/tts"
@@ -49,6 +50,14 @@ const (
 	// PathGuided installs a guide.Controller (built from a synthetic
 	// TSA model over the workload's pairs) as tracer and admission gate.
 	PathGuided
+	// PathLimited attaches an overload.Limiter (internal/overload) with
+	// a fixed in-flight cap one below the worker count, so every
+	// schedule drives at least one worker through the admission wait
+	// loop while the admitted workers still conflict for real. The
+	// limiter's Yield hook is the scheduler's, making the wait loop a
+	// first-class interleaving point, and the program's Check requires
+	// the token ledger to balance exactly.
+	PathLimited
 )
 
 // Workload selects the transactional program the workers run.
@@ -195,6 +204,61 @@ func requireROCommits(inner func(sched.RunResult) error, roCommits func() uint64
 	}
 }
 
+// limitedLimiter builds the admission controller for PathLimited: a
+// fixed cap of workers-1 (floor 1) so full contention always queues
+// exactly one worker, ModeFixed so no wall-clock AIMD window can make
+// schedule fingerprints depend on real time, and the scheduler's yield
+// hook in the wait loop so queued admission is explored like any other
+// blocking point.
+func limitedLimiter(w Workload, yield func()) *overload.Limiter {
+	cap := len(workloadPairs(w)) - 1
+	if cap < 1 {
+		cap = 1
+	}
+	return overload.New(overload.Options{
+		MaxInflight: cap,
+		MinInflight: 1,
+		Mode:        overload.ModeFixed,
+		Yield:       yield,
+	})
+}
+
+// limitedCalls is the exact number of Acquire calls a clean PathLimited
+// schedule must make: one per Atomic call, minus the certified
+// read-only scanner's calls (WorkloadReadOnlyMix), which ride the
+// limiter's non-counted lane.
+func limitedCalls(w Workload, rounds int) uint64 {
+	n := len(workloadPairs(w))
+	if w == WorkloadReadOnlyMix {
+		n-- // the certified scanner is never charged a token
+	}
+	return uint64(n * rounds)
+}
+
+// requireAdmission wraps a Program.Check so a PathLimited schedule only
+// passes if the limiter actually ran every call and its token ledger
+// drained: a stock program must never shed, every non-certified Atomic
+// call acquires exactly once (retries re-use the token), and nothing
+// may remain in flight or queued after the workers join.
+func requireAdmission(inner func(sched.RunResult) error, lim *overload.Limiter, calls uint64) func(sched.RunResult) error {
+	return func(r sched.RunResult) error {
+		if err := inner(r); err != nil {
+			return err
+		}
+		st := lim.Stats()
+		if st.Sheds != 0 {
+			return fmt.Errorf("limited: stock program shed %d calls (%s)", st.Sheds, st)
+		}
+		if st.Acquires != calls {
+			return fmt.Errorf("limited: %d acquires, want exactly %d — one per uncertified Atomic call (%s)", st.Acquires, calls, st)
+		}
+		if st.Inflight != 0 || st.Waiting != 0 {
+			return fmt.Errorf("limited: token ledger not drained: %d in flight, %d waiting (%s)", st.Inflight, st.Waiting, st)
+		}
+		return nil
+	}
+}
+
 // guideOptions is the deterministic guide configuration for the guided
 // path: small K so holds resolve quickly, health monitor off (its
 // windowed state is orthogonal here), and the scheduler's yield hook
@@ -251,6 +315,11 @@ func TL2Program(cfg TL2Config) func(yield func()) sched.Program {
 			opts.Manifest = readonlyMixManifest()
 			opts.ROGuard = effect.GuardTrap
 		}
+		var lim *overload.Limiter
+		if cfg.Path == PathLimited {
+			lim = limitedLimiter(cfg.Workload, yield)
+			opts.Overload = lim
+		}
 		s := tl2.New(opts)
 		rec := oracle.NewRecorder()
 		s.SetMonitor(rec)
@@ -273,6 +342,9 @@ func TL2Program(cfg TL2Config) func(yield func()) sched.Program {
 		check := checkFn(rec, oracle.Opacity, errs, final)
 		if cfg.Workload == WorkloadReadOnlyMix {
 			check = requireROCommits(check, s.ROCommits)
+		}
+		if lim != nil {
+			check = requireAdmission(check, lim, limitedCalls(cfg.Workload, rounds))
 		}
 		return sched.Program{
 			Bodies: bodies,
@@ -426,6 +498,11 @@ func LibTMProgram(cfg LibTMConfig) func(yield func()) sched.Program {
 			opts.Manifest = readonlyMixManifest()
 			opts.ROGuard = effect.GuardTrap
 		}
+		var lim *overload.Limiter
+		if cfg.Path == PathLimited {
+			lim = limitedLimiter(cfg.Workload, yield)
+			opts.Overload = lim
+		}
 		s := libtm.New(opts)
 		rec := oracle.NewRecorder()
 		s.SetMonitor(rec)
@@ -448,6 +525,9 @@ func LibTMProgram(cfg LibTMConfig) func(yield func()) sched.Program {
 		check := checkFn(rec, LevelFor(cfg.Mode), errs, final)
 		if cfg.Workload == WorkloadReadOnlyMix {
 			check = requireROCommits(check, s.ROCommits)
+		}
+		if lim != nil {
+			check = requireAdmission(check, lim, limitedCalls(cfg.Workload, rounds))
 		}
 		return sched.Program{
 			Bodies: bodies,

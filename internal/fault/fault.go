@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -63,6 +64,18 @@ const (
 	// completes: the epoch produces no new model and the learner's
 	// staleness guard must eventually degrade the gate to passthrough.
 	SnapshotAbort
+	// LoadSpike forces the overload limiter's saturated path on an
+	// Acquire even when the cap has headroom, as if a burst of arrivals
+	// had just filled it: the call goes through wait prediction,
+	// backlog weighting, and the wait loop.
+	LoadSpike
+	// LimiterStall stalls a waiter inside the overload limiter's wait
+	// loop, simulating a descheduled thread holding its queue slot.
+	LimiterStall
+	// ShedStorm forces an immediate ErrShed on an overload Acquire,
+	// simulating an admission controller in full rejection — callers
+	// must survive runs where most work is shed.
+	ShedStorm
 	numClasses
 )
 
@@ -77,6 +90,9 @@ var classNames = map[Class]string{
 	StreamDrop:       "stream-drop",
 	StreamDup:        "stream-dup",
 	SnapshotAbort:    "snapshot-abort",
+	LoadSpike:        "load-spike",
+	LimiterStall:     "limiter-stall",
+	ShedStorm:        "shed-storm",
 }
 
 // String returns the spec name of the class (e.g. "commit-abort").
@@ -232,10 +248,16 @@ func (i *Injector) Counts() string {
 //
 // where class is one of commit-abort, commit-delay, lock-release-delay,
 // hold-stall, trace-drop, trace-dup, epoch-swap-stall, stream-drop,
-// stream-dup, snapshot-abort; every is a firing period (fire on
-// every Nth opportunity), ~permille a pseudo-random rate out of 1000,
-// and delay a Go duration for stall classes. An empty spec yields a nil
-// injector (injection off).
+// stream-dup, snapshot-abort, load-spike, limiter-stall, shed-storm;
+// every is a firing period (fire on every Nth opportunity), ~permille a
+// pseudo-random rate out of 1000, and delay a Go duration for stall
+// classes. An empty spec yields a nil injector (injection off).
+//
+// Validation is strict: unknown class names, malformed or out-of-range
+// rates (every must be a positive integer with no trailing characters,
+// per-mille 1..1000), negative delays, and duplicate classes are all
+// errors — a typo in a fault-matrix spec must fail the run, not
+// silently inject nothing.
 func ParseSpec(spec string, seed uint64) (*Injector, error) {
 	if strings.TrimSpace(spec) == "" {
 		return nil, nil
@@ -245,6 +267,7 @@ func ParseSpec(spec string, seed uint64) (*Injector, error) {
 		byName[n] = c
 	}
 	inj := NewInjector(seed)
+	seen := make(map[Class]string)
 	for _, ent := range strings.Split(spec, ",") {
 		ent = strings.TrimSpace(ent)
 		if ent == "" {
@@ -258,6 +281,10 @@ func ParseSpec(spec string, seed uint64) (*Injector, error) {
 		if !ok {
 			return nil, fmt.Errorf("fault: unknown class %q in spec entry %q", fields[0], ent)
 		}
+		if prev, dup := seen[c]; dup {
+			return nil, fmt.Errorf("fault: class %q in spec entry %q already configured by %q", fields[0], ent, prev)
+		}
+		seen[c] = ent
 		var r Rule
 		rate := fields[1]
 		target := &r.Every
@@ -265,9 +292,13 @@ func ParseSpec(spec string, seed uint64) (*Injector, error) {
 			rate = rate[1:]
 			target = &r.PerMille
 		}
-		if _, err := fmt.Sscanf(rate, "%d", target); err != nil || *target == 0 {
+		// strconv, not Sscanf: Sscanf("10x") happily parses 10 and
+		// drops the tail, turning rate typos into different rates.
+		v, err := strconv.ParseUint(rate, 10, 64)
+		if err != nil || v == 0 {
 			return nil, fmt.Errorf("fault: bad rate %q in spec entry %q", fields[1], ent)
 		}
+		*target = v
 		if target == &r.PerMille && r.PerMille > 1000 {
 			return nil, fmt.Errorf("fault: per-mille rate %d > 1000 in spec entry %q", r.PerMille, ent)
 		}
@@ -275,6 +306,9 @@ func ParseSpec(spec string, seed uint64) (*Injector, error) {
 			d, err := time.ParseDuration(fields[2])
 			if err != nil {
 				return nil, fmt.Errorf("fault: bad delay in spec entry %q: %w", ent, err)
+			}
+			if d < 0 {
+				return nil, fmt.Errorf("fault: negative delay %v in spec entry %q", d, ent)
 			}
 			r.Delay = d
 		}

@@ -1,0 +1,102 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParseSpecStrict is the table-driven contract for ParseSpec's
+// strict validation: every malformed entry must fail loudly, because a
+// fault-matrix typo that silently injects nothing makes the matrix
+// vacuous.
+func TestParseSpecStrict(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    string
+		wantErr string // substring; "" means the spec must parse
+		check   func(t *testing.T, inj *Injector)
+	}{
+		{
+			name: "new overload classes parse",
+			spec: "load-spike:2,limiter-stall:~10:50us,shed-storm:3",
+			check: func(t *testing.T, inj *Injector) {
+				if inj.rules[LoadSpike].Every != 2 {
+					t.Errorf("load-spike rule = %+v", inj.rules[LoadSpike])
+				}
+				if inj.rules[LimiterStall].PerMille != 10 || inj.rules[LimiterStall].Delay != 50*time.Microsecond {
+					t.Errorf("limiter-stall rule = %+v", inj.rules[LimiterStall])
+				}
+				if inj.rules[ShedStorm].Every != 3 {
+					t.Errorf("shed-storm rule = %+v", inj.rules[ShedStorm])
+				}
+			},
+		},
+		{
+			name: "per-mille boundary 1000 accepted",
+			spec: "commit-abort:~1000",
+			check: func(t *testing.T, inj *Injector) {
+				if inj.rules[CommitAbort].PerMille != 1000 {
+					t.Errorf("rule = %+v", inj.rules[CommitAbort])
+				}
+			},
+		},
+		{name: "unknown class", spec: "comit-abort:100", wantErr: "unknown class"},
+		{name: "unknown class among valid", spec: "commit-abort:100,shed-strom:1", wantErr: "unknown class"},
+		{name: "per-mille out of range", spec: "shed-storm:~1001", wantErr: "> 1000"},
+		{name: "zero rate", spec: "load-spike:0", wantErr: "bad rate"},
+		{name: "zero per-mille", spec: "load-spike:~0", wantErr: "bad rate"},
+		{name: "trailing garbage in rate", spec: "commit-abort:10x", wantErr: "bad rate"},
+		{name: "trailing garbage in per-mille", spec: "commit-abort:~10x", wantErr: "bad rate"},
+		{name: "negative rate", spec: "commit-abort:-5", wantErr: "bad rate"},
+		{name: "float rate", spec: "commit-abort:1.5", wantErr: "bad rate"},
+		{name: "bare tilde", spec: "commit-abort:~", wantErr: "bad rate"},
+		{name: "duplicate class", spec: "limiter-stall:2,limiter-stall:~5", wantErr: "already configured"},
+		{name: "negative delay", spec: "limiter-stall:1:-3ms", wantErr: "negative delay"},
+		{name: "bad delay", spec: "limiter-stall:1:soon", wantErr: "bad delay"},
+		{name: "too many fields", spec: "limiter-stall:1:1ms:extra", wantErr: "bad spec entry"},
+		{name: "missing rate", spec: "limiter-stall", wantErr: "bad spec entry"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			inj, err := ParseSpec(tc.spec, 7)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("ParseSpec(%q) accepted, want error containing %q", tc.spec, tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("ParseSpec(%q) error %q, want substring %q", tc.spec, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseSpec(%q): %v", tc.spec, err)
+			}
+			if tc.check != nil {
+				tc.check(t, inj)
+			}
+		})
+	}
+}
+
+// TestOverloadClassNames pins the spec names of the new classes and
+// that the enum and name table stay in sync.
+func TestOverloadClassNames(t *testing.T) {
+	for c, want := range map[Class]string{
+		LoadSpike:    "load-spike",
+		LimiterStall: "limiter-stall",
+		ShedStorm:    "shed-storm",
+	} {
+		if got := c.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(c), got, want)
+		}
+	}
+	for c := Class(0); c < numClasses; c++ {
+		if _, ok := classNames[c]; !ok {
+			t.Errorf("class %d has no spec name", int(c))
+		}
+	}
+	if len(classNames) != int(numClasses) {
+		t.Errorf("classNames has %d entries for %d classes", len(classNames), int(numClasses))
+	}
+}

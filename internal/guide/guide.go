@@ -148,6 +148,10 @@ type Stats struct {
 	// Options.Manifest and bypassed gating. Disjoint from
 	// ImmediateAdmits and Holds — the three partition Admits.
 	ReadOnlyAdmits uint64
+	// Sheds counts transactions the overload limiter rejected before
+	// they reached the gate (NoteShed). A shed call never called Admit,
+	// so Sheds is counted entirely outside the Admits partition.
+	Sheds uint64
 
 	// RelaxedAdmits passed a first check against the relaxed
 	// (RelaxFactor× Tfactor) destination sets at LevelRelaxed.
@@ -271,6 +275,7 @@ type Controller struct {
 	unknownPasses   atomic.Uint64
 	relaxedAdmits   atomic.Uint64
 	passAdmits      atomic.Uint64
+	sheds           atomic.Uint64
 	degradations    atomic.Uint64
 	rearms          atomic.Uint64
 	swaps           atomic.Uint64
@@ -553,6 +558,7 @@ func (c *Controller) Stats() Stats {
 		UnknownPasses:     c.unknownPasses.Load(),
 		IrrevocableAdmits: c.irrevAdmits.Load(),
 		ReadOnlyAdmits:    c.roAdmits.Load(),
+		Sheds:             c.sheds.Load(),
 		RelaxedAdmits:     c.relaxedAdmits.Load(),
 		PassthroughAdmits: c.passAdmits.Load(),
 		Degradations:      c.degradations.Load(),
@@ -845,6 +851,16 @@ func (c *Controller) AdmitIrrevocable(p tts.Pair) {
 	c.irrevAdmits.Add(1)
 	c.immediateAdmits.Add(1)
 	c.noteOutcome(false, false)
+}
+
+// NoteShed records that the overload limiter rejected pair p before it
+// reached the gate. The shed never called Admit, so the
+// Admits == ImmediateAdmits + Holds + ReadOnlyAdmits partition is
+// untouched — Sheds is its own ledger. Nothing feeds the health
+// monitor either: shedding is upstream load policy, not evidence about
+// the model's fit.
+func (c *Controller) NoteShed(p tts.Pair) {
+	c.sheds.Add(1)
 }
 
 // WouldAdmit reports whether pair p would pass the gate right now,

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -15,6 +16,7 @@ import (
 	"gstm/internal/libtm"
 	"gstm/internal/model"
 	"gstm/internal/online"
+	"gstm/internal/overload"
 	"gstm/internal/stamp"
 	"gstm/internal/tl2"
 	"gstm/internal/trace"
@@ -422,7 +424,158 @@ func TestFaultMatrix(t *testing.T) {
 			t.Error("mismatched model prevented all commits")
 		}
 	})
+
+	// overloadHammer drives an increment loop on one runtime behind an
+	// injector-armed limiter and returns (successes, sheds).
+	overloadHammer := func(t *testing.T, atomic func(w, i int) error) (uint64, uint64) {
+		t.Helper()
+		const workers, iters = 4, 200
+		var ok, shed atomic64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					switch err := atomic(w, i); {
+					case err == nil:
+						ok.Add(1)
+					case errors.Is(err, overload.ErrShed):
+						shed.Add(1)
+					default:
+						t.Errorf("worker %d call %d: %v", w, i, err)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		return ok.Load(), shed.Load()
+	}
+	// dwell extends each transaction body so tokens are held long enough
+	// for the cap to saturate (zero = as fast as the runtime goes).
+	eachRuntime := func(t *testing.T, maxInflight int, dwell time.Duration, inj func() *fault.Injector, check func(t *testing.T, runtime string, inj *fault.Injector, lim *overload.Limiter, ok, shed uint64, value int64)) {
+		t.Helper()
+		{
+			in := inj()
+			lim := overload.New(overload.Options{MaxInflight: maxInflight, Inject: in})
+			s := tl2.New(tl2.Options{Overload: lim, YieldEvery: -1})
+			v := tl2.NewVar(0)
+			ok, shed := overloadHammer(t, func(w, i int) error {
+				return s.Atomic(uint16(w), uint16(1+i%3), func(tx *tl2.Tx) error {
+					if dwell > 0 {
+						time.Sleep(dwell) //gstm:ignore gstm001 -- deliberate dwell: tokens must be held long enough to saturate the admission cap
+					}
+					tx.Write(v, tx.Read(v)+1)
+					return nil
+				})
+			})
+			check(t, "tl2", in, lim, ok, shed, v.Value())
+		}
+		{
+			in := inj()
+			lim := overload.New(overload.Options{MaxInflight: maxInflight, Inject: in})
+			s := libtm.New(libtm.Options{Mode: libtm.FullyOptimistic, Overload: lim, YieldEvery: -1})
+			o := libtm.NewObj(0)
+			ok, shed := overloadHammer(t, func(w, i int) error {
+				return s.Atomic(uint16(w), uint16(1+i%3), func(tx *libtm.Tx) error {
+					if dwell > 0 {
+						time.Sleep(dwell) //gstm:ignore gstm001 -- deliberate dwell: tokens must be held long enough to saturate the admission cap
+					}
+					tx.Write(o, tx.Read(o)+1)
+					return nil
+				})
+			})
+			check(t, "libtm", in, lim, ok, shed, o.Value())
+		}
+	}
+
+	t.Run("OverloadLoadSpike", func(t *testing.T) {
+		// A load spike forces the saturated admission path on an
+		// otherwise idle limiter: spiked calls must park and then admit
+		// normally — no sheds, no losses, the wait machinery visibly
+		// exercised.
+		eachRuntime(t, 8, 0,
+			func() *fault.Injector {
+				return fault.NewInjector(51).Set(fault.LoadSpike, fault.Rule{Every: 3})
+			},
+			func(t *testing.T, runtime string, inj *fault.Injector, lim *overload.Limiter, ok, shed uint64, value int64) {
+				if inj.Fired(fault.LoadSpike) == 0 {
+					t.Errorf("%s: load spikes never fired: %s", runtime, inj.Counts())
+				}
+				if shed != 0 || ok != 800 || value != 800 {
+					t.Errorf("%s: spike lost work: ok=%d shed=%d value=%d", runtime, ok, shed, value)
+				}
+				if st := lim.Stats(); st.Waits == 0 {
+					t.Errorf("%s: spiked calls never reached the wait loop: %+v", runtime, st)
+				}
+			})
+	})
+
+	t.Run("OverloadLimiterStall", func(t *testing.T) {
+		// Stalls inside the wait loop delay admission but must never
+		// deadlock or drop a call. A cap of 2 under 4 workers keeps the
+		// wait loop genuinely occupied (a spike alone bounces off the
+		// loop's first retry on an idle limiter).
+		eachRuntime(t, 2, 20*time.Microsecond,
+			func() *fault.Injector {
+				return fault.NewInjector(53).
+					Set(fault.LimiterStall, fault.Rule{Every: 2, Delay: 100 * time.Microsecond})
+			},
+			func(t *testing.T, runtime string, inj *fault.Injector, lim *overload.Limiter, ok, shed uint64, value int64) {
+				if inj.Fired(fault.LimiterStall) == 0 {
+					t.Errorf("%s: limiter stalls never fired: %s", runtime, inj.Counts())
+				}
+				if shed != 0 || ok != 800 || value != 800 {
+					t.Errorf("%s: stalls lost work: ok=%d shed=%d value=%d", runtime, ok, shed, value)
+				}
+			})
+	})
+
+	t.Run("OverloadShedStorm", func(t *testing.T) {
+		// A probabilistic shed storm rejects a slice of calls before the
+		// runtime: every rejection is ErrShed, accounted by the limiter,
+		// and invisible to transactional state.
+		eachRuntime(t, 8, 0,
+			func() *fault.Injector {
+				return fault.NewInjector(57).Set(fault.ShedStorm, fault.Rule{PerMille: 300})
+			},
+			func(t *testing.T, runtime string, inj *fault.Injector, lim *overload.Limiter, ok, shed uint64, value int64) {
+				if shed == 0 {
+					t.Fatalf("%s: a 30%% shed storm shed nothing: %s", runtime, inj.Counts())
+				}
+				if ok+shed != 800 {
+					t.Errorf("%s: accounting hole: ok=%d shed=%d", runtime, ok, shed)
+				}
+				if value != int64(ok) {
+					t.Errorf("%s: shed calls touched state: value=%d ok=%d", runtime, value, ok)
+				}
+				if st := lim.Stats(); st.ShedStorm != shed {
+					t.Errorf("%s: limiter storm ledger %d, callers saw %d", runtime, st.ShedStorm, shed)
+				}
+			})
+	})
+
+	t.Run("OverloadShedStormBreaksMeasurement", func(t *testing.T) {
+		// Through the full harness: a total storm sheds every call, the
+		// workload cannot validate, and the failure surfaces wrapping
+		// overload.ErrShed — cmd/gstm's shed exit code rides this.
+		e := fastExperiment("kmeans", 4)
+		e.MeasureRuns = 1
+		inj := fault.NewInjector(61).Set(fault.ShedStorm, fault.Rule{Every: 1})
+		e.Overload = overload.New(overload.Options{MaxInflight: 8, Inject: inj})
+		_, err := e.Measure(nil)
+		if err == nil {
+			t.Fatal("measurement succeeded under a total shed storm")
+		}
+		if !errors.Is(err, overload.ErrShed) {
+			t.Fatalf("err = %v, want wrapped overload.ErrShed", err)
+		}
+	})
 }
+
+// atomic64 aliases the stdlib counter so the hammer closure reads
+// cleanly next to the sync import.
+type atomic64 = atomic.Uint64
 
 // NewWorkloadT is NewWorkload with test-fatal error handling.
 func NewWorkloadT(t *testing.T, name string) stamp.Workload {

@@ -17,6 +17,7 @@ import (
 	"gstm/internal/guide"
 	"gstm/internal/model"
 	"gstm/internal/online"
+	"gstm/internal/overload"
 	"gstm/internal/progress"
 	"gstm/internal/stamp"
 	"gstm/internal/stamp/genome"
@@ -125,15 +126,24 @@ type Experiment struct {
 	// swaps epoch snapshots into the gate as they prove healthy.
 	Online bool
 	// EpochEvents and StateBudget tune the online learner (0 = the
-	// learner's defaults). Ignored unless Online is set.
+	// learner's defaults). Ignored unless Online is set. EpochTarget,
+	// when positive, auto-tunes the epoch size to that wall-clock
+	// cadence from the observed event rate (online.Options.EpochTarget).
 	EpochEvents int
 	StateBudget int
+	EpochTarget time.Duration
 	// MaxMetric is the online learner's snapshot fitness ceiling (0 =
 	// the offline analyzer's bar). Soaks and small workloads may relax
 	// it: the drift guard re-scores every installed snapshot each
 	// epoch, so a lax audit bar trades admission quality for swap
 	// traffic, not correctness.
 	MaxMetric float64
+	// Overload, when non-nil, attaches an admission controller
+	// (internal/overload) to every STM the experiment creates. The
+	// limiter's adaptive state persists across the runs of a mode —
+	// that continuity is what is being measured — and its counters are
+	// snapshotted into ModeResult.Overload.
+	Overload *overload.Limiter
 }
 
 // stmOptions builds the tl2 options every experiment-created STM uses.
@@ -144,6 +154,7 @@ func (e *Experiment) stmOptions() tl2.Options {
 		EscalateAfter:   e.EscalateAfter,
 		WatchdogWindow:  e.WatchdogWindow,
 		Manifest:        e.Manifest,
+		Overload:        e.Overload,
 	}
 }
 
@@ -196,6 +207,9 @@ type ModeResult struct {
 	// Latency holds the per-(tx,thread) Atomic latency percentile
 	// summaries across all runs, worst P99 first.
 	Latency []progress.PairLatency
+	// Overload is the admission controller's counter snapshot after the
+	// mode's runs (zero value unless Experiment.Overload was set).
+	Overload overload.Stats
 }
 
 // ThreadStdDevs returns the per-thread execution-time standard
@@ -231,11 +245,19 @@ func (e Experiment) Profile() (*model.TSA, error) {
 
 // wrapRunErr attaches phase/run context to a stamp.Run failure. The
 // STAMP workload threads drop per-call Atomic errors by design, so a
-// deadline miss inside a workload surfaces as a validation failure; if
-// the STM counted deadline misses, re-attach tl2.ErrDeadline so callers
-// (and cmd/gstm's exit code 5) can tell starvation from breakage.
+// deadline miss or an admission shed inside a workload surfaces as a
+// validation failure; if the STM counted either, re-attach the
+// matching sentinel (overload.ErrShed, tl2.ErrDeadline) so callers —
+// and cmd/gstm's exit codes — can tell overload and starvation from
+// breakage. Sheds win the tiebreak: a shed storm usually produces
+// deadline misses too, and the shed is the root cause.
 func wrapRunErr(phase string, run int, s *tl2.STM, err error) error {
-	if ps := s.ProgressStats(); ps.DeadlineExceeded > 0 {
+	ps := s.ProgressStats()
+	if ps.Sheds > 0 {
+		return fmt.Errorf("harness: %s run %d: %w (%d calls shed by admission control): %w",
+			phase, run, overload.ErrShed, ps.Sheds, err)
+	}
+	if ps.DeadlineExceeded > 0 {
 		return fmt.Errorf("harness: %s run %d: %w (%d calls missed the deadline): %w",
 			phase, run, tl2.ErrDeadline, ps.DeadlineExceeded, err)
 	}
@@ -261,6 +283,7 @@ func (e Experiment) MeasureOnline() (ModeResult, online.Stats, error) {
 	ctrl := guide.New(nil, gopts)
 	l := online.New(ctrl, online.Options{
 		EpochEvents: e.EpochEvents,
+		EpochTarget: e.EpochTarget,
 		StateBudget: e.StateBudget,
 		MaxMetric:   e.MaxMetric,
 		Tfactor:     e.Tfactor,
@@ -349,6 +372,7 @@ func (e Experiment) measureWith(ctrl *guide.Controller, learner *online.Learner)
 	if ctrl != nil {
 		res.Guide = ctrl.Stats()
 	}
+	res.Overload = e.Overload.Stats()
 	return res, nil
 }
 

@@ -1,0 +1,154 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gstm/internal/libtm"
+	"gstm/internal/overload"
+	"gstm/internal/tl2"
+)
+
+// TestOverloadSoak is the bounded admission-control soak (check.sh runs
+// it under -race): workers several times the in-flight cap hammer both
+// runtimes through one shared limiter per runtime, with all four
+// priority classes and a slice of deadline-bounded calls in the mix.
+// It pins the three invariants that matter under real concurrency:
+// every call is accounted exactly once (commit, shed, or deadline),
+// shed calls never touch transactional state (the counter equals the
+// successful increments), and the token ledger drains to zero.
+func TestOverloadSoak(t *testing.T) {
+	const (
+		workers = 16
+		iters   = 250
+	)
+	limOpts := overload.Options{
+		MaxInflight: 4,
+		MinInflight: 2,
+		Window:      time.Millisecond,
+	}
+
+	type tally struct {
+		ok, shed, deadline atomic.Uint64
+	}
+	soak := func(t *testing.T, lim *overload.Limiter, atomicPri func(ctx context.Context, w, i int, pri overload.Pri) error, value func() int64, commits func() uint64) {
+		var tl tally
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					pri := overload.Pri(i % overload.NumPri)
+					ctx := context.Background()
+					if i%5 == 0 {
+						// A slice of tightly deadline-bounded calls keeps
+						// the deadline-shed predictor and the queued-past-
+						// deadline path both exercised.
+						var cancel context.CancelFunc
+						ctx, cancel = context.WithTimeout(ctx, 500*time.Microsecond)
+						defer cancel()
+					}
+					err := atomicPri(ctx, w, i, pri)
+					switch {
+					case err == nil:
+						tl.ok.Add(1)
+					case errors.Is(err, overload.ErrShed):
+						tl.shed.Add(1)
+					case errors.Is(err, tl2.ErrDeadline) || errors.Is(err, libtm.ErrDeadline):
+						tl.deadline.Add(1)
+					default:
+						t.Errorf("worker %d call %d: unaccounted error %v", w, i, err)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		total := tl.ok.Load() + tl.shed.Load() + tl.deadline.Load()
+		if total != workers*iters {
+			t.Fatalf("accounting hole: %d ok + %d shed + %d deadline = %d, want %d",
+				tl.ok.Load(), tl.shed.Load(), tl.deadline.Load(), total, workers*iters)
+		}
+		if got := value(); got != int64(tl.ok.Load()) {
+			t.Fatalf("counter = %d, want %d successful increments (shed calls touched state?)",
+				got, tl.ok.Load())
+		}
+		if c := commits(); c != tl.ok.Load() {
+			t.Fatalf("runtime commits = %d, want %d", c, tl.ok.Load())
+		}
+		st := lim.Stats()
+		t.Logf("ok=%d shed=%d deadline=%d; %s", tl.ok.Load(), tl.shed.Load(), tl.deadline.Load(), st)
+		if st.Inflight != 0 {
+			t.Fatalf("token leak: %d in flight after drain (%+v)", st.Inflight, st)
+		}
+		if st.Waiting != 0 {
+			t.Fatalf("waiter leak: %d still queued after drain (%+v)", st.Waiting, st)
+		}
+		if st.Sheds != tl.shed.Load() {
+			t.Fatalf("limiter counted %d sheds, callers saw %d", st.Sheds, tl.shed.Load())
+		}
+		if st.Limit < int64(limOpts.MinInflight) || st.Limit > int64(limOpts.MaxInflight) {
+			t.Fatalf("limit %d escaped [%d, %d]", st.Limit, limOpts.MinInflight, limOpts.MaxInflight)
+		}
+	}
+
+	t.Run("tl2", func(t *testing.T) {
+		lim := overload.New(limOpts)
+		s := tl2.New(tl2.Options{Overload: lim})
+		v := tl2.NewVar(0)
+		soak(t, lim,
+			func(ctx context.Context, w, i int, pri overload.Pri) error {
+				return s.AtomicPri(ctx, uint16(w), uint16(1+i%3), pri, func(tx *tl2.Tx) error {
+					tx.Write(v, tx.Read(v)+1)
+					return nil
+				})
+			},
+			v.Value, s.Commits)
+	})
+
+	t.Run("libtm", func(t *testing.T) {
+		lim := overload.New(limOpts)
+		s := libtm.New(libtm.Options{Mode: libtm.FullyOptimistic, Overload: lim})
+		o := libtm.NewObj(0)
+		soak(t, lim,
+			func(ctx context.Context, w, i int, pri overload.Pri) error {
+				return s.AtomicPri(ctx, uint16(w), uint16(1+i%3), pri, func(tx *libtm.Tx) error {
+					tx.Write(o, tx.Read(o)+1)
+					return nil
+				})
+			},
+			o.Value, s.Commits)
+	})
+
+	t.Run("harness", func(t *testing.T) {
+		// The full pipeline with a limiter attached: the cap is generous
+		// (a real measurement wants protection, not sheds), so the run
+		// must complete shed-free with the ledger visible in the result.
+		e := fastExperiment("kmeans", 4)
+		e.MeasureRuns = 3
+		e.Overload = overload.New(overload.Options{MaxInflight: 32})
+		res, err := e.Measure(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Commits == 0 {
+			t.Fatal("no commits with limiter attached")
+		}
+		st := res.Overload
+		t.Logf("harness limiter: %s", st)
+		if st.Acquires == 0 {
+			t.Fatal("limiter never consulted by the measured runs")
+		}
+		if st.Sheds != 0 {
+			t.Fatalf("generous cap shed %d calls", st.Sheds)
+		}
+		if st.Inflight != 0 {
+			t.Fatalf("token leak after measurement: %+v", st)
+		}
+	})
+}

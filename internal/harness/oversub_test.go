@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"testing"
+
+	"gstm/internal/overload"
+)
+
+// TestOversubDeterminism pins the simulator contract that makes the
+// acceptance test meaningful: same config + seed → identical trace.
+func TestOversubDeterminism(t *testing.T) {
+	cfg := OversubConfig{
+		Cores: 4, Workers: 24, HotVars: 6, Service: 4, Ticks: 2000, Seed: 7,
+		Protect: &overload.Options{MaxInflight: 8, AbortTrip: 0.6},
+	}
+	a := RunOversub(cfg)
+	b := RunOversub(cfg)
+	if a.Commits != b.Commits || a.Aborts != b.Aborts || a.QueueTicks != b.QueueTicks {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	cfg.Seed = 8
+	c := RunOversub(cfg)
+	if c.Commits == a.Commits && c.Aborts == a.Aborts && c.QueueTicks == a.QueueTicks {
+		t.Fatalf("different seeds produced identical traces: %+v", a)
+	}
+}
+
+// TestOversubTokenLedger checks the limiter's accounting through a full
+// simulated run: every token the simulator holds at the end is visible
+// as in-flight, nothing leaked, and heavy oversubscription actually
+// queued work at the limiter instead of letting it consume cores.
+func TestOversubTokenLedger(t *testing.T) {
+	res := RunOversub(OversubConfig{
+		Cores: 4, Workers: 32, HotVars: 6, Ticks: 3000, Seed: 3,
+		Protect: &overload.Options{MaxInflight: 8, AbortTrip: 0.6},
+	})
+	st := res.Limiter
+	if st.Inflight < 0 || st.Inflight > st.Limit {
+		t.Fatalf("token ledger out of range at run end: %+v", st)
+	}
+	if got := st.Acquires - st.Sheds - uint64(st.Inflight); got != uint64(res.Commits) {
+		t.Fatalf("released tokens = %d, want commits = %d (%+v)", got, res.Commits, st)
+	}
+	if res.QueueTicks == 0 {
+		t.Fatal("8x oversubscription never queued at the limiter")
+	}
+	if res.PeakInflight > int(st.Limit) && st.Backoffs == 0 {
+		t.Fatalf("peak inflight %d exceeded limit %d without any backoff", res.PeakInflight, st.Limit)
+	}
+	if st.ExecEstimate <= 0 {
+		t.Fatalf("no execution estimate after %d commits: %+v", res.Commits, st)
+	}
+}
+
+// TestOversubCollapseCurve is the overload tentpole's acceptance test:
+// on the default collapse curve (1×, 2×, 4×, 8× oversubscription,
+// deterministic seeds), the admission-controlled mode must retain at
+// least 70% of its 1× peak throughput at 8×, while the unprotected
+// mode demonstrably collapses. It also pins that the protection is the
+// AIMD limiter doing work, not a workload accident: the limit visibly
+// moved, and the protected abort rate at 8× stays near the healthy 1×
+// rate instead of the unprotected blowup.
+func TestOversubCollapseCurve(t *testing.T) {
+	c := CompareOversub(OversubCompareOptions{})
+	for _, p := range c.Points {
+		t.Logf("factor %d (N=%d): protected %.3f c/tick (%.2f aborts/commit, limit→%.1f), unprotected %.3f c/tick (%.2f aborts/commit)",
+			p.Factor, p.Workers, p.ProtectedThr, p.ProtectedAborts, p.EndLimit,
+			p.UnprotectedThr, p.UnprotectedAborts)
+	}
+	t.Logf("retention: protected %.3f, unprotected %.3f", c.ProtectedRetention, c.UnprotectedRetention)
+
+	if c.ProtectedRetention < 0.7 {
+		t.Errorf("protected retention %.3f, want >= 0.7 of the 1x peak", c.ProtectedRetention)
+	}
+	if c.UnprotectedRetention >= 0.5 {
+		t.Errorf("unprotected retention %.3f, want < 0.5 (no collapse to protect against)", c.UnprotectedRetention)
+	}
+	last := c.Points[len(c.Points)-1]
+	if last.ProtectedThr <= last.UnprotectedThr {
+		t.Errorf("at 8x, protected %.3f <= unprotected %.3f", last.ProtectedThr, last.UnprotectedThr)
+	}
+	if last.Backoffs == 0 || last.Growths == 0 {
+		t.Errorf("AIMD never moved at 8x: backoffs=%d growths=%d", last.Backoffs, last.Growths)
+	}
+	first := c.Points[0]
+	if last.ProtectedAborts > 2*first.ProtectedAborts+1 {
+		t.Errorf("protected abort rate blew up anyway: %.2f at 8x vs %.2f at 1x",
+			last.ProtectedAborts, first.ProtectedAborts)
+	}
+	if last.UnprotectedAborts < 4*first.UnprotectedAborts {
+		t.Errorf("unprotected abort rate %.2f at 8x vs %.2f at 1x: not a contention collapse",
+			last.UnprotectedAborts, first.UnprotectedAborts)
+	}
+}

@@ -30,6 +30,7 @@ import (
 
 	"gstm/internal/effect"
 	"gstm/internal/fault"
+	"gstm/internal/overload"
 	"gstm/internal/progress"
 	"gstm/internal/trace"
 	"gstm/internal/tts"
@@ -115,6 +116,13 @@ type IrrevocableGate interface {
 	AdmitIrrevocable(p tts.Pair)
 }
 
+// ShedGate is the optional Gate extension notified when the overload
+// limiter sheds a pair before it could reach Admit; same contract as
+// tl2.ShedGate (count only, never hold).
+type ShedGate interface {
+	NoteShed(p tts.Pair)
+}
+
 // Options configures an STM instance.
 type Options struct {
 	// Mode selects detection and resolution. The zero value is
@@ -170,6 +178,11 @@ type Options struct {
 	// uncertified. The zero value (effect.GuardAuto) traps under -race
 	// builds and recovers in production.
 	ROGuard effect.GuardMode
+	// Overload, when non-nil, attaches the adaptive admission
+	// controller (internal/overload) in front of every Atomic call;
+	// same contract as tl2.Options.Overload, including the certified
+	// read-only non-counted lane.
+	Overload *overload.Limiter
 	// Mutate enables deliberate correctness knockouts for the opacity
 	// oracle's mutation harness (internal/oracle); see Mutations. All
 	// fields false (the default) leaves the runtime stock.
@@ -232,6 +245,7 @@ type STM struct {
 	// Progress-guarantee state, mirroring tl2 (see internal/progress).
 	escalations  atomic.Uint64
 	deadlineMiss atomic.Uint64
+	sheds        atomic.Uint64
 	escThreshold atomic.Int64
 	watchdog     *progress.Watchdog
 	lat          atomic.Pointer[latBox]
@@ -338,6 +352,7 @@ func (s *STM) Aborts() uint64 { return s.aborts.Load() }
 func (s *STM) ResetCounters() {
 	s.commits.Store(0)
 	s.aborts.Store(0)
+	s.sheds.Store(0)
 }
 
 // Obj is one transactional object holding an int64. Create with NewObj
@@ -760,8 +775,41 @@ func (s *STM) Atomic(thread, txID uint16, fn func(*Tx) error) error {
 // serial path and is guaranteed to commit. A nil ctx behaves like
 // context.Background().
 func (s *STM) AtomicCtx(ctx context.Context, thread, txID uint16, fn func(*Tx) error) error {
+	return s.AtomicPri(ctx, thread, txID, overload.PriNormal, fn)
+}
+
+// AtomicPri is AtomicCtx with an explicit admission priority class for
+// the overload limiter (Options.Overload); same contract as
+// tl2.AtomicPri. A shed call returns an error wrapping
+// overload.ErrShed before any descriptor exists.
+func (s *STM) AtomicPri(ctx context.Context, thread, txID uint16, pri overload.Pri, fn func(*Tx) error) error {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	roCert := s.ro != nil && s.ro.Certified(txID)
+	lim := s.opts.Overload
+	counted := false
+	var admitted time.Time
+	if lim != nil {
+		if roCert {
+			// Certified read-only transactions ride the non-counted
+			// lane: no charge, no shed.
+			lim.NoteReadOnly()
+		} else if err := lim.Acquire(ctx, pri); err != nil {
+			if errors.Is(err, overload.ErrShed) {
+				s.sheds.Add(1)
+				if gb := s.gate.Load(); gb != nil {
+					if sg, ok := gb.g.(ShedGate); ok {
+						sg.NoteShed(tts.Pair{Tx: txID, Thread: thread})
+					}
+				}
+				return err
+			}
+			return s.deadlineErr(ctx)
+		} else {
+			counted = true
+			admitted = lim.Now()
+		}
 	}
 	// Certified read-only transactions draw a pooled descriptor whose
 	// read-set slices keep their capacity across calls: the alloc-free
@@ -769,7 +817,6 @@ func (s *STM) AtomicCtx(ctx context.Context, thread, txID uint16, fn func(*Tx) e
 	// sets and doom pointers have unbounded, caller-driven lifetimes
 	// that pooling would have to defend against for no certain win.
 	var tx *Tx
-	roCert := s.ro != nil && s.ro.Certified(txID)
 	if roCert {
 		tx = roTxPool.Get().(*Tx)
 		tx.stm = s
@@ -791,6 +838,9 @@ func (s *STM) AtomicCtx(ctx context.Context, thread, txID uint16, fn func(*Tx) e
 	err := s.atomicCtx(ctx, tx, fn, t0)
 	if rec != nil {
 		rec.Record(tx.pair, time.Since(t0))
+	}
+	if counted {
+		lim.Release(admitted, err == nil)
 	}
 	if roCert {
 		// Every attempt path (commit, abort, user error, escalation)
@@ -846,6 +896,7 @@ func (s *STM) atomicCtx(ctx context.Context, tx *Tx, fn func(*Tx) error, t0 time
 			return userErr
 		}
 		s.aborts.Add(1)
+		s.opts.Overload.NoteAbort()
 		s.tracer.Load().t.OnAbort(tx.pair, killer)
 		attempts++
 		if s.opts.MaxRetries > 0 && attempts > s.opts.MaxRetries {
@@ -892,6 +943,7 @@ func (s *STM) observeWatchdog() {
 	}
 	switch s.watchdog.Observe(time.Now(), s.commits.Load(), s.aborts.Load()) {
 	case progress.VerdictTrip:
+		s.opts.Overload.NotePressure()
 		if th := s.escThreshold.Load(); th > 1 {
 			half := th / 2
 			if half < 1 {
@@ -915,6 +967,7 @@ func (s *STM) ProgressStats() progress.Stats {
 		DeadlineExceeded:  s.deadlineMiss.Load(),
 		WatchdogTrips:     s.watchdog.Trips(),
 		EscalateThreshold: s.escThreshold.Load(),
+		Sheds:             s.sheds.Load(),
 	}
 }
 

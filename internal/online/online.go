@@ -41,6 +41,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gstm/internal/analyze"
 	"gstm/internal/fault"
@@ -60,6 +61,11 @@ const (
 	DefaultMinStates   = 2
 	DefaultRingSize    = 1024
 	DefaultRings       = 4
+	// MinEpochEvents / MaxEpochEvents bound the auto-tuned epoch size
+	// (EpochTarget): below the floor an epoch is too small a sample for
+	// the guards, above the ceiling adaptation lags the workload.
+	MinEpochEvents = 64
+	MaxEpochEvents = 1 << 16
 )
 
 // minEpochFraction: an epoch batch smaller than EpochEvents/minEpochFraction
@@ -74,6 +80,20 @@ type Options struct {
 	// is processed. ≤ 0 means DefaultEpochEvents. Smaller epochs adapt
 	// faster and cost more churn.
 	EpochEvents int
+	// EpochTarget, when positive, auto-tunes the epoch size to this
+	// wall-clock duration: each processed epoch measures the observed
+	// event rate from the producer sequence stamps (Δseq over elapsed
+	// time — drops included, since they were offered load) and moves
+	// EpochEvents halfway toward rate×EpochTarget, clamped to
+	// [MinEpochEvents, MaxEpochEvents]. EpochEvents then only seeds the
+	// first epoch. This keeps epoch cadence stable across workloads
+	// whose event rates differ by orders of magnitude — fixed counts
+	// mean a hot workload re-audits every few hundred microseconds
+	// while a cold one goes seconds between guard decisions.
+	EpochTarget time.Duration
+	// Now, when non-nil, replaces time.Now for the rate measurement —
+	// the auto-tune convergence tests drive it.
+	Now func() time.Time
 	// StateBudget bounds the accumulator model's state count; the
 	// lowest-weight states are evicted past it (online §VI pruning).
 	// ≤ 0 means DefaultStateBudget.
@@ -151,6 +171,10 @@ type Stats struct {
 	// guard-eligible epoch; AccStates the accumulator's current size.
 	LastDivergence float64
 	AccStates      int
+	// EpochEvents is the current epoch-close threshold (auto-tuned when
+	// Options.EpochTarget is set); Retunes counts threshold moves.
+	EpochEvents int
+	Retunes     uint64
 	// Quarantined reports whether the learner currently holds the gate
 	// quarantined.
 	Quarantined bool
@@ -161,7 +185,12 @@ type Stats struct {
 type Learner struct {
 	ctrl *guide.Controller
 
-	epochEvents int
+	// epochEvents is the current epoch-close threshold. Atomic because
+	// the tracer hot path reads it while the epoch processor retunes it
+	// (EpochTarget).
+	epochEvents atomic.Int64
+	epochTarget time.Duration
+	now         func() time.Time
 	stateBudget int
 	tf          float64
 	decay       float64
@@ -191,6 +220,11 @@ type Learner struct {
 	unhealthy int  // consecutive guard-failed epochs
 	quarOwned bool // we quarantined the gate (so a healthy swap re-arms)
 	decided   int  // decide-sized epochs processed (warmup gating)
+	// Auto-tune rate anchors (EpochTarget): the previous epoch close's
+	// clock reading and producer sequence stamp.
+	lastTuneAt  time.Time
+	lastTuneSeq uint64
+	haveTune    bool
 
 	events         atomic.Uint64
 	dropped        atomic.Uint64
@@ -202,6 +236,7 @@ type Learner struct {
 	snapshotAborts atomic.Uint64
 	staleSkips     atomic.Uint64
 	unattributed   atomic.Uint64
+	retunes        atomic.Uint64
 	lastDivergence atomic.Uint64 // math.Float64bits
 	accStates      atomic.Uint64
 	quarantined    atomic.Bool
@@ -216,7 +251,8 @@ var _ trace.Tracer = (*Learner)(nil)
 func New(ctrl *guide.Controller, opts Options) *Learner {
 	l := &Learner{
 		ctrl:        ctrl,
-		epochEvents: opts.EpochEvents,
+		epochTarget: opts.EpochTarget,
+		now:         opts.Now,
 		stateBudget: opts.StateBudget,
 		tf:          opts.Tfactor,
 		decay:       opts.Decay,
@@ -229,8 +265,13 @@ func New(ctrl *guide.Controller, opts Options) *Learner {
 		wake:        make(chan struct{}, 1),
 		done:        make(chan struct{}),
 	}
-	if l.epochEvents <= 0 {
-		l.epochEvents = DefaultEpochEvents
+	ee := opts.EpochEvents
+	if ee <= 0 {
+		ee = DefaultEpochEvents
+	}
+	l.epochEvents.Store(int64(ee))
+	if l.now == nil {
+		l.now = time.Now
 	}
 	if l.stateBudget <= 0 {
 		l.stateBudget = DefaultStateBudget
@@ -309,7 +350,7 @@ func (l *Learner) observe(ev trace.Event) {
 			l.pending.Add(1)
 		}
 	}
-	if l.pending.Add(1) >= uint64(l.epochEvents) {
+	if l.pending.Add(1) >= uint64(l.epochEvents.Load()) {
 		if l.sync {
 			l.processEpoch()
 			return
@@ -335,7 +376,7 @@ func (l *Learner) Start() {
 			case <-l.done:
 				return
 			case <-l.wake:
-				for l.pending.Load() >= uint64(l.epochEvents) {
+				for l.pending.Load() >= uint64(l.epochEvents.Load()) {
 					l.processEpoch()
 				}
 			}
@@ -368,6 +409,8 @@ func (l *Learner) Stats() Stats {
 		Unattributed:   l.unattributed.Load(),
 		LastDivergence: loadFloat(&l.lastDivergence),
 		AccStates:      int(l.accStates.Load()),
+		EpochEvents:    int(l.epochEvents.Load()),
+		Retunes:        l.retunes.Load(),
 		Quarantined:    l.quarantined.Load(),
 	}
 }
@@ -438,7 +481,10 @@ func (l *Learner) processEpoch() {
 	// Guard decisions need a real sample; the final Close flush (or a
 	// drop-starved epoch) still teaches the accumulator but decides
 	// nothing.
-	decide := len(l.buf) >= l.epochEvents/minEpochFraction
+	decide := len(l.buf) >= int(l.epochEvents.Load())/minEpochFraction
+	if decide {
+		l.retune()
+	}
 
 	// Drift guard: score the *installed* model against what actually
 	// happened this epoch, before the new evidence dilutes anything.
@@ -541,6 +587,44 @@ func (l *Learner) processEpoch() {
 			}
 			l.ctrl.Quarantine()
 		}
+	}
+}
+
+// retune moves the epoch-close threshold toward the configured wall-
+// clock cadence (EpochTarget). The event rate comes from the producer
+// sequence stamps: Δseq over the elapsed clock time since the last
+// decide-sized epoch, which counts offered load (ring-full drops
+// included) rather than just accepted events. The move is halfway
+// toward the measurement — a step change in rate converges within a
+// few epochs while one anomalous epoch cannot thrash the threshold.
+// Caller holds mu.
+func (l *Learner) retune() {
+	if l.epochTarget <= 0 {
+		return
+	}
+	now, seq := l.now(), l.seq.Load()
+	if !l.haveTune {
+		l.lastTuneAt, l.lastTuneSeq, l.haveTune = now, seq, true
+		return
+	}
+	elapsed := now.Sub(l.lastTuneAt)
+	dseq := seq - l.lastTuneSeq
+	l.lastTuneAt, l.lastTuneSeq = now, seq
+	if elapsed <= 0 || dseq == 0 {
+		return
+	}
+	target := float64(dseq) * float64(l.epochTarget) / float64(elapsed)
+	cur := l.epochEvents.Load()
+	next := cur + (int64(target)-cur)/2
+	if next < MinEpochEvents {
+		next = MinEpochEvents
+	}
+	if next > MaxEpochEvents {
+		next = MaxEpochEvents
+	}
+	if next != cur {
+		l.epochEvents.Store(next)
+		l.retunes.Add(1)
 	}
 }
 

@@ -1,0 +1,144 @@
+package online
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"gstm/internal/guide"
+	"gstm/internal/tts"
+)
+
+// tuneClock is a mutex-guarded fake clock the feeder advances per
+// event, so the learner's rate measurement sees an exact, controlled
+// event rate.
+type tuneClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *tuneClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *tuneClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// feedAt pushes n commits at one event per dt of fake time, cycling a
+// small pair rotation so epochs contain real transitions.
+func feedAt(l *Learner, clk *tuneClock, inst *uint64, n int, dt time.Duration) {
+	for i := 0; i < n; i++ {
+		clk.advance(dt)
+		*inst++
+		l.OnCommit(*inst, tts.Pair{Tx: uint16(*inst % 3), Thread: uint16(*inst % 2)})
+	}
+}
+
+// TestEpochTargetConvergence is the auto-tune contract: with
+// EpochTarget set, the epoch-close threshold must converge to
+// rate×target — and re-converge after a step change in the event rate
+// — within a few epochs, using only the producer sequence stamps for
+// the rate measurement.
+func TestEpochTargetConvergence(t *testing.T) {
+	clk := &tuneClock{t: time.Unix(0, 0)}
+	target := 10 * time.Millisecond
+	l := New(guide.New(nil, guide.Options{}), Options{
+		EpochEvents: 256, // seed only; the tuner takes over
+		EpochTarget: target,
+		DriftTrip:   -1, // guards are not under test
+		Synchronous: true,
+		Now:         clk.now,
+	})
+	var inst uint64
+
+	// Phase 1: one event per 100µs → rate×target = 100 events/epoch.
+	feedAt(l, clk, &inst, 4000, 100*time.Microsecond)
+	st := l.Stats()
+	if st.Retunes == 0 {
+		t.Fatalf("tuner never moved the threshold: %+v", st)
+	}
+	if st.EpochEvents < 75 || st.EpochEvents > 135 {
+		t.Fatalf("phase 1: EpochEvents = %d, want ~100 (rate 10k/s × 10ms)", st.EpochEvents)
+	}
+	phase1 := st.EpochEvents
+
+	// Phase 2: the rate steps up 4× (one event per 25µs) → the
+	// threshold must re-converge to ~400 within a bounded event budget.
+	feedAt(l, clk, &inst, 8000, 25*time.Microsecond)
+	st = l.Stats()
+	if st.EpochEvents < 300 || st.EpochEvents > 540 {
+		t.Fatalf("phase 2: EpochEvents = %d (was %d), want ~400 after a 4x rate step", st.EpochEvents, phase1)
+	}
+
+	// Phase 3: the rate steps down 8× (one event per 200µs) → back to
+	// ~50 events/epoch.
+	feedAt(l, clk, &inst, 4000, 200*time.Microsecond)
+	st = l.Stats()
+	if st.EpochEvents < MinEpochEvents || st.EpochEvents > 90 {
+		t.Fatalf("phase 3: EpochEvents = %d, want ~max(50, floor %d) after an 8x slowdown",
+			st.EpochEvents, MinEpochEvents)
+	}
+}
+
+// TestEpochTargetBounds pins the clamp: absurd rates cannot push the
+// threshold out of [MinEpochEvents, MaxEpochEvents].
+func TestEpochTargetBounds(t *testing.T) {
+	t.Run("floor", func(t *testing.T) {
+		clk := &tuneClock{t: time.Unix(0, 0)}
+		l := New(guide.New(nil, guide.Options{}), Options{
+			EpochEvents: 128,
+			EpochTarget: time.Millisecond,
+			DriftTrip:   -1,
+			Synchronous: true,
+			Now:         clk.now,
+		})
+		var inst uint64
+		// One event per 10ms: rate×target would be 0.1 events/epoch.
+		feedAt(l, clk, &inst, 2000, 10*time.Millisecond)
+		if st := l.Stats(); st.EpochEvents != MinEpochEvents {
+			t.Fatalf("EpochEvents = %d, want floor %d", st.EpochEvents, MinEpochEvents)
+		}
+	})
+	t.Run("ceiling", func(t *testing.T) {
+		clk := &tuneClock{t: time.Unix(0, 0)}
+		l := New(guide.New(nil, guide.Options{}), Options{
+			EpochEvents: MaxEpochEvents / 2,
+			EpochTarget: 10 * time.Second,
+			DriftTrip:   -1,
+			Synchronous: true,
+			Now:         clk.now,
+			// The rings must hold a whole ceiling-sized epoch, or the
+			// threshold can never be reached and the tuner starves.
+			RingSize: MaxEpochEvents,
+		})
+		var inst uint64
+		// One event per µs against a 10s target: rate×target = 10M.
+		feedAt(l, clk, &inst, 3*MaxEpochEvents, time.Microsecond)
+		if st := l.Stats(); st.EpochEvents != MaxEpochEvents {
+			t.Fatalf("EpochEvents = %d, want ceiling %d", st.EpochEvents, MaxEpochEvents)
+		}
+	})
+}
+
+// TestEpochTargetOffByDefault pins that a zero EpochTarget leaves the
+// configured threshold alone forever.
+func TestEpochTargetOffByDefault(t *testing.T) {
+	clk := &tuneClock{t: time.Unix(0, 0)}
+	l := New(guide.New(nil, guide.Options{}), Options{
+		EpochEvents: 128,
+		DriftTrip:   -1,
+		Synchronous: true,
+		Now:         clk.now,
+	})
+	var inst uint64
+	feedAt(l, clk, &inst, 2000, 10*time.Microsecond)
+	st := l.Stats()
+	if st.EpochEvents != 128 || st.Retunes != 0 {
+		t.Fatalf("threshold moved without EpochTarget: %+v", st)
+	}
+}

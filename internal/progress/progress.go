@@ -131,12 +131,15 @@ type Stats struct {
 	// EscalateThreshold is the current effective abort threshold (the
 	// watchdog lowers it under livelock pressure).
 	EscalateThreshold int64
+	// Sheds counts Atomic calls rejected by the overload limiter with
+	// ErrShed before touching the runtime (internal/overload).
+	Sheds uint64
 }
 
 // String renders the snapshot compactly for run summaries.
 func (s Stats) String() string {
-	return fmt.Sprintf("progress: %d escalations, %d deadline-exceeded, %d watchdog trips, threshold %d",
-		s.Escalations, s.DeadlineExceeded, s.WatchdogTrips, s.EscalateThreshold)
+	return fmt.Sprintf("progress: %d escalations, %d deadline-exceeded, %d watchdog trips, %d sheds, threshold %d",
+		s.Escalations, s.DeadlineExceeded, s.WatchdogTrips, s.Sheds, s.EscalateThreshold)
 }
 
 // latencyCap bounds how many samples one (transaction, thread) pair
@@ -221,6 +224,24 @@ func (r *LatencyRecorder) Summaries() []PairLatency {
 		return out[i].Pair.Key() < out[j].Pair.Key()
 	})
 	return out
+}
+
+// P99 returns the 99th-percentile latency in seconds across every
+// retained sample of every pair — the single-number tail signal the
+// overload limiter samples once per window. Zero when nothing has been
+// recorded. Nil-safe.
+func (r *LatencyRecorder) P99() float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	var all []float64
+	for _, ps := range r.byPair {
+		all = append(all, ps.seconds...)
+	}
+	r.mu.Unlock()
+	p, _ := stats.Percentile(all, 99)
+	return p
 }
 
 // Reset drops all recorded samples. Nil-safe.

@@ -31,6 +31,7 @@ import (
 
 	"gstm/internal/effect"
 	"gstm/internal/fault"
+	"gstm/internal/overload"
 	"gstm/internal/progress"
 	"gstm/internal/trace"
 	"gstm/internal/tts"
@@ -93,6 +94,16 @@ func (v *Var) StoreFloat(f float64) { v.val.Store(int64(math.Float64bits(f))) }
 // hold/retry/escape policy) until the pair may proceed.
 type Gate interface {
 	Admit(p tts.Pair)
+}
+
+// ShedGate is an optional Gate extension notified when the overload
+// limiter sheds a pair before it could reach Admit. Implementations
+// must only count — the transaction is already rejected, and the
+// notification rides the shed fast path (no holding, no allocation).
+// guide.Controller implements it so shed accounting stays outside the
+// gate's admit partition.
+type ShedGate interface {
+	NoteShed(p tts.Pair)
 }
 
 // IrrevocableGate is an optional Gate extension consulted when a
@@ -188,6 +199,14 @@ type Options struct {
 	// uncertified. The zero value (effect.GuardAuto) traps under -race
 	// builds and recovers in production. See internal/effect.
 	ROGuard effect.GuardMode
+	// Overload, when non-nil, attaches an adaptive admission controller
+	// (internal/overload) in front of every Atomic call: in-flight
+	// transactions are capped by its AIMD limit, and calls that cannot
+	// be admitted in time are shed with overload.ErrShed before any
+	// transactional state is touched. Certified read-only transactions
+	// (Manifest) bypass the cap on a non-counted lane. Nil — the
+	// default — costs one pointer check per call.
+	Overload *overload.Limiter
 	// Mutate arms testing-only correctness knockouts that deliberately
 	// break the TL2 protocol so the opacity oracle (internal/oracle)
 	// can prove it would catch a real bug. Never set outside tests.
@@ -260,6 +279,7 @@ type STM struct {
 	// threshold, and the optional latency recorder.
 	escalations  atomic.Uint64
 	deadlineMiss atomic.Uint64
+	sheds        atomic.Uint64
 	escThreshold atomic.Int64
 	watchdog     *progress.Watchdog
 	lat          atomic.Pointer[latBox]
@@ -368,6 +388,7 @@ func (s *STM) ResetCounters() {
 	s.commits.Store(0)
 	s.roCommits.Store(0)
 	s.aborts.Store(0)
+	s.sheds.Store(0)
 }
 
 // abortSignal is the internal control-flow signal for a conflict abort;
@@ -760,8 +781,45 @@ func (s *STM) Atomic(thread, txID uint16, fn func(*Tx) error) error {
 // to commit — so with a deadline set, every AtomicCtx call terminates
 // with a commit, a user error, ErrRetryLimit or ErrDeadline.
 func (s *STM) AtomicCtx(ctx context.Context, thread, txID uint16, fn func(*Tx) error) error {
+	return s.AtomicPri(ctx, thread, txID, overload.PriNormal, fn)
+}
+
+// AtomicPri is AtomicCtx with an explicit admission priority class for
+// the overload limiter (Options.Overload): under backlog pressure
+// lower classes shed first. Without a limiter attached the priority is
+// ignored. A shed call returns an error wrapping overload.ErrShed
+// before any transactional state is touched — distinguishable from
+// ErrDeadline, which means the runtime ran and lost to the clock.
+func (s *STM) AtomicPri(ctx context.Context, thread, txID uint16, pri overload.Pri, fn func(*Tx) error) error {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	lim := s.opts.Overload
+	counted := false
+	var admitted time.Time
+	if lim != nil {
+		if s.ro != nil && s.ro.Certified(txID) {
+			// Certified read-only transactions ride the non-counted
+			// lane: they cannot cause the aborts that collapse the
+			// system, so the limiter neither charges nor sheds them.
+			lim.NoteReadOnly()
+		} else if err := lim.Acquire(ctx, pri); err != nil {
+			if errors.Is(err, overload.ErrShed) {
+				s.sheds.Add(1)
+				if gb := s.gate.Load(); gb != nil {
+					if sg, ok := gb.g.(ShedGate); ok {
+						sg.NoteShed(pairOfIDs(txID, thread))
+					}
+				}
+				return err
+			}
+			// The context expired while waiting for a token: the usual
+			// deadline outcome, just decided in the queue.
+			return s.deadlineErr(ctx)
+		} else {
+			counted = true
+			admitted = lim.Now()
+		}
 	}
 	tx := txPool.Get().(*Tx)
 	defer txPool.Put(tx)
@@ -782,6 +840,9 @@ func (s *STM) AtomicCtx(ctx context.Context, thread, txID uint16, fn func(*Tx) e
 	err := s.atomicCtx(ctx, tx, fn, t0)
 	if rec != nil {
 		rec.Record(tx.pair, time.Since(t0))
+	}
+	if counted {
+		lim.Release(admitted, err == nil)
 	}
 	tx.done = nil
 	tx.mon = nil
@@ -834,6 +895,7 @@ func (s *STM) atomicCtx(ctx context.Context, tx *Tx, fn func(*Tx) error, t0 time
 			return userErr
 		}
 		s.aborts.Add(1)
+		s.opts.Overload.NoteAbort()
 		if b := s.cm.Load(); b != nil {
 			b.cm.OnAbort(tx)
 		}
@@ -876,6 +938,7 @@ func (s *STM) observeWatchdog() {
 	}
 	switch s.watchdog.Observe(time.Now(), s.Commits(), s.aborts.Load()) {
 	case progress.VerdictTrip:
+		s.opts.Overload.NotePressure()
 		if th := s.escThreshold.Load(); th > 1 {
 			s.escThreshold.CompareAndSwap(th, max64(th/2, 1))
 		} else if th <= 0 {
@@ -904,6 +967,7 @@ func (s *STM) ProgressStats() progress.Stats {
 		DeadlineExceeded:  s.deadlineMiss.Load(),
 		WatchdogTrips:     s.watchdog.Trips(),
 		EscalateThreshold: s.escThreshold.Load(),
+		Sheds:             s.sheds.Load(),
 	}
 }
 

@@ -17,28 +17,40 @@
 # swap, and the end-to-end gated commit path with the learner attached
 # (diff against BenchmarkGateOverhead in BENCH_baseline.json — the
 # delta is the online controller's whole commit-path footprint).
+# A fourth stanza records the overload-control suite
+# (^BenchmarkOverload) into BENCH_overload.json: the shed fast paths
+# (deadline forecast and injected storm, both pinned at 0 allocs/op),
+# the healthy acquire/release baseline, and the contention-collapse
+# curve — protected vs unprotected commits/tick and aborts/commit at
+# each oversubscription factor, captured from the benchmarks' custom
+# ReportMetric columns (which the shared writer cannot see, so this
+# stanza has its own).
 #
 # Knobs:
 #   GSTM_BENCH          benchmark regex    (default: the micro set)
 #   GSTM_BENCHTIME      -benchtime value   (default: 100ms)
 #   GSTM_ROFAST_BENCHTIME  -benchtime for the ROFast suite (default: 2s)
 #   GSTM_ONLINE_BENCHTIME  -benchtime for the Online suite (default: 1s)
+#   GSTM_OVERLOAD_BENCHTIME  -benchtime for the Overload suite (default: 1s)
 #   GSTM_BENCH_FULL     non-empty adds the paper-table/figure suites at
 #                       -benchtime=1x (slow; report-shaped, not latency-
 #                       shaped, so they are excluded from the default set)
 #   $1                  output path        (default: BENCH_baseline.json)
 #   $2                  ROFast output path (default: BENCH_rofast.json)
 #   $3                  Online output path (default: BENCH_online.json)
+#   $4                  Overload output path (default: BENCH_overload.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_baseline.json}"
 rofast_out="${2:-BENCH_rofast.json}"
 online_out="${3:-BENCH_online.json}"
+overload_out="${4:-BENCH_overload.json}"
 bench="${GSTM_BENCH:-^(BenchmarkTL2|BenchmarkLibTMModesRMW|BenchmarkGateOverhead|BenchmarkSynQuakeFrame)}"
 benchtime="${GSTM_BENCHTIME:-100ms}"
 rofast_benchtime="${GSTM_ROFAST_BENCHTIME:-2s}"
 online_benchtime="${GSTM_ONLINE_BENCHTIME:-1s}"
+overload_benchtime="${GSTM_OVERLOAD_BENCHTIME:-1s}"
 
 # write_json <benchtime> <outpath> — reads raw `go test -bench` output
 # on stdin and writes the machine-stamped JSON document.
@@ -60,6 +72,42 @@ write_json() {
     if (n++) rows = rows ",\n"
     rows = rows sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
                         name, iters, ns, bop, allocs)
+}
+END {
+    printf "{\n"
+    printf "  \"generated\": \"%s\",\n", date
+    printf "  \"go\": \"%s\",\n", go_version
+    printf "  \"goos\": \"%s\",\n", goos
+    printf "  \"goarch\": \"%s\",\n", goarch
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"benchmarks\": [\n%s\n  ]\n}\n", rows
+}' > "$2"
+}
+
+# write_metrics_json <benchtime> <outpath> — like write_json, but
+# captures EVERY value-unit column pair (ns/op, B/op, allocs/op AND
+# b.ReportMetric custom units like protected-commits/tick) into a
+# per-benchmark "metrics" object. The overload curve's payload lives in
+# those custom columns, which the fixed-schema writer would drop.
+write_metrics_json() {
+    awk \
+        -v go_version="$(go version | awk '{print $3}')" \
+        -v benchtime="$1" \
+        -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^goos:/  { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/   { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1; iters = $2
+    metrics = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        if (metrics != "") metrics = metrics ", "
+        metrics = metrics sprintf("\"%s\": %s", $(i+1), $i)
+    }
+    if (n++) rows = rows ",\n"
+    rows = rows sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"metrics\": {%s}}",
+                        name, iters, metrics)
 }
 END {
     printf "{\n"
@@ -98,3 +146,9 @@ online_raw="$(go test -run='^$' -bench '^BenchmarkOnline' -benchtime "$online_be
 echo "$online_raw"
 echo "$online_raw" | write_json "$online_benchtime" "$online_out"
 echo "== wrote $online_out =="
+
+echo "== bench: overload collapse curve + shed path (benchtime $overload_benchtime) =="
+overload_raw="$(go test -run='^$' -bench '^BenchmarkOverload' -benchtime "$overload_benchtime" -benchmem .)"
+echo "$overload_raw"
+echo "$overload_raw" | write_metrics_json "$overload_benchtime" "$overload_out"
+echo "== wrote $overload_out =="

@@ -10,7 +10,10 @@
 # (-short trims the schedule budgets), a bounded online-controller
 # soak under the race detector (the streaming learner building epoch
 # snapshots and swapping them into a live gate while the commit path
-# runs), a fuzz smoke over the binary
+# runs), an overload-control soak under the race detector (the AIMD
+# admission limiter, priority shedding and both runtimes' token
+# ledgers hammered by oversubscribed workers, plus the deterministic
+# collapse-curve acceptance test), a fuzz smoke over the binary
 # decoders and the tts key codecs, and gstmlint (the STM-aware
 # transaction-safety linter, checks gstm000..gstm010, including the
 # interprocedural gstm006 over the module-wide call graph). The lint
@@ -56,6 +59,17 @@ echo "== online controller soak (epoch swaps under race) =="
 # all racing for real. The learner's own package races alongside.
 go test -race ./internal/online
 go test -race -run TestOnlineSoak ./internal/harness
+
+echo "== overload soak (admission control under race) =="
+# The AIMD limiter's own package races, then oversubscribed workers
+# hammer both runtimes through shared limiters (every call accounted
+# exactly once: commit, shed or deadline; token ledger drains to
+# zero), and the deterministic oversubscription simulator proves the
+# collapse-curve acceptance claim: protected throughput at 8x holds
+# >= 70% of its 1x peak while unprotected demonstrably degrades.
+go test -race ./internal/overload
+go test -race -run 'TestOverloadSoak|TestFaultMatrix/Overload' ./internal/harness
+go test -run 'TestOversub' ./internal/harness
 
 echo "== fuzz smoke (binary decoders + tts key codecs) =="
 FUZZTIME="${GSTM_FUZZTIME:-10s}"
