@@ -1,0 +1,118 @@
+package explorer
+
+import (
+	"strings"
+	"testing"
+
+	"gstm/internal/libtm"
+	"gstm/internal/sched"
+	"gstm/internal/tl2"
+)
+
+// Exploration coverage for the scalable commit paths: the sharded
+// commit clock (PathShardedClock) and batch-commit envelopes
+// (PathBatchCommit) on both runtimes, every history checked by the
+// same oracle as the stock suites. The full-budget floor is >= 1000
+// schedules per runtime over the sharded-clock path (the acceptance
+// bar for replacing the global clock), with the batch variant on top.
+
+// TestTL2ShardedClockExploration drives TL2 under tl2.ClockSharded —
+// per-shard commit clocks, exact-match commit validation and the
+// timestamp-extension read path — through random-walk and PCT
+// exploration at the Opacity level, plus batch-commit envelopes over
+// the same clock. Every schedule additionally requires the shard
+// clocks to have advanced and the logical-commit ledger to balance
+// (anti-vacuity: see PathShardedClock / PathBatchCommit).
+func TestTL2ShardedClockExploration(t *testing.T) {
+	cases := []struct {
+		stockCase
+		cfg TL2Config
+	}{
+		{stockCase{"sharded/random", &sched.RandomWalk{Seed: 21}, budget(t, 700)},
+			TL2Config{Path: PathShardedClock, Workload: WorkloadMix}},
+		{stockCase{"sharded-pair/pct", &sched.PCT{Seed: 22, Depth: 3}, budget(t, 400)},
+			TL2Config{Path: PathShardedClock, Workload: WorkloadPair}},
+		{stockCase{"batch/random", &sched.RandomWalk{Seed: 23}, budget(t, 400)},
+			TL2Config{Path: PathBatchCommit, Workload: WorkloadPair}},
+		{stockCase{"batch-increment/random", &sched.RandomWalk{Seed: 24}, budget(t, 300)},
+			TL2Config{Path: PathBatchCommit, Workload: WorkloadIncrement}},
+	}
+	sharded := 0
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			n := runStock(t, c.strat, c.n, TL2Program(c.cfg))
+			if c.cfg.Path == PathShardedClock {
+				sharded += n
+			}
+		})
+	}
+	if !testing.Short() && sharded < 1000 {
+		t.Errorf("explored %d sharded-clock schedules on TL2, want >= 1000", sharded)
+	}
+}
+
+// TestLibTMScalableCommitExploration mirrors the TL2 suite over LibTM,
+// whose half of the scalable commit machinery is the pooled-descriptor
+// path (every transaction) and batch envelopes: the optimistic mode at
+// StrictSerializability and the pessimistic mode at Opacity, each with
+// the logical-commit ledger check pinning one commit per body.
+func TestLibTMScalableCommitExploration(t *testing.T) {
+	opt, pess := libtm.FullyOptimistic, libtm.FullyPessimistic
+	cases := []struct {
+		stockCase
+		cfg LibTMConfig
+	}{
+		{stockCase{"pooled-optimistic/random", &sched.RandomWalk{Seed: 25}, budget(t, 700)},
+			LibTMConfig{Mode: opt, Path: PathShardedClock, Workload: WorkloadMix}},
+		{stockCase{"pooled-pessimistic/random", &sched.RandomWalk{Seed: 26}, budget(t, 400)},
+			LibTMConfig{Mode: pess, Path: PathShardedClock, Workload: WorkloadPair}},
+		{stockCase{"batch/random", &sched.RandomWalk{Seed: 27}, budget(t, 400)},
+			LibTMConfig{Mode: opt, Path: PathBatchCommit, Workload: WorkloadPair}},
+		{stockCase{"batch-increment/random", &sched.RandomWalk{Seed: 28}, budget(t, 300)},
+			LibTMConfig{Mode: pess, Path: PathBatchCommit, Workload: WorkloadIncrement}},
+	}
+	pooled := 0
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			n := runStock(t, c.strat, c.n, LibTMProgram(c.cfg))
+			if c.cfg.Path == PathShardedClock {
+				pooled += n
+			}
+		})
+	}
+	if !testing.Short() && pooled < 1000 {
+		t.Errorf("explored %d pooled-commit schedules on LibTM, want >= 1000", pooled)
+	}
+}
+
+// TestMutationTL2SkipShardPublish: a sharded-clock commit that re-uses
+// its shard's current time instead of advancing it publishes versions
+// at or below concurrent readers' begin-time samples AND leaves lock
+// words bit-identical across commits, so both the inline staleness
+// check and the exact-match commit validation pass over a torn x/y
+// snapshot — the opacity violation the explorer must catch and replay.
+func TestMutationTL2SkipShardPublish(t *testing.T) {
+	msg := findViolation(t, TL2Program(TL2Config{
+		Path:     PathShardedClock,
+		Workload: WorkloadPair,
+		Mutate:   tl2.Mutations{SkipShardPublish: true},
+	}))
+	if !strings.Contains(msg, "OPACITY VIOLATION") {
+		t.Errorf("expected an opacity verdict, got:\n%s", msg)
+	}
+}
+
+// TestMutationLibTMSkipVersionBump: a LibTM publish that skips the
+// object version bump makes a scanner's commit-time validation accept
+// values overwritten mid-scan; run through batch envelopes so the
+// coalesced commit path itself is what the oracle convicts.
+func TestMutationLibTMSkipVersionBump(t *testing.T) {
+	findViolation(t, LibTMProgram(LibTMConfig{
+		Mode:     libtm.FullyOptimistic,
+		Path:     PathBatchCommit,
+		Workload: WorkloadPair,
+		Mutate:   libtm.Mutations{SkipVersionBump: true},
+	}))
+}

@@ -15,6 +15,7 @@
 package guide
 
 import (
+	"encoding/binary"
 	"math"
 	"runtime"
 	"sync"
@@ -189,9 +190,13 @@ type Stats struct {
 
 // snapshot is the controller's view of the current state; replaced
 // wholesale on every update so Admit can read without locking.
+// Snapshots for plain (abort-free) commit states are cached and reused
+// per state key (see snapshotForCommitLocked), so the commit path
+// allocates nothing at steady state; the anchoring commit's instance
+// lives in Controller.curInstance (under mu), not here, because a
+// cached snapshot outlives any one commit.
 type snapshot struct {
-	instance uint64 // instance of the commit anchoring the state
-	state    tts.State
+	state tts.State
 	// allowed is the union of pairs in all high-probability destination
 	// states; nil means "unknown state or no guidance: admit everyone".
 	allowed map[uint32]struct{}
@@ -251,6 +256,19 @@ type Controller struct {
 	mu  sync.Mutex // serializes state updates
 	cur atomic.Pointer[snapshot]
 	gen atomic.Uint64
+
+	// Zero-alloc commit path (all under mu): curInstance is the
+	// instance of the commit anchoring the current state (moved out of
+	// snapshot so cached snapshots can be reused across commits);
+	// snapCache maps a commit-only state key to its materialized
+	// snapshot; snapKeyBuf is the scratch the key is encoded into for
+	// the allocation-free map lookup; snapGen/snapBucket record the
+	// tables generation and blend bucket the cache was built under.
+	curInstance uint64
+	snapCache   map[string]*snapshot
+	snapKeyBuf  []byte
+	snapGen     uint64
+	snapBucket  int
 
 	// level is the degradation-ladder position (see health.go); the
 	// health monitor moves it, Admit polls it. quarantined latches the
@@ -325,14 +343,17 @@ func New(m *model.TSA, opts Options) *Controller {
 		threads = maxThreadCounters
 	}
 	c := &Controller{
-		k:         k,
-		holdDelay: hd,
-		inject:    opts.Inject,
-		yield:     opts.Yield,
-		perThread: make([]threadCounters, threads),
-		tf:        tf,
-		rf:        rf,
-		ro:        effect.NewROSet(opts.Manifest),
+		k:          k,
+		holdDelay:  hd,
+		inject:     opts.Inject,
+		yield:      opts.Yield,
+		perThread:  make([]threadCounters, threads),
+		tf:         tf,
+		rf:         rf,
+		ro:         effect.NewROSet(opts.Manifest),
+		snapCache:  make(map[string]*snapshot),
+		snapKeyBuf: make([]byte, pairKeyBytes),
+		snapBucket: -1,
 	}
 	tb := &modelTables{base: m}
 	if opts.Prior != nil {
@@ -540,9 +561,14 @@ func (c *Controller) observeCommitLocked() {
 	final := snap.state
 	if c.havePrev && base.NumStates() < maxStreamStates {
 		base.AddRun([]tts.State{c.prevFinal, final})
+		prevKey := c.prevFinal.Key()
 		c.blendMu.Lock()
-		delete(c.blendCache, c.prevFinal.Key())
+		delete(c.blendCache, prevKey)
 		c.blendMu.Unlock()
+		// The streamed transition changed the base model's node for the
+		// superseded state, so its cached snapshot (if commit-only) was
+		// built from sets that no longer hold.
+		delete(c.snapCache, prevKey)
 	}
 	c.prevFinal = final
 	c.havePrev = true
@@ -619,11 +645,10 @@ func (c *Controller) SwapModel(next *model.TSA) {
 	if snap := c.cur.Load(); snap != nil {
 		allowed, relaxed := c.setsFor(snap.state.Key())
 		c.replaceLocked(&snapshot{
-			instance: snap.instance,
-			state:    snap.state,
-			allowed:  allowed,
-			relaxed:  relaxed,
-			gen:      c.gen.Add(1),
+			state:   snap.state,
+			allowed: allowed,
+			relaxed: relaxed,
+			gen:     c.gen.Add(1),
 		})
 	}
 	c.mu.Unlock()
@@ -666,9 +691,62 @@ func (c *Controller) Reset() {
 	c.mu.Lock()
 	c.replaceLocked(nil)
 	c.havePrev = false
+	c.curInstance = 0
 	c.mu.Unlock()
 	c.quarantined.Store(false)
 	c.resetHealth()
+}
+
+// pairKeyBytes is the encoded width of one tts.Pair in a state key —
+// the whole key of a commit-only state (the common case OnCommit
+// caches).
+const pairKeyBytes = 4
+
+// maxSnapCache bounds the commit-snapshot cache; a workload cannot
+// have more commit-only states than (tx IDs × threads), so in practice
+// the bound is never hit, but a pathological ID churn clears rather
+// than grows without limit.
+const maxSnapCache = 4096
+
+// ensureSnapCacheLocked invalidates the commit-snapshot cache when the
+// inputs its entries were computed from changed: a model swap (tables
+// generation) or a blend-weight bucket step. Caller holds c.mu.
+func (c *Controller) ensureSnapCacheLocked() {
+	tb := c.tables.Load()
+	bucket := 0
+	if c.prior != nil {
+		bucket = c.weightBucket()
+	}
+	if tb.gen != c.snapGen || bucket != c.snapBucket {
+		c.snapGen = tb.gen
+		c.snapBucket = bucket
+		clear(c.snapCache)
+	}
+}
+
+// snapshotForCommitLocked returns the (cached) snapshot for the
+// commit-only state anchored by pair p. The lookup encodes the state
+// key into a scratch buffer and probes the cache with a non-allocating
+// map[string(buf)] access, so a cache hit — the steady state — costs
+// zero allocations; only a first encounter of a state materializes the
+// key string, the snapshot, and its admission sets. Caller holds c.mu.
+func (c *Controller) snapshotForCommitLocked(p tts.Pair) *snapshot {
+	c.ensureSnapCacheLocked()
+	buf := c.snapKeyBuf[:pairKeyBytes]
+	binary.BigEndian.PutUint16(buf[0:], p.Tx)
+	binary.BigEndian.PutUint16(buf[2:], p.Thread)
+	if s, ok := c.snapCache[string(buf)]; ok {
+		return s
+	}
+	st := tts.State{Commit: p}
+	key := st.Key()
+	allowed, relaxed := c.setsFor(key)
+	s := &snapshot{state: st, allowed: allowed, relaxed: relaxed, gen: c.gen.Add(1)}
+	if len(c.snapCache) >= maxSnapCache {
+		clear(c.snapCache)
+	}
+	c.snapCache[key] = s
+	return s
 }
 
 // OnCommit implements trace.Tracer: a commit moves the automaton to a
@@ -677,25 +755,23 @@ func (c *Controller) Reset() {
 func (c *Controller) OnCommit(instance uint64, p tts.Pair) {
 	// A certified-readonly commit changes no transactional storage, so
 	// it cannot anchor a contention state: the state the model should
-	// track is still the last writer's. Returning before the state and
-	// key materialize also makes these commits allocation-free through
-	// the gate.
+	// track is still the last writer's. Returning before anything
+	// materializes also keeps these commits off the snapshot cache.
 	if c.ro != nil && c.ro.Certified(p.Tx) {
 		return
 	}
 	c.evidence.Add(1)
-	st := tts.State{Commit: p}
-	key := st.Key()
 	c.mu.Lock()
 	c.observeCommitLocked()
-	allowed, relaxed := c.setsFor(key)
-	c.replaceLocked(&snapshot{
-		instance: instance,
-		state:    st,
-		allowed:  allowed,
-		relaxed:  relaxed,
-		gen:      c.gen.Add(1),
-	})
+	c.curInstance = instance
+	next := c.snapshotForCommitLocked(p)
+	if c.cur.Load() != next {
+		// Same-state repeat commits keep the cached pointer installed.
+		// Held transactions detect state changes by pointer identity, so
+		// a repeat reads as "unchanged" and burns stale budget — which is
+		// accurate: the admissible set really did not change.
+		c.replaceLocked(next)
+	}
 	c.mu.Unlock()
 }
 
@@ -708,10 +784,13 @@ func (c *Controller) OnAbort(p tts.Pair, killer uint64) {
 	}
 	c.mu.Lock()
 	snap := c.cur.Load()
-	if snap == nil || snap.instance != killer {
+	if snap == nil || c.curInstance != killer {
 		c.mu.Unlock()
 		return
 	}
+	// Abort-extended states are rare (one per attributed abort) and
+	// unbounded in shape, so they are built fresh rather than cached;
+	// the next commit lands back on the cached commit-only snapshots.
 	st := tts.State{
 		Commit: snap.state.Commit,
 		Aborts: append(append([]tts.Pair(nil), snap.state.Aborts...), p),
@@ -720,11 +799,10 @@ func (c *Controller) OnAbort(p tts.Pair, killer uint64) {
 	key := st.Key()
 	allowed, relaxed := c.setsFor(key)
 	c.replaceLocked(&snapshot{
-		instance: snap.instance,
-		state:    st,
-		allowed:  allowed,
-		relaxed:  relaxed,
-		gen:      c.gen.Add(1),
+		state:   st,
+		allowed: allowed,
+		relaxed: relaxed,
+		gen:     c.gen.Add(1),
 	})
 	c.mu.Unlock()
 }

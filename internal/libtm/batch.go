@@ -1,0 +1,139 @@
+package libtm
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"gstm/internal/overload"
+	"gstm/internal/progress"
+	"gstm/internal/tts"
+)
+
+// Batch commit, mirroring internal/tl2's batch.go: adjacent short
+// transactions from the same worker coalesced through one commit
+// envelope — one gate admission, one overload token, one lock/validate/
+// publish round — with the commit counters and the limiter's sampling
+// window credited per logical transaction (commitUnits). The chunk
+// commits or retries as a unit, so batching only suits bodies that are
+// independently correct when fused.
+
+// DefaultBatchMax is the per-commit coalescing cap when
+// Options.BatchMax is zero (same value and rationale as tl2's).
+const DefaultBatchMax = 16
+
+// commitUnits is the number of logical commits a successful attempt
+// represents: the batch size inside an AtomicBatch envelope, else 1.
+func (tx *Tx) commitUnits() uint64 {
+	if tx.batch > 1 {
+		return uint64(tx.batch)
+	}
+	return 1
+}
+
+// batchMax resolves Options.BatchMax (0 → default, negative → no cap).
+func (s *STM) batchMax() int {
+	switch m := s.opts.BatchMax; {
+	case m == 0:
+		return DefaultBatchMax
+	case m < 0:
+		return int(^uint(0) >> 1)
+	default:
+		return m
+	}
+}
+
+// AtomicBatch runs the bodies transactionally as static transaction
+// txID on the given thread, coalescing them into commit envelopes of
+// at most Options.BatchMax bodies each. Within an envelope the bodies
+// execute in order against one snapshot and commit atomically
+// together; a non-nil error from any body rolls back its whole
+// envelope and stops the batch (earlier envelopes stand).
+func (s *STM) AtomicBatch(thread, txID uint16, bodies []func(*Tx) error) error {
+	ctx := context.Background()
+	if d := s.opts.DefaultDeadline; d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	return s.AtomicBatchCtx(ctx, thread, txID, bodies)
+}
+
+// AtomicBatchCtx is AtomicBatch with a deadline (see AtomicCtx).
+func (s *STM) AtomicBatchCtx(ctx context.Context, thread, txID uint16, bodies []func(*Tx) error) error {
+	switch len(bodies) {
+	case 0:
+		return nil
+	case 1:
+		return s.AtomicCtx(ctx, thread, txID, bodies[0])
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	maxN := s.batchMax()
+	for start := 0; start < len(bodies); {
+		end := min(start+maxN, len(bodies))
+		if err := s.batchChunk(ctx, thread, txID, bodies[start:end]); err != nil {
+			return err
+		}
+		start = end
+	}
+	return nil
+}
+
+// batchChunk commits one coalesced envelope: the AtomicPri admission
+// and bookkeeping sequence, with the overload release attributing
+// every body in the chunk to the limiter's sampling window (ReleaseN).
+func (s *STM) batchChunk(ctx context.Context, thread, txID uint16, chunk []func(*Tx) error) error {
+	lim := s.opts.Overload
+	counted := false
+	var admitted time.Time
+	if lim != nil {
+		if err := lim.Acquire(ctx, overload.PriNormal); err != nil {
+			if errors.Is(err, overload.ErrShed) {
+				s.sheds.Add(1)
+				if gb := s.gate.Load(); gb != nil {
+					if sg, ok := gb.g.(ShedGate); ok {
+						sg.NoteShed(tts.Pair{Tx: txID, Thread: thread})
+					}
+				}
+				return err
+			}
+			return s.deadlineErr(ctx)
+		}
+		counted = true
+		admitted = lim.Now()
+	}
+	tx := txPool.Get().(*Tx)
+	tx.stm = s
+	tx.batch = len(chunk)
+	tx.pair = tts.Pair{Tx: txID, Thread: thread}
+	tx.done = ctx.Done()
+
+	var t0 time.Time
+	var rec *progress.LatencyRecorder
+	if lb := s.lat.Load(); lb != nil {
+		rec = lb.r
+	}
+	if rec != nil || s.opts.EscalateTime > 0 {
+		t0 = time.Now()
+	}
+	err := s.atomicCtx(ctx, tx, func(tx *Tx) error {
+		for _, body := range chunk {
+			if err := body(tx); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, t0)
+	if rec != nil {
+		rec.Record(tx.pair, time.Since(t0))
+	}
+	if counted {
+		lim.ReleaseN(admitted, err == nil, len(chunk))
+	}
+	// Not deferred: a user panic out of a body may leave the descriptor
+	// registered on objects (see pool.go) — leak it rather than recycle.
+	putTx(tx)
+	return err
+}

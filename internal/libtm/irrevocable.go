@@ -123,7 +123,7 @@ func (s *STM) runEscalated(ctx context.Context, tx *Tx, fn func(*Tx) error) erro
 	}
 	tx.commitIrrev()
 	committed = true
-	s.commits.Add(1)
+	s.commits.Add(tx.commitUnits())
 	s.escalations.Add(1)
 	s.tracer.Load().t.OnCommit(tx.instance, tx.pair)
 	if tx.mon != nil {
@@ -190,6 +190,6 @@ func (tx *Tx) commitIrrev() {
 		}
 		o.mu.Unlock()
 	}
-	tx.locked = nil
+	tx.locked = tx.locked[:0]
 	tx.releaseVisibleReads()
 }

@@ -178,6 +178,11 @@ type Options struct {
 	// uncertified. The zero value (effect.GuardAuto) traps under -race
 	// builds and recovers in production.
 	ROGuard effect.GuardMode
+	// BatchMax caps how many bodies one AtomicBatch call coalesces
+	// into a single commit envelope; same contract as
+	// tl2.Options.BatchMax (0 means DefaultBatchMax, negative
+	// disables the cap).
+	BatchMax int
 	// Overload, when non-nil, attaches the adaptive admission
 	// controller (internal/overload) in front of every Atomic call;
 	// same contract as tl2.Options.Overload, including the certified
@@ -208,6 +213,13 @@ type Mutations struct {
 	// out, a certified scanner commits torn snapshots — an opacity
 	// violation the oracle must catch.
 	SkipROValidation bool
+	// SkipVersionBump publishes commit-time writes without advancing
+	// the object's version — LibTM's per-object analogue of a broken
+	// clock merge. Invisible readers validating against the stale
+	// version cannot see that their snapshot was overwritten, so torn
+	// snapshots commit — an opacity violation the explorer's
+	// sharded/batch mutation harness must catch.
+	SkipVersionBump bool
 }
 
 // defaultYieldEvery matches tl2's access interval between yields.
@@ -435,6 +447,11 @@ type Tx struct {
 	visReads []*Obj      // objects we registered on as visible readers
 	writes   []writeEntry
 	locked   []*Obj // objects whose write lock we hold (encounter mode)
+
+	// batch is the number of logical transactions this attempt commits
+	// (>1 only inside AtomicBatch envelopes); counters and the overload
+	// window attribute commitUnits() commits per successful attempt.
+	batch int
 
 	// doomed is set by a writer that abort-readers'ed us; killer is its
 	// instance.
@@ -711,20 +728,24 @@ func (tx *Tx) commit() {
 	if inj := tx.stm.opts.Inject; inj != nil {
 		inj.Sleep(fault.LockReleaseDelay)
 	}
-	// Publish writes and release write locks.
+	// Publish writes and release write locks. The SkipVersionBump
+	// mutation (oracle sensitivity harness) publishes the value without
+	// moving the version, blinding concurrent invisible-read validation.
 	for _, w := range tx.writes {
 		w.o.mu.Lock()
 		w.o.val = w.val
-		w.o.version++
+		if !tx.stm.opts.Mutate.SkipVersionBump {
+			w.o.version++
+		}
 		w.o.lastWriter = tx.instance
 		w.o.writerInst = 0
 		w.o.writerTx = nil
 		w.o.mu.Unlock()
 	}
-	tx.locked = nil
+	tx.locked = tx.locked[:0]
 	tx.releaseVisibleReads()
 	if tx.roCert {
-		tx.stm.roCommits.Add(1)
+		tx.stm.roCommits.Add(tx.commitUnits())
 	}
 }
 
@@ -738,7 +759,7 @@ func (tx *Tx) cleanupAfterAbort() {
 		}
 		o.mu.Unlock()
 	}
-	tx.locked = nil
+	tx.locked = tx.locked[:0]
 	tx.releaseVisibleReads()
 }
 
@@ -748,7 +769,7 @@ func (tx *Tx) releaseVisibleReads() {
 		delete(o.readers, tx)
 		o.mu.Unlock()
 	}
-	tx.visReads = nil
+	tx.visReads = tx.visReads[:0]
 }
 
 // Atomic executes fn transactionally as static transaction txID on the
@@ -811,21 +832,18 @@ func (s *STM) AtomicPri(ctx context.Context, thread, txID uint16, pri overload.P
 			admitted = lim.Now()
 		}
 	}
-	// Certified read-only transactions draw a pooled descriptor whose
-	// read-set slices keep their capacity across calls: the alloc-free
-	// fast path. Everything else keeps the per-call descriptor — write
-	// sets and doom pointers have unbounded, caller-driven lifetimes
-	// that pooling would have to defend against for no certain win.
-	var tx *Tx
-	if roCert {
-		tx = roTxPool.Get().(*Tx)
-		tx.stm = s
-		tx.pair = tts.Pair{Tx: txID, Thread: thread}
-		tx.done = ctx.Done()
-		tx.roCert = true
-	} else {
-		tx = &Tx{stm: s, pair: tts.Pair{Tx: txID, Thread: thread}, done: ctx.Done()}
-	}
+	// Every transaction draws a pooled descriptor whose set slices keep
+	// their capacity across calls: the alloc-free steady state. Pooling
+	// the general (writing) path is safe because every attempt path —
+	// commit, abort, user error, escalation — deregisters the
+	// descriptor from reader maps and write locks before atomicCtx
+	// returns; see pool.go for the full argument.
+	tx := txPool.Get().(*Tx)
+	tx.stm = s
+	tx.batch = 1
+	tx.pair = tts.Pair{Tx: txID, Thread: thread}
+	tx.done = ctx.Done()
+	tx.roCert = roCert
 
 	var t0 time.Time
 	var rec *progress.LatencyRecorder
@@ -842,17 +860,10 @@ func (s *STM) AtomicPri(ctx context.Context, thread, txID uint16, pri overload.P
 	if counted {
 		lim.Release(admitted, err == nil)
 	}
-	if roCert {
-		// Every attempt path (commit, abort, user error, escalation)
-		// deregisters the descriptor from reader maps and write locks
-		// before atomicCtx returns, so recycling it here is safe even
-		// though a recover-mode guard hit may have cleared tx.roCert.
-		tx.stm = nil
-		tx.done = nil
-		tx.mon = nil
-		tx.roCert = false
-		roTxPool.Put(tx)
-	}
+	// Deliberately not deferred: a user panic out of fn propagates
+	// without cleanup, so its descriptor may still be registered on
+	// objects and must leak rather than recycle.
+	putTx(tx)
 	return err
 }
 
@@ -885,7 +896,7 @@ func (s *STM) atomicCtx(ctx context.Context, tx *Tx, fn func(*Tx) error, t0 time
 			if tx.mon != nil {
 				tx.mon.OnTxCommit(tx.instance)
 			}
-			s.commits.Add(1)
+			s.commits.Add(tx.commitUnits())
 			s.tracer.Load().t.OnCommit(tx.instance, tx.pair)
 			return nil
 		}

@@ -1,16 +1,13 @@
 package libtm
 
 // Certified read-only fast path, LibTM flavour: Options.Manifest
-// registers the sealed static-effect manifest, and attempts running
-// under a certified transaction ID draw their descriptor from a
-// sync.Pool instead of allocating one per AtomicCtx call. The read
-// protocol itself is untouched — invisible reads still validate at
-// commit, visible reads still register — because LibTM's modes differ
-// in exactly those mechanics and the certificate only proves the
-// absence of writes, not the absence of conflicting writers. What the
-// certificate buys is the allocation: a pooled descriptor whose read
-// sets retain their capacity makes a certified read-only transaction
-// alloc-free at steady state.
+// registers the sealed static-effect manifest. The read protocol
+// itself is untouched — invisible reads still validate at commit,
+// visible reads still register — because LibTM's modes differ in
+// exactly those mechanics and the certificate only proves the absence
+// of writes, not the absence of conflicting writers. (Descriptor
+// pooling, once exclusive to this path, now covers every transaction —
+// see pool.go.)
 //
 // The same dynamic soundness guard as tl2 backs the static proof:
 // Write under a certified attempt traps before buffering anything, and
@@ -20,7 +17,6 @@ package libtm
 import (
 	"errors"
 	"fmt"
-	"sync"
 )
 
 // ErrReadOnlyViolation is returned (wrapped, naming the site key) when
@@ -33,12 +29,6 @@ var ErrReadOnlyViolation = errors.New("libtm: write under a certified-readonly t
 type roViolation struct {
 	key string
 }
-
-// roTxPool recycles certified read-only transaction descriptors. Only
-// certified attempts use it: they never grow a write set, their read
-// sets stabilize at workload size, and their lifecycle ends strictly
-// inside AtomicCtx, so pooling is both safe and profitable there.
-var roTxPool = sync.Pool{New: func() any { return new(Tx) }}
 
 // handleROViolation is runAttempt's response to the guard firing: trap
 // mode converts it into the caller-visible error; recover mode

@@ -448,6 +448,16 @@ func (l *Limiter) PredictWait() time.Duration {
 // NoteAbort per attempt, not here). Release also drives the lazy
 // window sampler.
 func (l *Limiter) Release(start time.Time, committed bool) {
+	l.ReleaseN(start, committed, 1)
+}
+
+// ReleaseN is Release for a batch-commit envelope that coalesced n
+// logical transactions through one token: all n commits are attributed
+// to the sampling window, keeping the AIMD abort-ratio signal honest
+// (one batched release counting once would make batching look like a
+// throughput drop and shrink the limit for no reason). n <= 1 behaves
+// exactly like Release.
+func (l *Limiter) ReleaseN(start time.Time, committed bool, n int) {
 	if l == nil {
 		return
 	}
@@ -464,7 +474,10 @@ func (l *Limiter) Release(start time.Time, committed bool) {
 		}
 	}
 	if committed {
-		l.commits.Add(1)
+		if n < 1 {
+			n = 1
+		}
+		l.commits.Add(uint64(n))
 	}
 	l.maybeSample(now)
 }

@@ -1,0 +1,101 @@
+package overload
+
+// Regression coverage for ReleaseN, the batch-commit release: an
+// envelope that coalesced n logical transactions through one token
+// must credit all n commits to the lazy sampling window. The original
+// Release-only API would count such an envelope as a single commit,
+// inflating the per-window abort ratio and shrinking the AIMD limit
+// on perfectly healthy batched traffic.
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestReleaseNCreditsAllUnits pins the ledger arithmetic: one token,
+// n logical commits, n credited — with the n<=0 floor and the
+// Release == ReleaseN(…, 1) equivalence.
+func TestReleaseNCreditsAllUnits(t *testing.T) {
+	l := New(Options{MaxInflight: 4})
+	ctx := context.Background()
+
+	if err := l.Acquire(ctx, PriNormal); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	l.ReleaseN(l.Now(), true, 16)
+	if got := l.commits.Load(); got != 16 {
+		t.Errorf("commits after ReleaseN(n=16) = %d, want 16", got)
+	}
+	if got := l.Stats().Inflight; got != 0 {
+		t.Errorf("inflight after ReleaseN = %d, want 0 (one token regardless of n)", got)
+	}
+
+	// n <= 0 floors at one commit (a committed release is at least one
+	// logical transaction), and an aborted envelope credits none.
+	if err := l.Acquire(ctx, PriNormal); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	l.ReleaseN(l.Now(), true, 0)
+	if got := l.commits.Load(); got != 17 {
+		t.Errorf("commits after ReleaseN(n=0) = %d, want 17 (floor 1)", got)
+	}
+	if err := l.Acquire(ctx, PriNormal); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	l.ReleaseN(l.Now(), false, 8)
+	if got := l.commits.Load(); got != 17 {
+		t.Errorf("commits after aborted ReleaseN = %d, want still 17", got)
+	}
+
+	if err := l.Acquire(ctx, PriNormal); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	l.Release(l.Now(), true)
+	if got := l.commits.Load(); got != 18 {
+		t.Errorf("commits after Release = %d, want 18 (Release == ReleaseN n=1)", got)
+	}
+}
+
+// TestBatchReleaseKeepsAbortRatioHonest drives one sampling window
+// containing a healthy batched envelope (16 logical commits) that
+// needed 12 aborted attempts along the way: the honest abort ratio
+// 12/28 ≈ 0.43 sits well under the 0.85 trip, so the window must grow
+// the limit. Mis-attributing the envelope as one commit would read
+// 12/13 ≈ 0.92 and halve the limit instead — the regression this test
+// exists to catch.
+func TestBatchReleaseKeepsAbortRatioHonest(t *testing.T) {
+	clk := newFakeClock()
+	l := New(Options{MaxInflight: 16, MinInflight: 2, Window: time.Millisecond, Now: clk.now})
+	l.limit.Store(8) // headroom in both directions
+	ctx := context.Background()
+
+	// Anchor the window.
+	if err := l.Acquire(ctx, PriNormal); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	start := clk.now()
+	clk.advance(2 * time.Millisecond)
+	l.Release(start, true)
+	before := l.Limit()
+
+	// One window: a 16-body envelope whose attempts aborted 12 times
+	// before the commit stuck.
+	if err := l.Acquire(ctx, PriNormal); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	for i := 0; i < 12; i++ {
+		l.NoteAbort()
+	}
+	start = clk.now()
+	clk.advance(2 * time.Millisecond)
+	l.ReleaseN(start, true, 16)
+
+	if st := l.Stats(); st.Backoffs != 0 {
+		t.Fatalf("healthy batched window triggered %d backoffs (limit %d → %d): batch commits under-attributed",
+			st.Backoffs, before, l.Limit())
+	}
+	if got := l.Limit(); got != before+1 {
+		t.Errorf("limit after healthy batched window = %d, want %d (additive growth)", got, before+1)
+	}
+}

@@ -174,7 +174,7 @@ func (s *STM) AtomicIrrevocable(thread, txID uint16, fn func(*IrrevTx) error) er
 	// that observed pre-lock values fail validation against the new
 	// versions, as with any commit.
 	if len(tx.locked) > 0 {
-		wv := s.clock.Add(1)
+		wv := s.advanceClock(thread)
 		newLock := wv << 1
 		for _, v := range tx.locked {
 			v.lock.Store(newLock)
@@ -220,7 +220,8 @@ func (s *STM) runEscalated(ctx context.Context, tx *Tx, fn func(*Tx) error) erro
 		}
 	}
 
-	tx.reset(s.clock.Load(), s.instances.Add(1))
+	tx.reset(s.instances.Add(1))
+	s.sampleClock(tx)
 	tx.irrev = true
 	// An escalated attempt never runs certified: the serial path locks
 	// at encounter time and is always safe, and a stale roCert from the
@@ -248,7 +249,7 @@ func (s *STM) runEscalated(ctx context.Context, tx *Tx, fn func(*Tx) error) erro
 	}
 	tx.publishIrrev()
 	committed = true
-	s.commits.Add(1)
+	s.commits.Add(tx.commitUnits())
 	s.escalations.Add(1)
 	s.tracer.Load().t.OnCommit(tx.instance, tx.pair)
 	if tx.mon != nil {
@@ -295,7 +296,7 @@ func (tx *Tx) publishIrrev() {
 			w := &tx.writes[i]
 			w.v.val.Store(w.val)
 		}
-		newLock = tx.stm.clock.Add(1) << 1
+		newLock = tx.stm.advanceClock(tx.pair.Thread) << 1
 	}
 	for i, v := range tx.ilocked {
 		if _, ok := tx.lookupWrite(v); ok {

@@ -10,7 +10,7 @@ func newTxPool() *sync.Pool {
 	return &sync.Pool{
 		New: func() any {
 			return &Tx{
-				reads:  make([]*Var, 0, 64),
+				reads:  make([]readSlot, 0, 64),
 				writes: make([]writeEntry, 0, 16),
 			}
 		},

@@ -199,6 +199,15 @@ type Options struct {
 	// uncertified. The zero value (effect.GuardAuto) traps under -race
 	// builds and recovers in production. See internal/effect.
 	ROGuard effect.GuardMode
+	// ClockMode selects the commit-clock organization: ClockGlobal
+	// (stock TL2, the zero value) or ClockSharded (cache-line-padded
+	// per-shard clocks so commit traffic scales past one cache line).
+	// See clock.go for the protocol deltas sharding requires.
+	ClockMode ClockMode
+	// BatchMax caps how many bodies one AtomicBatch call coalesces into
+	// a single commit (one gate admission, one clock interaction). 0
+	// means DefaultBatchMax; negative disables the cap.
+	BatchMax int
 	// Overload, when non-nil, attaches an adaptive admission controller
 	// (internal/overload) in front of every Atomic call: in-flight
 	// transactions are capped by its AIMD limit, and calls that cannot
@@ -235,6 +244,13 @@ type Mutations struct {
 	// to re-validate), so this knockout turns the validation-only
 	// commit into an opacity violation the explorer must catch.
 	SkipROValidation bool
+	// SkipShardPublish breaks the sharded clock's commit advance
+	// (ClockSharded only): the committer re-uses its shard's current
+	// time instead of ticking it, so distinct commits publish duplicate
+	// versions at or below concurrent readers' shard samples and the
+	// staleness checks go blind — a broken clock merge the explorer's
+	// PathShardedClock mutation test must catch.
+	SkipShardPublish bool
 }
 
 // defaultYieldEvery is the access interval between scheduler yields.
@@ -262,7 +278,11 @@ func (o *Options) fill() {
 // run-wide configuration. Vars are independent objects but must only be
 // used through a single STM at a time.
 type STM struct {
-	clock     atomic.Uint64
+	clock atomic.Uint64
+	// shards is the ClockSharded commit clock: one padded counter per
+	// shard, advanced by committers whose thread hashes there. Unused
+	// (zero bytes of traffic) under ClockGlobal.
+	shards    [clockShards]paddedClock
 	instances atomic.Uint64
 	commits   atomic.Uint64
 	aborts    atomic.Uint64
@@ -414,6 +434,16 @@ type writeEntry struct {
 	prevWho uint64
 }
 
+// readSlot is one read-set entry: the Var and the lock word the read
+// observed. The global-clock commit validation only needs the Var (its
+// version-≤-rv test re-derives consistency from the clock), but the
+// sharded clock's exact-match validation and the extension path both
+// compare against the word actually seen.
+type readSlot struct {
+	v *Var
+	l uint64
+}
+
 // Tx is a single transaction attempt. A Tx is only valid inside the
 // function passed to Atomic and must not be retained or shared.
 type Tx struct {
@@ -421,8 +451,15 @@ type Tx struct {
 	pair     tts.Pair
 	instance uint64
 	rv       uint64
-	reads    []*Var
-	writes   []writeEntry
+	// rvs is the per-shard begin-time clock sample (ClockSharded only);
+	// allocated once per pooled Tx, indexed by shard.
+	rvs []uint64
+	// batch is the number of logical transactions this attempt commits
+	// (>1 only inside AtomicBatch envelopes); counters and the overload
+	// window attribute commitUnits() commits per successful attempt.
+	batch  int
+	reads  []readSlot
+	writes []writeEntry
 	// writeIdx accelerates read-own-write lookups once the write set
 	// grows beyond linear-scan comfort.
 	writeIdx map[*Var]int
@@ -487,8 +524,7 @@ func (tx *Tx) yieldEvery() {
 
 const writeIdxThreshold = 64
 
-func (tx *Tx) reset(rv uint64, instance uint64) {
-	tx.rv = rv
+func (tx *Tx) reset(instance uint64) {
 	tx.instance = instance
 	tx.ops = 0
 	tx.yielding = tx.stm.opts.YieldEvery > 0
@@ -556,15 +592,15 @@ func (tx *Tx) Read(v *Var) int64 {
 	}
 	x := v.val.Load()
 	l2 := v.lock.Load()
-	if (l1 != l2 || l2>>1 > tx.rv) && !tx.skipReadCheck() {
-		tx.abort(v.who.Load())
-	}
 	if !tx.roCert {
 		// Certified-readonly attempts keep no read set: the inline
-		// validation above is the entire commit obligation, so commit
-		// has nothing left to visit.
-		tx.reads = append(tx.reads, v)
+		// validation below is the entire commit obligation, so commit
+		// has nothing left to visit. The entry is appended *before*
+		// validating so the sharded extension path re-validates the
+		// triggering read together with the rest of the snapshot.
+		tx.reads = append(tx.reads, readSlot{v: v, l: l2})
 	}
+	tx.validateRead(v, l1, l2)
 	tx.monRead(v, x)
 	return x
 }
@@ -652,7 +688,7 @@ func (tx *Tx) commit() {
 		// always land here (Write is trapped), with the read-set append
 		// skipped too — the validation-only commit.
 		if tx.roCert {
-			tx.stm.roCommits.Add(1)
+			tx.stm.roCommits.Add(tx.commitUnits())
 		}
 		return
 	}
@@ -685,12 +721,24 @@ func (tx *Tx) commit() {
 	if inj := s.opts.Inject; inj != nil {
 		inj.Sleep(fault.LockReleaseDelay)
 	}
-	wv := s.clock.Add(1)
-	if wv > tx.rv+1 && !s.opts.Mutate.SkipReadSetValidation {
+	var wv uint64
+	if s.sharded() {
+		// Sharded clock: the write set is fully locked *before* the
+		// shard advance (the ordering the opacity argument leans on —
+		// see clock.go), then the read set is validated exact-match
+		// against the words each read recorded.
+		wv = s.advanceClock(tx.pair.Thread)
+		if !s.opts.Mutate.SkipReadSetValidation {
+			if killer, ok := tx.validateReadsSharded(); !ok {
+				tx.unlockPrefix(locked)
+				tx.abort(killer)
+			}
+		}
+	} else if wv = s.clock.Add(1); wv > tx.rv+1 && !s.opts.Mutate.SkipReadSetValidation {
 		for _, r := range tx.reads {
-			l := r.lock.Load()
-			if l&lockedBit != 0 && r.who.Load() != tx.instance {
-				killer := r.who.Load()
+			l := r.v.lock.Load()
+			if l&lockedBit != 0 && r.v.who.Load() != tx.instance {
+				killer := r.v.who.Load()
 				tx.unlockPrefix(locked)
 				tx.abort(killer)
 			}
@@ -700,12 +748,12 @@ func (tx *Tx) commit() {
 			// (it is in both our read and write sets) saw a value that a
 			// concurrent commit has since replaced.
 			if l>>1 > tx.rv {
-				killer := r.who.Load()
+				killer := r.v.who.Load()
 				if killer == tx.instance {
 					// We overwrote who when locking; recover the real
 					// culprit (the committer that bumped the version).
 					for i := range tx.writes {
-						if tx.writes[i].v == r {
+						if tx.writes[i].v == r.v {
 							killer = tx.writes[i].prevWho
 							break
 						}
@@ -824,6 +872,7 @@ func (s *STM) AtomicPri(ctx context.Context, thread, txID uint16, pri overload.P
 	tx := txPool.Get().(*Tx)
 	defer txPool.Put(tx)
 	tx.stm = s
+	tx.batch = 1
 	tx.pair = tts.Pair{Tx: txID, Thread: thread}
 	tx.done = ctx.Done()
 
@@ -862,9 +911,9 @@ func (s *STM) atomicCtx(ctx context.Context, tx *Tx, fn func(*Tx) error, t0 time
 		if gb := s.gate.Load(); gb != nil {
 			gb.g.Admit(tx.pair)
 		}
-		rv := s.clock.Load()
 		inst := s.instances.Add(1)
-		tx.reset(rv, inst)
+		tx.reset(inst)
+		s.sampleClock(tx)
 		tx.roCert = s.ro != nil && s.ro.Certified(tx.pair.Tx)
 		tx.mon = s.monLoad()
 		if tx.mon != nil {
@@ -880,7 +929,7 @@ func (s *STM) atomicCtx(ctx context.Context, tx *Tx, fn func(*Tx) error, t0 time
 				// Certified attempts were already counted by commit()'s
 				// roCommits.Add; Commits() reports the sum of the two
 				// counters, keeping the fast path at one atomic add.
-				s.commits.Add(1)
+				s.commits.Add(tx.commitUnits())
 			}
 			if b := s.cm.Load(); b != nil {
 				b.cm.OnCommit(tx)

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # bench.sh — records benchmark baselines into BENCH_baseline.json and
-# BENCH_rofast.json.
+# BENCH_rofast.json (plus the online, overload and scale documents
+# described below).
 #
 # Runs the micro-benchmarks (STM primitives, mode matrix, gate
 # overhead) with -benchmem and writes one JSON document capturing the
@@ -25,13 +26,30 @@
 # each oversubscription factor, captured from the benchmarks' custom
 # ReportMetric columns (which the shared writer cannot see, so this
 # stanza has its own).
+# A fifth stanza records the multi-core scalability suite
+# (^BenchmarkScale) into BENCH_scale.json: both runtimes' commit paths
+# under -cpu 1,2,4,8 — TL2 under the global vs sharded commit clock,
+# LibTM's pooled descriptors, the guide-gated path and the
+# batch-commit envelopes — with each row carrying its core count and
+# its speedup relative to the same benchmark's 1-core row. The
+# zero-alloc acceptance rows (RMW and gate admission) must show
+# allocs_per_op 0 here; scripts/benchdiff.sh holds the committed
+# baseline to that.
 #
 # Knobs:
 #   GSTM_BENCH          benchmark regex    (default: the micro set)
 #   GSTM_BENCHTIME      -benchtime value   (default: 100ms)
+#   GSTM_BENCH_COUNT    -count repeats for the micro set; the writer
+#                       keeps each benchmark's fastest run, so the
+#                       committed baseline is a low-noise floor rather
+#                       than one 100ms sample (default: 3; see
+#                       scripts/benchdiff.sh, which compares the same
+#                       statistic)
 #   GSTM_ROFAST_BENCHTIME  -benchtime for the ROFast suite (default: 2s)
 #   GSTM_ONLINE_BENCHTIME  -benchtime for the Online suite (default: 1s)
 #   GSTM_OVERLOAD_BENCHTIME  -benchtime for the Overload suite (default: 1s)
+#   GSTM_SCALE_BENCHTIME  -benchtime for the Scale suite (default: 100ms)
+#   GSTM_SCALE_CPUS     -cpu list for the Scale suite (default: 1,2,4,8)
 #   GSTM_BENCH_FULL     non-empty adds the paper-table/figure suites at
 #                       -benchtime=1x (slow; report-shaped, not latency-
 #                       shaped, so they are excluded from the default set)
@@ -39,6 +57,7 @@
 #   $2                  ROFast output path (default: BENCH_rofast.json)
 #   $3                  Online output path (default: BENCH_online.json)
 #   $4                  Overload output path (default: BENCH_overload.json)
+#   $5                  Scale output path   (default: BENCH_scale.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -46,14 +65,21 @@ out="${1:-BENCH_baseline.json}"
 rofast_out="${2:-BENCH_rofast.json}"
 online_out="${3:-BENCH_online.json}"
 overload_out="${4:-BENCH_overload.json}"
+scale_out="${5:-BENCH_scale.json}"
 bench="${GSTM_BENCH:-^(BenchmarkTL2|BenchmarkLibTMModesRMW|BenchmarkGateOverhead|BenchmarkSynQuakeFrame)}"
 benchtime="${GSTM_BENCHTIME:-100ms}"
+bench_count="${GSTM_BENCH_COUNT:-3}"
 rofast_benchtime="${GSTM_ROFAST_BENCHTIME:-2s}"
 online_benchtime="${GSTM_ONLINE_BENCHTIME:-1s}"
 overload_benchtime="${GSTM_OVERLOAD_BENCHTIME:-1s}"
+scale_benchtime="${GSTM_SCALE_BENCHTIME:-100ms}"
+scale_cpus="${GSTM_SCALE_CPUS:-1,2,4,8}"
 
 # write_json <benchtime> <outpath> — reads raw `go test -bench` output
-# on stdin and writes the machine-stamped JSON document.
+# on stdin and writes the machine-stamped JSON document. When the
+# input carries -count repeats, each benchmark keeps its fastest run
+# (lowest ns/op) — interference only ever slows a run down, so the
+# minimum is the stable statistic for a committed baseline.
 write_json() {
     awk \
         -v go_version="$(go version | awk '{print $3}')" \
@@ -69,11 +95,19 @@ write_json() {
         if ($i == "B/op")      bop    = $(i-1)
         if ($i == "allocs/op") allocs = $(i-1)
     }
-    if (n++) rows = rows ",\n"
-    rows = rows sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
-                        name, iters, ns, bop, allocs)
+    if (!(name in best_ns)) order[++n] = name
+    if (!(name in best_ns) || ns + 0 < best_ns[name] + 0) {
+        best_ns[name] = ns; best_iters[name] = iters
+        best_bop[name] = bop; best_allocs[name] = allocs
+    }
 }
 END {
+    for (k = 1; k <= n; k++) {
+        name = order[k]
+        if (k > 1) rows = rows ",\n"
+        rows = rows sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                            name, best_iters[name], best_ns[name], best_bop[name], best_allocs[name])
+    }
     printf "{\n"
     printf "  \"generated\": \"%s\",\n", date
     printf "  \"go\": \"%s\",\n", go_version
@@ -121,8 +155,55 @@ END {
 }' > "$2"
 }
 
-echo "== bench: $bench (benchtime $benchtime) =="
-raw="$(go test -run='^$' -bench "$bench" -benchtime "$benchtime" -benchmem .)"
+# write_scale_json <benchtime> <cpus> <outpath> — like write_json, but
+# for the -cpu matrix: strips the -N core suffix from each benchmark
+# name into a "cores" field and computes speedup_vs_1core against the
+# same benchmark's 1-core row (go test emits the 1-core row first, so
+# a single pass suffices; the 1-core row's own speedup is 1.0).
+write_scale_json() {
+    awk \
+        -v go_version="$(go version | awk '{print $3}')" \
+        -v benchtime="$1" \
+        -v cpus="$2" \
+        -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^goos:/  { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/   { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1; iters = $2; ns = $3
+    bop = "null"; allocs = "null"
+    for (i = 4; i <= NF; i++) {
+        if ($i == "B/op")      bop    = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    base = name; cores = 1
+    if (match(name, /-[0-9]+$/)) {
+        cores = substr(name, RSTART + 1) + 0
+        base = substr(name, 1, RSTART - 1)
+    }
+    if (cores == 1) base_ns[base] = ns
+    speedup = "null"
+    if (base in base_ns && ns + 0 > 0)
+        speedup = sprintf("%.3f", base_ns[base] / ns)
+    if (n++) rows = rows ",\n"
+    rows = rows sprintf("    {\"name\": \"%s\", \"cores\": %d, \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"speedup_vs_1core\": %s}",
+                        base, cores, iters, ns, bop, allocs, speedup)
+}
+END {
+    printf "{\n"
+    printf "  \"generated\": \"%s\",\n", date
+    printf "  \"go\": \"%s\",\n", go_version
+    printf "  \"goos\": \"%s\",\n", goos
+    printf "  \"goarch\": \"%s\",\n", goarch
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"cpus\": \"%s\",\n", cpus
+    printf "  \"benchmarks\": [\n%s\n  ]\n}\n", rows
+}' > "$3"
+}
+
+echo "== bench: $bench (benchtime $benchtime, min of $bench_count runs) =="
+raw="$(go test -run='^$' -bench "$bench" -benchtime "$benchtime" -count "$bench_count" -benchmem .)"
 echo "$raw"
 
 if [ -n "${GSTM_BENCH_FULL:-}" ]; then
@@ -152,3 +233,9 @@ overload_raw="$(go test -run='^$' -bench '^BenchmarkOverload' -benchtime "$overl
 echo "$overload_raw"
 echo "$overload_raw" | write_metrics_json "$overload_benchtime" "$overload_out"
 echo "== wrote $overload_out =="
+
+echo "== bench: multi-core scalability (benchtime $scale_benchtime, cpus $scale_cpus) =="
+scale_raw="$(go test -run='^$' -bench '^BenchmarkScale' -benchtime "$scale_benchtime" -benchmem -cpu "$scale_cpus" .)"
+echo "$scale_raw"
+echo "$scale_raw" | write_scale_json "$scale_benchtime" "$scale_cpus" "$scale_out"
+echo "== wrote $scale_out =="

@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+# benchdiff.sh — the micro-benchmark regression gate.
+#
+# Re-runs the default micro set (the same regex scripts/bench.sh
+# records) and compares the fresh numbers against the committed
+# baseline document (BENCH_baseline.json by default):
+#
+#   - ns/op: a benchmark more than GSTM_BENCHDIFF_TOL percent slower
+#     than its baseline row fails the gate (default 15%). Wall-clock
+#     comparisons only mean something on hardware comparable to the
+#     machine that recorded the baseline; on a foreign machine set
+#     GSTM_BENCHDIFF_SKIP_NS=1 to gate on allocations only, or raise
+#     the tolerance.
+#   - allocs/op: a benchmark whose baseline pins zero allocations must
+#     still report zero — any increase fails regardless of tolerance,
+#     because the zero-alloc commit paths are a correctness-adjacent
+#     contract (sync.Pool reuse, snapshot caches), not a tuning knob.
+#     Alloc increases on non-pinned benchmarks are reported as
+#     warnings.
+#
+# Benchmarks present on only one side (added or retired since the
+# baseline) are reported and skipped; refresh the baseline with
+# scripts/bench.sh when a deliberate change moves the numbers.
+#
+# Short -benchtime samples on a busy box swing well past the tolerance
+# run-to-run, so both sides of the comparison are noise-robust: the
+# fresh run repeats each benchmark GSTM_BENCHDIFF_COUNT times (default
+# 3) and the gate compares the per-benchmark minimum ns/op (the
+# standard low-noise statistic — interference only ever adds time)
+# against a baseline that bench.sh records the same way. Allocations go
+# the other way: the gate takes the per-benchmark MAXIMUM allocs/op
+# across repeats, so a pinned-zero contract can't hide behind one
+# lucky sample.
+#
+# Knobs:
+#   GSTM_BENCHDIFF_TOL        ns/op regression tolerance, percent (default 15)
+#   GSTM_BENCHDIFF_BENCHTIME  -benchtime for the fresh run (default 100ms)
+#   GSTM_BENCHDIFF_COUNT      -count repeats, min ns / max allocs (default 3)
+#   GSTM_BENCHDIFF_SKIP_NS    non-empty skips the ns/op comparison
+#   GSTM_BENCH                benchmark regex (default: bench.sh's micro set)
+#   $1                        baseline path (default BENCH_baseline.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+base="${1:-BENCH_baseline.json}"
+bench="${GSTM_BENCH:-^(BenchmarkTL2|BenchmarkLibTMModesRMW|BenchmarkGateOverhead|BenchmarkSynQuakeFrame)}"
+tol="${GSTM_BENCHDIFF_TOL:-15}"
+benchtime="${GSTM_BENCHDIFF_BENCHTIME:-100ms}"
+count="${GSTM_BENCHDIFF_COUNT:-3}"
+skip_ns="${GSTM_BENCHDIFF_SKIP_NS:-}"
+
+if [ ! -f "$base" ]; then
+    echo "benchdiff: baseline $base not found; record one with scripts/bench.sh" >&2
+    exit 1
+fi
+
+echo "== benchdiff: $bench vs $base (tolerance ${tol}%, min of $count runs) =="
+raw="$(go test -run='^$' -bench "$bench" -benchtime "$benchtime" -count "$count" -benchmem .)"
+echo "$raw"
+
+# Pass 1 reads the baseline JSON (one benchmark object per line, as
+# bench.sh writes it); pass 2 folds the fresh `go test -bench` output
+# down to min ns / max allocs per benchmark, and END compares. The -N
+# GOMAXPROCS suffix is stripped on both sides so a baseline recorded
+# on an n-core machine still joins rows from an m-core one.
+echo "$raw" | awk -v tol="$tol" -v skip_ns="$skip_ns" '
+FNR == NR {
+    if (match($0, /"name": "[^"]*"/)) {
+        name = substr($0, RSTART + 9, RLENGTH - 10)
+        sub(/-[0-9]+$/, "", name)
+        if (match($0, /"ns_per_op": [0-9.eE+]+/))
+            base_ns[name] = substr($0, RSTART + 13, RLENGTH - 13)
+        if (match($0, /"allocs_per_op": [0-9]+/))
+            base_allocs[name] = substr($0, RSTART + 17, RLENGTH - 17)
+    }
+    next
+}
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = $3
+    allocs = ""
+    for (i = 4; i <= NF; i++)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    if (!(name in seen)) {
+        seen[name] = 1
+        order[++m] = name
+        min_ns[name] = ns
+        max_allocs[name] = allocs
+    } else {
+        if (ns + 0 < min_ns[name] + 0) min_ns[name] = ns
+        if (allocs != "" && (max_allocs[name] == "" || allocs + 0 > max_allocs[name] + 0))
+            max_allocs[name] = allocs
+    }
+}
+END {
+    for (k = 1; k <= m; k++) {
+        name = order[k]
+        ns = min_ns[name]
+        allocs = max_allocs[name]
+        if (!(name in base_ns)) {
+            printf "  NEW      %s: no baseline row (refresh scripts/bench.sh to pin it)\n", name
+            continue
+        }
+        if (!skip_ns && base_ns[name] + 0 > 0) {
+            limit = base_ns[name] * (1 + tol / 100)
+            if (ns + 0 > limit) {
+                printf "  FAIL     %s: %.1f ns/op vs baseline %.1f (>%d%% regression)\n",
+                       name, ns, base_ns[name], tol
+                fails++
+            } else {
+                printf "  ok       %s: %.1f ns/op vs baseline %.1f\n", name, ns, base_ns[name]
+            }
+        }
+        if (allocs != "" && name in base_allocs) {
+            if (base_allocs[name] + 0 == 0 && allocs + 0 > 0) {
+                printf "  FAIL     %s: %s allocs/op vs pinned-zero baseline\n", name, allocs
+                fails++
+            } else if (allocs + 0 > base_allocs[name] + 0) {
+                printf "  WARN     %s: %s allocs/op vs baseline %s (not pinned at zero)\n",
+                       name, allocs, base_allocs[name]
+            }
+        }
+    }
+    for (name in base_ns)
+        if (!(name in seen))
+            printf "  GONE     %s: baseline row no longer produced by this regex\n", name
+    if (fails) {
+        printf "benchdiff: %d regression(s) against the committed baseline\n", fails
+        exit 1
+    }
+    print "benchdiff: no regressions"
+}' "$base" -

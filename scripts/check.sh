@@ -25,7 +25,13 @@
 # gate then regenerates the effect manifest (gstmlint -manifest) over
 # the same packages and fails if it differs from the committed
 # MANIFEST.gsm — a stale certificate is a soundness hazard, not just
-# drift. Exits non-zero on the first failure. CI runs this same script
+# drift. Finally scripts/benchdiff.sh re-runs the micro-benchmark set
+# against the committed BENCH_baseline.json: >15% ns/op regressions
+# fail (GSTM_BENCHDIFF_TOL to adjust; GSTM_BENCHDIFF_SKIP_NS=1 on
+# hardware that did not record the baseline), and any allocation on a
+# benchmark the baseline pins at zero allocs/op fails unconditionally
+# — the zero-alloc commit paths are a contract, not a tuning knob.
+# Exits non-zero on the first failure. CI runs this same script
 # (.github/workflows/ci.yml). Set GSTM_FUZZTIME to lengthen the fuzz
 # smoke (default 10s per target).
 set -euo pipefail
@@ -106,5 +112,8 @@ if ! cmp -s "$manifest" MANIFEST.gsm; then
     echo "  go run ./cmd/gstmlint -manifest MANIFEST.gsm ./examples/... ./cmd/synquake/..." >&2
     exit 1
 fi
+
+echo "== benchdiff (micro set vs committed baseline) =="
+./scripts/benchdiff.sh
 
 echo "all checks passed"
